@@ -1,0 +1,133 @@
+// T1-bomb — Table I "Binary Bomb" substrate performance: SwatVM dispatch
+// rate, assembler throughput, and the instruction-count profile of the
+// recursive-call workload (the part of the lab where students count what
+// the stack costs).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "pdc/isa/assembler.hpp"
+#include "pdc/isa/vm.hpp"
+#include "pdc/perf/table.hpp"
+
+namespace {
+
+const char* kFib = R"(
+    in r0
+    push r0
+    call fib
+    pop r1
+    out r0
+    halt
+  fib:
+    push fp
+    mov fp, sp
+    mov r1, [fp+2]
+    cmp r1, $2
+    jge rec
+    mov r0, r1
+    pop fp
+    ret
+  rec:
+    sub r1, $1
+    push r1
+    call fib
+    pop r1
+    push r0
+    mov r1, [fp+2]
+    sub r1, $2
+    push r1
+    call fib
+    pop r1
+    pop r2
+    add r0, r2
+    pop fp
+    ret
+)";
+
+void print_fib_cost_table() {
+  const auto program = pdc::isa::assemble(kFib);
+  pdc::perf::Table t({"n", "fib(n)", "instructions executed"});
+  for (std::int64_t n : {5, 10, 15, 20}) {
+    pdc::isa::Vm vm(program, 1 << 16);
+    vm.set_input({n});
+    vm.run(100'000'000);
+    t.add_row({std::to_string(n), std::to_string(vm.output().back()),
+               pdc::perf::fmt_count(
+                   static_cast<double>(vm.instructions_executed()))});
+  }
+  std::cout << "== T1-bomb: recursive fib on the VM stack ==\n"
+            << t.str()
+            << "(instruction count grows like fib(n) itself — the cost of "
+               "naive recursion, visible in the trace)\n\n";
+}
+
+void BM_VmDispatchRate(benchmark::State& state) {
+  // Tight countdown loop: measures instructions/second through the
+  // fetch-decode-execute core.
+  const auto program = pdc::isa::assemble(R"(
+      mov r0, $100000
+    loop:
+      sub r0, $1
+      cmp r0, $0
+      jg loop
+      halt
+  )");
+  for (auto _ : state) {
+    pdc::isa::Vm vm(program);
+    const auto executed = vm.run(10'000'000);
+    benchmark::DoNotOptimize(executed);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(executed));
+  }
+}
+BENCHMARK(BM_VmDispatchRate);
+
+void BM_Assemble(benchmark::State& state) {
+  const std::string source(kFib);
+  for (auto _ : state) {
+    auto prog = pdc::isa::assemble(source);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_Assemble);
+
+void BM_Disassemble(benchmark::State& state) {
+  const auto program = pdc::isa::assemble(kFib);
+  for (auto _ : state) {
+    auto text = pdc::isa::disassemble_program(program);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_Disassemble);
+
+void BM_VmCallReturn(benchmark::State& state) {
+  // Call/return pair cost (stack traffic) vs straight-line code.
+  const auto program = pdc::isa::assemble(R"(
+      mov r2, $20000
+    loop:
+      call f
+      sub r2, $1
+      cmp r2, $0
+      jg loop
+      halt
+    f:
+      ret
+  )");
+  for (auto _ : state) {
+    pdc::isa::Vm vm(program);
+    benchmark::DoNotOptimize(vm.run(10'000'000));
+  }
+}
+BENCHMARK(BM_VmCallReturn);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fib_cost_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

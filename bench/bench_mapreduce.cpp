@@ -1,0 +1,99 @@
+// CS87-mapred — the planned Hadoop lab, at laptop scale: word-count worker
+// scaling, the combiner's effect on shuffle volume, and the partition-count
+// knob.
+//
+// Expected shape: throughput scales with map workers up to core count;
+// the combiner shrinks shuffled pairs to ~distinct-keys-per-worker; too
+// few partitions serialize the reduce phase.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "pdc/mapreduce/jobs.hpp"
+#include "pdc/perf/scalability.hpp"
+#include "pdc/perf/table.hpp"
+
+namespace {
+
+void print_combiner_table() {
+  const auto corpus = pdc::mapreduce::synthetic_corpus(400, 400);
+  pdc::perf::Table t({"combiner", "map emitted", "shuffled", "reduction"});
+  for (bool use : {false, true}) {
+    pdc::mapreduce::JobConfig cfg;
+    cfg.map_workers = 4;
+    cfg.use_combiner = use;
+    pdc::mapreduce::JobStats stats;
+    (void)pdc::mapreduce::word_count(corpus, cfg, &stats);
+    t.add_row({use ? "yes" : "no",
+               pdc::perf::fmt_count(static_cast<double>(stats.map_emitted)),
+               pdc::perf::fmt_count(static_cast<double>(stats.shuffled)),
+               pdc::perf::fmt(static_cast<double>(stats.map_emitted) /
+                                  static_cast<double>(stats.shuffled),
+                              1) +
+                   "x"});
+  }
+  std::cout << "== CS87-mapred: combiner ablation (400 docs x 400 words) "
+               "==\n"
+            << t.str()
+            << "(the combiner collapses each worker's repeats before the "
+               "shuffle — Hadoop's single most important optimization)\n\n";
+
+  pdc::perf::StudyConfig cfg;
+  cfg.thread_counts = {1, 2, 4};
+  cfg.repetitions = 2;
+  const auto study = pdc::perf::run_strong_scaling(cfg, [&](int workers) {
+    pdc::mapreduce::JobConfig jc;
+    jc.map_workers = workers;
+    jc.reduce_workers = workers;
+    volatile auto n = pdc::mapreduce::word_count(corpus, jc).size();
+    (void)n;
+  });
+  std::cout << "== CS87-mapred: worker scaling ==\n" << study.to_table()
+            << "\n";
+}
+
+void BM_WordCount(benchmark::State& state) {
+  const auto corpus = pdc::mapreduce::synthetic_corpus(200, 200);
+  const int workers = static_cast<int>(state.range(0));
+  pdc::mapreduce::JobConfig cfg;
+  cfg.map_workers = workers;
+  cfg.reduce_workers = workers;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdc::mapreduce::word_count(corpus, cfg));
+  }
+}
+BENCHMARK(BM_WordCount)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_WordCountPartitions(benchmark::State& state) {
+  const auto corpus = pdc::mapreduce::synthetic_corpus(200, 200);
+  pdc::mapreduce::JobConfig cfg;
+  cfg.map_workers = 2;
+  cfg.reduce_workers = 2;
+  cfg.partitions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdc::mapreduce::word_count(corpus, cfg));
+  }
+}
+BENCHMARK(BM_WordCountPartitions)->Arg(1)->Arg(4)->Arg(32)->UseRealTime();
+
+void BM_InvertedIndex(benchmark::State& state) {
+  const auto corpus = pdc::mapreduce::synthetic_corpus(100, 100);
+  pdc::mapreduce::JobConfig cfg;
+  cfg.map_workers = static_cast<int>(state.range(0));
+  cfg.reduce_workers = cfg.map_workers;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdc::mapreduce::inverted_index(corpus, cfg));
+  }
+}
+BENCHMARK(BM_InvertedIndex)->Arg(1)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_combiner_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,167 @@
+// CS87-mp — the MPI topics: ping-pong message rate, flat vs tree
+// collective traffic and critical path for P = 2..32, and allreduce
+// throughput.
+//
+// Expected shape: both algorithms move P-1 messages but the tree's
+// critical path is ceil(log2 P) rounds vs P-1 — the crossover argument
+// for tree collectives.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "pdc/algo/sample_sort.hpp"
+#include "pdc/mp/comm.hpp"
+#include "pdc/mp/dht.hpp"
+#include "pdc/perf/table.hpp"
+
+namespace {
+
+int tree_rounds(int p) {
+  int rounds = 0;
+  for (int reach = 1; reach < p; reach *= 2) ++rounds;
+  return rounds;
+}
+
+void print_collective_table() {
+  pdc::perf::Table t({"P", "algo", "bcast msgs", "bcast rounds",
+                      "reduce msgs", "reduce rounds"});
+  for (int p : {2, 4, 8, 16, 32}) {
+    for (auto algo :
+         {pdc::mp::CollectiveAlgo::kFlat, pdc::mp::CollectiveAlgo::kTree}) {
+      pdc::mp::Communicator bc(p);
+      bc.run([&](pdc::mp::RankContext& ctx) {
+        (void)ctx.broadcast_value(0, 1, algo);
+      });
+      pdc::mp::Communicator rd(p);
+      rd.run([&](pdc::mp::RankContext& ctx) {
+        (void)ctx.reduce(0, ctx.rank(), pdc::mp::ReduceOp::kSum, algo);
+      });
+      const bool tree = algo == pdc::mp::CollectiveAlgo::kTree;
+      const int rounds = tree ? tree_rounds(p) : p - 1;
+      t.add_row({std::to_string(p), tree ? "tree" : "flat",
+                 std::to_string(bc.traffic().messages),
+                 std::to_string(rounds),
+                 std::to_string(rd.traffic().messages),
+                 std::to_string(rounds)});
+    }
+  }
+  std::cout << "== CS87-mp: collective traffic and critical path ==\n"
+            << t.str()
+            << "(same message count; the tree turns P-1 serial rounds "
+               "into log2 P)\n\n";
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const auto words = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pdc::mp::Communicator comm(2);
+    comm.run([&](pdc::mp::RankContext& ctx) {
+      std::vector<std::int64_t> payload(words, 7);
+      for (int i = 0; i < 50; ++i) {
+        if (ctx.rank() == 0) {
+          ctx.send(1, 0, payload);
+          payload = ctx.recv(1, 1).data;
+        } else {
+          payload = ctx.recv(0, 0).data;
+          ctx.send(0, 1, payload);
+        }
+      }
+    });
+    benchmark::DoNotOptimize(comm.traffic().messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100);
+}
+BENCHMARK(BM_PingPong)->Arg(1)->Arg(64)->Arg(4096)->UseRealTime();
+
+void BM_Allreduce(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pdc::mp::Communicator comm(p);
+    comm.run([&](pdc::mp::RankContext& ctx) {
+      std::int64_t acc = ctx.rank();
+      for (int i = 0; i < 20; ++i)
+        acc = ctx.allreduce(acc, pdc::mp::ReduceOp::kSum);
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          20);
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_Barrier(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pdc::mp::Communicator comm(p);
+    comm.run([&](pdc::mp::RankContext& ctx) {
+      for (int i = 0; i < 50; ++i) ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          50);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_DhtBulkOps(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  constexpr int kOpsPerRank = 500;
+  for (auto _ : state) {
+    pdc::mp::Communicator comm(p);
+    comm.run([&](pdc::mp::RankContext& ctx) {
+      pdc::mp::BspHashMap dht(ctx);
+      for (int i = 0; i < kOpsPerRank; ++i)
+        dht.queue_put(ctx.rank() * kOpsPerRank + i, i);
+      (void)dht.round();
+      for (int i = 0; i < kOpsPerRank; ++i)
+        dht.queue_get(((ctx.rank() + 1) % p) * kOpsPerRank + i);
+      benchmark::DoNotOptimize(dht.round());
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * kOpsPerRank * p);
+}
+BENCHMARK(BM_DhtBulkOps)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+void print_sample_sort_table() {
+  pdc::perf::Table t({"ranks", "messages", "payload words", "words / key"});
+  const std::size_t n = 100000;
+  std::vector<std::int64_t> base(n);
+  std::uint64_t seed = 9;
+  for (auto& v : base) {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    v = static_cast<std::int64_t>(seed);
+  }
+  for (int ranks : {2, 4, 8}) {
+    std::uint64_t msgs = 0, words = 0;
+    const auto sorted = pdc::algo::mp_sample_sort(base, ranks, &msgs, &words);
+    if (!std::is_sorted(sorted.begin(), sorted.end())) {
+      std::cerr << "SAMPLE SORT FAILED\n";
+      std::exit(1);
+    }
+    t.add_row({std::to_string(ranks), std::to_string(msgs),
+               std::to_string(words),
+               pdc::perf::fmt(static_cast<double>(words) /
+                                  static_cast<double>(n),
+                              2)});
+  }
+  std::cout << "== CS87-mp: distributed sample sort (PSRS) traffic, "
+               "N = 100K keys ==\n"
+            << t.str()
+            << "(each key crosses the network about once — the partition "
+               "exchange dominates; samples/pivots are the +epsilon)\n\n";
+}
+
+int main(int argc, char** argv) {
+  print_collective_table();
+  print_sample_sort_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// T1-shell — Table I "Unix Shell" substrate: kernel throughput
+// (ticks/sec), fork/exec/wait cycle cost, and a scheduler comparison
+// (round-robin quantum sweep vs priority) on a mixed workload —
+// the mechanism/policy trade-off CS31 discusses.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "pdc/os/kernel.hpp"
+#include "pdc/os/shell.hpp"
+#include "pdc/perf/table.hpp"
+
+namespace {
+
+/// Average completion time (in ticks) of N equal compute jobs under a
+/// scheduler configuration — the policy metric of the scheduling unit.
+double average_completion_ticks(pdc::os::KernelConfig cfg, int jobs,
+                                long work) {
+  pdc::os::Kernel kernel(cfg);
+  std::vector<pdc::os::Pid> pids;
+  for (int j = 0; j < jobs; ++j)
+    pids.push_back(kernel.spawn({pdc::os::Compute(work), pdc::os::Exit(0)},
+                                "job" + std::to_string(j), j));
+  // Tick until done, recording each pid's completion tick.
+  std::vector<std::uint64_t> done(pids.size(), 0);
+  std::size_t remaining = pids.size();
+  while (remaining > 0) {
+    if (!kernel.tick()) break;
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      if (done[i] == 0 &&
+          kernel.state(pids[i]) == pdc::os::ProcState::kReaped) {
+        done[i] = kernel.now();
+        --remaining;
+      }
+    }
+  }
+  double total = 0;
+  for (auto d : done) total += static_cast<double>(d);
+  return total / static_cast<double>(done.size());
+}
+
+void print_scheduler_table() {
+  pdc::perf::Table t({"scheduler", "quantum", "avg completion (ticks)"});
+  for (int quantum : {1, 4, 16, 64}) {
+    pdc::os::KernelConfig cfg;
+    cfg.scheduler = pdc::os::SchedulerKind::kRoundRobin;
+    cfg.quantum = quantum;
+    t.add_row({"round-robin", std::to_string(quantum),
+               pdc::perf::fmt(average_completion_ticks(cfg, 8, 100), 1)});
+  }
+  pdc::os::KernelConfig pr;
+  pr.scheduler = pdc::os::SchedulerKind::kPriority;
+  t.add_row({"priority", "-",
+             pdc::perf::fmt(average_completion_ticks(pr, 8, 100), 1)});
+  std::cout << "== T1-shell: scheduler policy comparison (8 jobs x 100 "
+               "ticks) ==\n"
+            << t.str()
+            << "(big quanta approach FIFO; priority = run-to-completion "
+               "in priority order, minimizing average completion for "
+               "SJF-like orderings)\n\n";
+}
+
+void BM_KernelTickThroughput(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pdc::os::Kernel kernel;
+    for (int i = 0; i < procs; ++i)
+      kernel.spawn({pdc::os::Compute(100), pdc::os::Exit(0)});
+    const auto ticks = kernel.run(1'000'000);
+    benchmark::DoNotOptimize(ticks);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(ticks));
+  }
+}
+BENCHMARK(BM_KernelTickThroughput)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_ForkWaitCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    pdc::os::Kernel kernel;
+    pdc::os::Program parent;
+    for (int i = 0; i < 50; ++i) {
+      parent.push_back(pdc::os::Fork({pdc::os::Exit(0)}));
+      parent.push_back(pdc::os::Wait());
+    }
+    parent.push_back(pdc::os::Exit(0));
+    kernel.spawn(std::move(parent));
+    benchmark::DoNotOptimize(kernel.run(1'000'000));
+  }
+}
+BENCHMARK(BM_ForkWaitCycle);
+
+void BM_ShellPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    pdc::os::Kernel kernel;
+    pdc::os::Shell shell(kernel, pdc::os::CommandRegistry::standard());
+    shell.execute("yes data 20 | cat | cat");
+    benchmark::DoNotOptimize(kernel.console().size());
+  }
+}
+BENCHMARK(BM_ShellPipeline);
+
+void BM_SignalDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    pdc::os::Kernel kernel;
+    const auto pid = kernel.spawn(
+        {pdc::os::InstallHandler(pdc::os::Signal::kSigUsr1,
+                                 pdc::os::Disposition::kHandle),
+         pdc::os::Compute(200), pdc::os::Exit(0)});
+    kernel.tick();
+    for (int i = 0; i < 100; ++i) {
+      kernel.kill(pid, pdc::os::Signal::kSigUsr1);
+      kernel.tick();
+    }
+    kernel.run();
+    benchmark::DoNotOptimize(
+        kernel.handled_count(pid, pdc::os::Signal::kSigUsr1));
+  }
+}
+BENCHMARK(BM_SignalDelivery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scheduler_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

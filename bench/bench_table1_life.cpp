@@ -1,0 +1,98 @@
+// T1-life — Table I, "Parallel Game of Life ... Experimental Scalability
+// Study": the lab report's speedup/efficiency table for the threaded
+// engine, the message-passing engine's traffic accounting, and timed
+// generation kernels.
+//
+// Expected shape: near-linear speedup up to the core count, flattening
+// beyond it; the Amdahl fit reports a small serial fraction.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "pdc/life/engine.hpp"
+#include "pdc/life/grid.hpp"
+#include "pdc/perf/scalability.hpp"
+#include "pdc/perf/table.hpp"
+
+namespace {
+
+void print_scalability_study() {
+  const std::size_t n = 384;
+  const int gens = 30;
+  const auto start = pdc::life::random_grid(n, n, 0.3, 42);
+
+  pdc::perf::StudyConfig cfg;
+  cfg.thread_counts = {1, 2, 4, 8};
+  cfg.repetitions = 3;
+  const auto study = pdc::perf::run_strong_scaling(cfg, [&](int threads) {
+    pdc::life::Grid board = start;
+    pdc::life::run_threaded(board, gens, threads);
+  });
+
+  std::cout << "== T1-life: threaded Game of Life strong scaling ("
+            << n << "x" << n << " torus, " << gens << " generations) ==\n"
+            << study.to_table() << "\n";
+
+  // Message-passing variant: traffic per rank count.
+  pdc::perf::Table traffic({"ranks", "messages", "cell-words moved",
+                            "words/generation"});
+  for (int ranks : {1, 2, 4, 8}) {
+    pdc::life::Grid board = start;
+    std::uint64_t msgs = 0, words = 0;
+    pdc::life::run_message_passing(board, gens, ranks, &msgs, &words);
+    traffic.add_row({std::to_string(ranks), std::to_string(msgs),
+                     std::to_string(words),
+                     std::to_string(words / static_cast<std::uint64_t>(gens))});
+  }
+  std::cout << "== T1-life: message-passing halo-exchange traffic ==\n"
+            << traffic.str()
+            << "(halo volume grows linearly with ranks: 2 rows x ranks "
+               "per generation)\n\n";
+}
+
+void BM_LifeSequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto board = pdc::life::random_grid(n, n, 0.3, 7);
+  for (auto _ : state) {
+    pdc::life::run_sequential(board, 1);
+    benchmark::DoNotOptimize(board);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_LifeSequential)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_LifeThreaded(benchmark::State& state) {
+  const std::size_t n = 256;
+  const int threads = static_cast<int>(state.range(0));
+  auto board = pdc::life::random_grid(n, n, 0.3, 7);
+  for (auto _ : state) {
+    pdc::life::run_threaded(board, 1, threads);
+    benchmark::DoNotOptimize(board);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_LifeThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LifeMessagePassing(benchmark::State& state) {
+  const std::size_t n = 256;
+  const int ranks = static_cast<int>(state.range(0));
+  auto board = pdc::life::random_grid(n, n, 0.3, 7);
+  for (auto _ : state) {
+    pdc::life::run_message_passing(board, 1, ranks);
+    benchmark::DoNotOptimize(board);
+  }
+}
+BENCHMARK(BM_LifeMessagePassing)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scalability_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// T1-alu / T1-bits / T1-clist — Table I's machine-organization labs:
+//   "Building an ALU":    gate count and propagation depth vs bit width,
+//                          plus the simulated-evaluation rate.
+//   "Data Representation / Bit vectors": conversion and set-op throughput.
+//   "Python lists in C":   growth-policy ablation (reallocations & bytes
+//                          copied) and append/insert rates.
+//
+// Expected shape: ALU gates grow linearly and depth linearly (ripple
+// carry); doubling the list growth factor cuts bytes copied by more than
+// half; bit-vector ops run at word speed.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <random>
+
+#include "pdc/clist/rawlist.hpp"
+#include "pdc/machine/alu.hpp"
+#include "pdc/machine/bits.hpp"
+#include "pdc/machine/bitvector.hpp"
+#include "pdc/machine/logic.hpp"
+#include "pdc/perf/table.hpp"
+
+namespace {
+
+void print_alu_table() {
+  pdc::perf::Table t({"width", "gates", "depth (gate delays)",
+                      "wires"});
+  for (int w : {4, 8, 16, 32}) {
+    pdc::machine::Circuit c;
+    const auto a = pdc::machine::input_bus(c, "a", w);
+    const auto b = pdc::machine::input_bus(c, "b", w);
+    const auto op = pdc::machine::input_bus(c, "op", 3);
+    const auto alu = pdc::machine::build_alu(c, a, b, op);
+    t.add_row({std::to_string(w), std::to_string(c.gate_count()),
+               std::to_string(c.depth(alu.result[static_cast<std::size_t>(
+                   w - 1)])),
+               std::to_string(c.wire_count())});
+  }
+  std::cout << "== T1-alu: gate-level ALU cost vs width ==\n"
+            << t.str()
+            << "(gates grow linearly; ripple-carry depth grows linearly "
+               "with width)\n\n";
+}
+
+void print_growth_policy_table() {
+  pdc::perf::Table t({"growth factor", "reallocations", "bytes copied"});
+  for (double factor : {1.25, 1.5, 2.0, 3.0}) {
+    pdc::clist::GrowthPolicy p;
+    p.factor = factor;
+    p.min_step = 1;
+    pdc::clist::List<std::int64_t> list(p);
+    for (std::int64_t i = 0; i < 100000; ++i) list.append(i);
+    t.add_row({pdc::perf::fmt(factor, 2),
+               std::to_string(list.stats().grow_count),
+               pdc::perf::fmt_count(
+                   static_cast<double>(list.stats().bytes_copied))});
+  }
+  std::cout << "== T1-clist: growth-policy ablation (100K appends) ==\n"
+            << t.str()
+            << "(larger factor => geometrically fewer reallocations and "
+               "less copying)\n\n";
+}
+
+// --- timed kernels ---
+
+void BM_AluCircuitEvaluate(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  pdc::machine::Circuit c;
+  const auto a = pdc::machine::input_bus(c, "a", w);
+  const auto b = pdc::machine::input_bus(c, "b", w);
+  const auto op = pdc::machine::input_bus(c, "op", 3);
+  (void)pdc::machine::build_alu(c, a, b, op);
+  std::vector<bool> inputs(static_cast<std::size_t>(2 * w + 3), false);
+  inputs[0] = true;
+  for (auto _ : state) {
+    auto vals = c.evaluate(inputs);
+    benchmark::DoNotOptimize(vals);
+  }
+}
+BENCHMARK(BM_AluCircuitEvaluate)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_TwosComplementRoundTrip(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  std::vector<std::int64_t> values(1024);
+  for (auto& v : values)
+    v = pdc::machine::decode_twos_complement(rng(), 32);
+  for (auto _ : state) {
+    for (auto v : values) {
+      benchmark::DoNotOptimize(pdc::machine::decode_twos_complement(
+          pdc::machine::encode_twos_complement(v, 32), 32));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_TwosComplementRoundTrip);
+
+void BM_BitVectorIntersect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pdc::machine::BitVector a(n), b(n);
+  for (std::size_t i = 0; i < n; i += 3) a.set(i);
+  for (std::size_t i = 0; i < n; i += 5) b.set(i);
+  for (auto _ : state) {
+    auto c = a & b;
+    benchmark::DoNotOptimize(c.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BitVectorIntersect)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ListAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    pdc::clist::List<std::int64_t> list;
+    for (std::int64_t i = 0; i < state.range(0); ++i) list.append(i);
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ListAppend)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_ListInsertFront(benchmark::State& state) {
+  // Quadratic by design: the shifting cost the lab asks students to find.
+  for (auto _ : state) {
+    pdc::clist::List<std::int64_t> list;
+    for (std::int64_t i = 0; i < state.range(0); ++i) list.insert(0, i);
+    benchmark::DoNotOptimize(list.size());
+  }
+}
+BENCHMARK(BM_ListInsertFront)->Arg(1 << 10)->Arg(1 << 13);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_alu_table();
+  print_growth_policy_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

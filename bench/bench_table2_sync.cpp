@@ -1,0 +1,170 @@
+// T2-sync — Table II "Parallel Algorithms and Programming"
+// (synchronization, critical sections, producer-consumer, Amdahl's law):
+//   - analytic Amdahl/Gustafson table for serial fractions
+//   - lock-family throughput under contention (std::mutex vs TAS vs TTAS
+//     vs ticket)
+//   - producer-consumer throughput vs buffer capacity
+//   - barrier cost (condvar vs sense-reversing)
+//
+// Expected shape: TTAS beats TAS under contention; the ticket lock pays
+// for fairness; tiny bounded buffers serialize producers and consumers;
+// Amdahl's curve bends hard for f >= 0.1.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pdc/perf/laws.hpp"
+#include "pdc/perf/table.hpp"
+#include "pdc/sync/barrier.hpp"
+#include "pdc/sync/bounded_buffer.hpp"
+#include "pdc/sync/spinlock.hpp"
+
+namespace {
+
+void print_amdahl_table() {
+  pdc::perf::Table t({"serial fraction", "S(2)", "S(4)", "S(16)", "S(inf)"});
+  for (double f : {0.0, 0.05, 0.1, 0.25, 0.5}) {
+    const double limit = pdc::perf::amdahl_limit(f);
+    t.add_row({pdc::perf::fmt(f, 2),
+               pdc::perf::fmt(pdc::perf::amdahl_speedup(f, 2), 2),
+               pdc::perf::fmt(pdc::perf::amdahl_speedup(f, 4), 2),
+               pdc::perf::fmt(pdc::perf::amdahl_speedup(f, 16), 2),
+               std::isinf(limit) ? std::string("inf") : pdc::perf::fmt(limit, 1)});
+  }
+  std::cout << "== T2-sync: Amdahl's law ==\n" << t.str() << "\n";
+}
+
+template <typename Lock>
+void contended_increments(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr long kIters = 20000;
+  for (auto _ : state) {
+    Lock lock;
+    long counter = 0;
+    {
+      std::vector<std::jthread> pool;
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+          for (long i = 0; i < kIters; ++i) {
+            std::lock_guard guard(lock);
+            ++counter;
+          }
+        });
+      }
+    }
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          threads * kIters);
+}
+
+void BM_LockStdMutex(benchmark::State& state) {
+  contended_increments<std::mutex>(state);
+}
+void BM_LockTas(benchmark::State& state) {
+  contended_increments<pdc::sync::TasSpinLock>(state);
+}
+void BM_LockTtas(benchmark::State& state) {
+  contended_increments<pdc::sync::TtasSpinLock>(state);
+}
+void BM_LockTicket(benchmark::State& state) {
+  contended_increments<pdc::sync::TicketLock>(state);
+}
+BENCHMARK(BM_LockStdMutex)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_LockTas)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_LockTtas)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_LockTicket)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ProducerConsumer(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  constexpr int kItems = 20000;
+  for (auto _ : state) {
+    pdc::sync::BoundedBuffer<int> buf(capacity);
+    long long sum = 0;
+    {
+      std::jthread producer([&] {
+        for (int i = 0; i < kItems; ++i) (void)buf.push(i);
+        buf.close();
+      });
+      std::jthread consumer([&] {
+        while (auto v = buf.pop()) sum += *v;
+      });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kItems);
+}
+BENCHMARK(BM_ProducerConsumer)->Arg(1)->Arg(4)->Arg(64)->Arg(1024)
+    ->UseRealTime();
+
+void BM_BarrierCondvar(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kPhases = 2000;
+  for (auto _ : state) {
+    pdc::sync::CyclicBarrier barrier(static_cast<std::size_t>(threads));
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (int ph = 0; ph < kPhases; ++ph) barrier.arrive_and_wait();
+      });
+    }
+    pool.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kPhases);
+}
+BENCHMARK(BM_BarrierCondvar)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_BarrierSense(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kPhases = 2000;
+  for (auto _ : state) {
+    pdc::sync::SenseBarrier barrier(static_cast<std::size_t>(threads));
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (int ph = 0; ph < kPhases; ++ph) barrier.arrive_and_wait();
+      });
+    }
+    pool.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kPhases);
+}
+BENCHMARK(BM_BarrierSense)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_BarrierDissemination(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kPhases = 2000;
+  for (auto _ : state) {
+    pdc::sync::DisseminationBarrier barrier(
+        static_cast<std::size_t>(threads));
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (int ph = 0; ph < kPhases; ++ph)
+          barrier.arrive_and_wait(static_cast<std::size_t>(t));
+      });
+    }
+    pool.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kPhases);
+}
+BENCHMARK(BM_BarrierDissemination)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_amdahl_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,212 @@
+// T3-sort / T3-matrix / T3-selection / PRAM — Table III, "Parallel and
+// Distributed Models and Complexity" + "Algorithmic Problems": merge sort
+// analyzed across the RAM, shared-memory, I/O, and PRAM/DAG models (the
+// course's unifying example), plus selection and matrix computation.
+//
+// Expected shape: parallel merge sort speedup is modest (span Θ(n));
+// external sort I/Os drop steeply with memory; quickselect beats
+// sort-then-index; blocked/ikj matmul beat naive by memory behavior alone;
+// the DAG's measured parallelism matches Θ(log n).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <random>
+
+#include "pdc/algo/matrix.hpp"
+#include "pdc/algo/selection.hpp"
+#include "pdc/algo/sort.hpp"
+#include "pdc/extmem/external_sort.hpp"
+#include "pdc/model/bsp.hpp"
+#include "pdc/model/task_graph.hpp"
+#include "pdc/perf/table.hpp"
+#include "pdc/perf/timer.hpp"
+
+namespace {
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng());
+  return v;
+}
+
+void print_models_table() {
+  const std::size_t n = 1 << 20;
+  const auto base = random_values(n, 3);
+
+  // RAM model: sequential merge sort.
+  auto seq = base;
+  const double t_seq =
+      pdc::perf::time_best_of(2, [&] {
+        seq = base;
+        pdc::algo::merge_sort(seq);
+      });
+
+  // Shared memory: fork-join parallel (2 and 4 way).
+  auto t_par = [&](int threads) {
+    auto v = base;
+    return pdc::perf::time_best_of(2, [&] {
+      v = base;
+      pdc::algo::parallel_merge_sort(v, threads);
+    });
+  };
+  const double t2 = t_par(2);
+  const double t4 = t_par(4);
+
+  // DAG model: analytic work/span of the same algorithm.
+  const auto dag = pdc::model::fork_join_sort_dag(n, 2048);
+  // I/O model: external sort with 64KB of memory, 4KB blocks.
+  auto ext = base;
+  const auto io =
+      pdc::extmem::external_merge_sort(ext, 4096, 64 * 1024);
+
+  pdc::perf::Table t({"model", "metric", "value"});
+  t.add_row({"RAM (sequential)", "seconds", pdc::perf::fmt(t_seq, 3)});
+  t.add_row({"shared memory P=2", "speedup",
+             pdc::perf::fmt(t_seq / t2, 2)});
+  t.add_row({"shared memory P=4", "speedup",
+             pdc::perf::fmt(t_seq / t4, 2)});
+  t.add_row({"DAG / work-span", "parallelism T1/Tinf",
+             pdc::perf::fmt(dag.parallelism(), 1)});
+  t.add_row({"DAG / work-span", "greedy T_4 vs Brent bound",
+             pdc::perf::fmt(dag.greedy_schedule_makespan(4), 0) + " <= " +
+                 pdc::perf::fmt(dag.brent_bound(4), 0)});
+  t.add_row({"I/O model (M=64KB, B=4KB)", "block I/Os",
+             std::to_string(io.total_ios()) + " (predicted " +
+                 pdc::perf::fmt(
+                     pdc::extmem::predicted_sort_ios(n, 64 * 1024, 4096),
+                     0) +
+                 ")"});
+  std::cout << "== T3-sort: merge sort of 2^20 keys across models of "
+               "computation ==\n"
+            << t.str()
+            << "(sequential merges bound the span: parallelism is only "
+               "Θ(log n), so P=4 speedup sits well below 4)\n\n";
+}
+
+void print_selection_table() {
+  const std::size_t n = 1 << 20;
+  const auto values = random_values(n, 9);
+  const std::size_t k = n / 2;
+
+  pdc::perf::Table t({"algorithm", "seconds", "guarantee"});
+  double t_sort = 0, t_quick = 0, t_mom = 0;
+  std::int64_t r1 = 0, r2 = 0, r3 = 0;
+  t_sort = pdc::perf::time_best_of(
+      2, [&] { r1 = pdc::algo::sort_select(values, k); });
+  t_quick = pdc::perf::time_best_of(
+      2, [&] { r2 = pdc::algo::quickselect(values, k); });
+  t_mom = pdc::perf::time_best_of(
+      2, [&] { r3 = pdc::algo::median_of_medians(values, k); });
+  if (r1 != r2 || r2 != r3) {
+    std::cerr << "SELECTION DISAGREEMENT\n";
+    std::exit(1);
+  }
+  t.add_row({"sort + index", pdc::perf::fmt(t_sort, 4), "Θ(n log n)"});
+  t.add_row({"quickselect", pdc::perf::fmt(t_quick, 4), "expected Θ(n)"});
+  t.add_row({"median of medians", pdc::perf::fmt(t_mom, 4),
+             "worst-case Θ(n)"});
+  std::cout << "== T3-selection: median of 2^20 keys ==\n"
+            << t.str()
+            << "(quickselect wins on average; BFPRT pays a constant "
+               "factor for its worst-case bound)\n\n";
+}
+
+void print_pram_dag_table() {
+  pdc::perf::Table t({"n", "reduce DAG work", "span", "parallelism"});
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u}) {
+    const auto dag = pdc::model::reduction_dag(n);
+    t.add_row({std::to_string(n), pdc::perf::fmt(dag.total_work(), 0),
+               pdc::perf::fmt(dag.span(), 0),
+               pdc::perf::fmt(dag.parallelism(), 0)});
+  }
+  std::cout << "== PRAM/DAG: tree reduction — work Θ(n), span Θ(log n) ==\n"
+            << t.str() << "\n";
+
+  // BSP costs for the course's three standard programs.
+  pdc::model::BspMachine m{16, 2.0, 50.0};
+  pdc::perf::Table bsp({"program", "supersteps", "cost (g=2, l=50, p=16)"});
+  const auto bt = pdc::model::bsp_broadcast(16, true);
+  const auto bf = pdc::model::bsp_broadcast(16, false);
+  const auto rd = pdc::model::bsp_reduce(1 << 20, 16);
+  const auto ss = pdc::model::bsp_sample_sort(1 << 20, 16);
+  bsp.add_row({"broadcast (tree)", std::to_string(bt.supersteps()),
+               pdc::perf::fmt(bt.cost(m), 0)});
+  bsp.add_row({"broadcast (flat)", std::to_string(bf.supersteps()),
+               pdc::perf::fmt(bf.cost(m), 0)});
+  bsp.add_row({"reduce 2^20", std::to_string(rd.supersteps()),
+               pdc::perf::fmt(rd.cost(m), 0)});
+  bsp.add_row({"sample sort 2^20", std::to_string(ss.supersteps()),
+               pdc::perf::fmt(ss.cost(m), 0)});
+  std::cout << "== BSP cost model ==\n" << bsp.str() << "\n";
+}
+
+// --- timed kernels ---
+
+void BM_MergeSortSequential(benchmark::State& state) {
+  const auto base = random_values(static_cast<std::size_t>(state.range(0)),
+                                  1);
+  for (auto _ : state) {
+    auto v = base;
+    pdc::algo::merge_sort(v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_MergeSortSequential)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_MergeSortParallel(benchmark::State& state) {
+  const auto base = random_values(1 << 19, 1);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto v = base;
+    pdc::algo::parallel_merge_sort(v, threads);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_MergeSortParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_MatmulVariants(benchmark::State& state) {
+  const std::size_t n = 192;
+  pdc::algo::Matrix a(n, n), b(n, n);
+  a.fill_pattern(1);
+  b.fill_pattern(2);
+  const int variant = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pdc::algo::Matrix c = [&] {
+      switch (variant) {
+        case 0: return pdc::algo::matmul_naive(a, b);
+        case 1: return pdc::algo::matmul_ikj(a, b);
+        case 2: return pdc::algo::matmul_blocked(a, b, 48);
+        default: return pdc::algo::matmul_parallel(a, b, 4);
+      }
+    }();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MatmulVariants)
+    ->Arg(0)   // naive ijk
+    ->Arg(1)   // ikj
+    ->Arg(2)   // blocked
+    ->Arg(3);  // parallel
+
+void BM_Quickselect(benchmark::State& state) {
+  const auto values = random_values(1 << 20, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pdc::algo::quickselect(values, values.size() / 2));
+  }
+}
+BENCHMARK(BM_Quickselect);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_models_table();
+  print_selection_table();
+  print_pram_dag_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

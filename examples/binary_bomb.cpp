@@ -1,0 +1,104 @@
+// A "binary bomb" on SwatVM — the CS31 lab where students defuse phases by
+// reading assembly. Run with the phase answers as arguments:
+//
+//   build/examples/binary_bomb            # prints the disassembly to study
+//   build/examples/binary_bomb 42 10 4 6  # attempt a defusal
+//
+// Phase 1: the first input must be 42.
+// Phase 2: the next input must equal the sum of the following two.
+// Phase 3: the next input must be the 6th Fibonacci number (computed by a
+//          recursive function on the VM stack — trace it!).
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "pdc/isa/assembler.hpp"
+#include "pdc/isa/vm.hpp"
+
+namespace {
+
+const char* kBomb = R"(
+    ; ---- phase 1 ----
+    in r0
+    cmp r0, $42
+    jne explode
+    ; ---- phase 2 ----
+    in r0
+    in r1
+    in r2
+    mov r3, r1
+    add r3, r2
+    cmp r0, r3
+    jne explode
+    ; ---- phase 3: input must equal fib(6) ----
+    in r4
+    push $6
+    call fib
+    pop r1
+    cmp r4, r0
+    jne explode
+    out $1
+    halt
+  explode:
+    out $666
+    halt
+  fib:                 ; r0 = fib(arg); clobbers r1, r2
+    push fp
+    mov fp, sp
+    mov r1, [fp+2]
+    cmp r1, $2
+    jge fib_rec
+    mov r0, r1         ; fib(0)=0, fib(1)=1
+    pop fp
+    ret
+  fib_rec:
+    sub r1, $1
+    push r1            ; n-1
+    call fib
+    pop r1
+    push r0            ; save fib(n-1)
+    mov r1, [fp+2]
+    sub r1, $2
+    push r1            ; n-2
+    call fib
+    pop r1
+    pop r2             ; fib(n-1)
+    add r0, r2
+    pop fp
+    ret
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto program = pdc::isa::assemble(kBomb);
+
+  if (argc == 1) {
+    std::cout << "Defuse the bomb! Study the disassembly and supply the\n"
+                 "inputs as command-line arguments.\n\n"
+              << pdc::isa::disassemble_program(program);
+    return 0;
+  }
+
+  std::vector<std::int64_t> inputs;
+  for (int i = 1; i < argc; ++i) inputs.push_back(std::atoll(argv[i]));
+
+  pdc::isa::Vm vm(program);
+  vm.set_input(inputs);
+  try {
+    vm.run();
+  } catch (const pdc::isa::VmTrap& trap) {
+    std::cout << "BOOM (trap): " << trap.what() << "\n";
+    return 2;
+  }
+
+  if (!vm.output().empty() && vm.output().back() == 1) {
+    std::cout << "Bomb defused in " << vm.instructions_executed()
+              << " instructions. Nice work.\n";
+    return 0;
+  }
+  std::cout << "BOOM! The bomb exploded. (hint: phase answers are\n"
+               "42; a,b,c with a==b+c; fib(6))\n";
+  return 1;
+}

@@ -1,0 +1,53 @@
+// Quickstart: the shared-memory parallel runtime in five minutes.
+//
+//   build/examples/quickstart [threads]
+//
+// Demonstrates parallel_for, parallel_reduce, parallel scan, and a
+// strong-scaling study with the Amdahl fit — the core loop of every CS31
+// lab report.
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "pdc/core/parallel_for.hpp"
+#include "pdc/core/reduce_scan.hpp"
+#include "pdc/perf/scalability.hpp"
+
+int main(int argc, char** argv) {
+  const int max_threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::size_t n = 1 << 22;
+
+  // 1. parallel_for: fill a vector with f(i) in parallel.
+  std::vector<double> xs(n);
+  pdc::core::parallel_for(0, n, max_threads, [&](std::size_t i) {
+    xs[i] = std::sin(static_cast<double>(i) * 1e-4);
+  });
+
+  // 2. parallel_reduce: sum it.
+  const double total =
+      pdc::core::parallel_reduce<double>(xs, 0.0, max_threads);
+  std::cout << "sum of " << n << " elements = " << total << "\n";
+
+  // 3. parallel scan: running sums.
+  std::vector<double> prefix(n);
+  pdc::core::parallel_inclusive_scan<double>(xs, prefix, 0.0, max_threads);
+  std::cout << "prefix[last] = " << prefix.back()
+            << " (must equal the sum: " << total << ")\n\n";
+
+  // 4. Strong-scaling study of the reduction, with the Amdahl fit.
+  pdc::perf::StudyConfig cfg;
+  cfg.thread_counts.clear();
+  for (int t = 1; t <= max_threads; t *= 2) cfg.thread_counts.push_back(t);
+  cfg.repetitions = 3;
+  const auto study = pdc::perf::run_strong_scaling(cfg, [&](int threads) {
+    volatile double sink =
+        pdc::core::parallel_reduce<double>(xs, 0.0, threads);
+    (void)sink;
+  });
+  std::cout << "strong scaling of parallel_reduce (" << n << " doubles):\n"
+            << study.to_table();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Hybrid parallel ray tracer — the paper's CS40 "future work" project:
+// "a large multi-week project in which students develop a hybrid MPI/CUDA
+// ray tracer to run on GPU clusters." The substitution: message-passing
+// ranks split the image into row bands (the MPI level) and each rank
+// shades its band with a thread team (the GPU/data-parallel level).
+//
+//   build/examples/ray_tracer [width height ranks threads_per_rank]
+//
+// Renders a three-sphere scene with Lambertian shading + hard shadows and
+// writes ray_trace.ppm; prints per-configuration timings so the hybrid
+// decomposition is visible.
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "pdc/core/parallel_for.hpp"
+#include "pdc/mp/comm.hpp"
+#include "pdc/perf/timer.hpp"
+
+namespace {
+
+struct Vec {
+  double x = 0, y = 0, z = 0;
+  Vec operator+(const Vec& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec operator-(const Vec& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec operator*(double s) const { return {x * s, y * s, z * s}; }
+  [[nodiscard]] double dot(const Vec& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] Vec normalized() const {
+    const double len = std::sqrt(dot(*this));
+    return len > 0 ? *this * (1.0 / len) : *this;
+  }
+};
+
+struct Sphere {
+  Vec center;
+  double radius = 1;
+  Vec color;  // 0..1 per channel
+};
+
+const Sphere kScene[] = {
+    {{0.0, 0.0, -4.0}, 1.0, {0.9, 0.2, 0.2}},
+    {{1.6, 0.4, -3.2}, 0.6, {0.2, 0.8, 0.3}},
+    {{-1.4, -0.3, -3.0}, 0.5, {0.25, 0.4, 0.95}},
+    {{0.0, -101.0, -4.0}, 100.0, {0.75, 0.75, 0.7}},  // ground
+};
+const Vec kLight = {4.0, 6.0, 1.0};
+
+/// Ray-sphere intersection: smallest positive t, or -1.
+double hit(const Vec& origin, const Vec& dir, const Sphere& s) {
+  const Vec oc = origin - s.center;
+  const double b = 2.0 * oc.dot(dir);
+  const double c = oc.dot(oc) - s.radius * s.radius;
+  const double disc = b * b - 4 * c;
+  if (disc < 0) return -1;
+  const double t = (-b - std::sqrt(disc)) / 2;
+  return t > 1e-4 ? t : -1;
+}
+
+Vec shade_pixel(int px, int py, int width, int height) {
+  const double aspect = static_cast<double>(width) / height;
+  const Vec dir = Vec{(2.0 * (px + 0.5) / width - 1.0) * aspect,
+                      1.0 - 2.0 * (py + 0.5) / height, -1.6}
+                      .normalized();
+  const Vec origin{0, 0.3, 0};
+
+  double best_t = 1e30;
+  const Sphere* best = nullptr;
+  for (const auto& s : kScene) {
+    const double t = hit(origin, dir, s);
+    if (t > 0 && t < best_t) {
+      best_t = t;
+      best = &s;
+    }
+  }
+  if (best == nullptr) {  // sky gradient
+    const double k = 0.5 * (dir.y + 1.0);
+    return Vec{0.6, 0.75, 1.0} * k + Vec{1.0, 1.0, 1.0} * (1.0 - k);
+  }
+
+  const Vec point = origin + dir * best_t;
+  const Vec normal = (point - best->center).normalized();
+  const Vec to_light = (kLight - point).normalized();
+
+  // Hard shadow test.
+  bool shadowed = false;
+  for (const auto& s : kScene)
+    if (&s != best && hit(point, to_light, s) > 0) shadowed = true;
+
+  const double diffuse =
+      shadowed ? 0.0 : std::max(0.0, normal.dot(to_light));
+  return best->color * (0.15 + 0.85 * diffuse);
+}
+
+/// Render rows [row0, row1) with a thread team.
+void render_band(std::vector<Vec>& image, int width, int height, int row0,
+                 int row1, int threads) {
+  pdc::core::parallel_for(
+      static_cast<std::size_t>(row0), static_cast<std::size_t>(row1),
+      threads, [&](std::size_t y) {
+        for (int x = 0; x < width; ++x)
+          image[y * static_cast<std::size_t>(width) +
+                static_cast<std::size_t>(x)] =
+              shade_pixel(x, static_cast<int>(y), width, height);
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int width = argc > 1 ? std::atoi(argv[1]) : 640;
+  const int height = argc > 2 ? std::atoi(argv[2]) : 360;
+  const int ranks = argc > 3 ? std::atoi(argv[3]) : 2;
+  const int threads = argc > 4 ? std::atoi(argv[4]) : 2;
+
+  std::vector<Vec> image(static_cast<std::size_t>(width) * height);
+
+  // Baseline: fully sequential.
+  pdc::perf::Timer timer;
+  render_band(image, width, height, 0, height, 1);
+  const double t_seq = timer.elapsed_seconds();
+
+  // Hybrid: message-passing ranks over row bands, threads inside.
+  timer.restart();
+  pdc::mp::Communicator comm(ranks);
+  comm.run([&](pdc::mp::RankContext& ctx) {
+    const int rows_per = (height + ctx.size() - 1) / ctx.size();
+    const int row0 = ctx.rank() * rows_per;
+    const int row1 = std::min(height, row0 + rows_per);
+    if (row0 < row1) render_band(image, width, height, row0, row1, threads);
+    ctx.barrier();  // all bands complete before rank 0 writes the file
+  });
+  const double t_par = timer.elapsed_seconds();
+
+  std::cout << "rendered " << width << "x" << height << ": sequential "
+            << t_seq << "s, hybrid (" << ranks << " ranks x " << threads
+            << " threads) " << t_par << "s, speedup "
+            << (t_par > 0 ? t_seq / t_par : 0.0) << "x\n";
+
+  std::ofstream out("ray_trace.ppm", std::ios::binary);
+  out << "P6\n" << width << " " << height << "\n255\n";
+  for (const auto& px : image) {
+    const auto to_byte = [](double v) {
+      return static_cast<unsigned char>(
+          255.0 * std::min(1.0, std::max(0.0, v)));
+    };
+    out << to_byte(px.x) << to_byte(px.y) << to_byte(px.z);
+  }
+  std::cout << "wrote ray_trace.ppm\n";
+  return 0;
+}

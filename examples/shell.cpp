@@ -1,0 +1,63 @@
+// The CS31 Unix-shell lab on the simulated kernel.
+//
+//   build/examples/shell                 # run the scripted demo
+//   build/examples/shell 'yes hi 3|cat'  # run your own command lines
+//
+// Supports: pipelines (|), background jobs (&), multiple jobs (;), and the
+// standard toy commands (echo, cat, sleep, yes, true, false).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "pdc/os/kernel.hpp"
+#include "pdc/os/shell.hpp"
+
+namespace {
+
+void run_line(pdc::os::Shell& shell, const std::string& line) {
+  std::cout << "swatsh$ " << line << "\n";
+  const std::size_t before = shell.kernel().console().size();
+  try {
+    shell.execute(line);
+  } catch (const std::exception& e) {
+    std::cout << "swatsh: " << e.what() << "\n";
+    return;
+  }
+  for (std::size_t i = before; i < shell.kernel().console().size(); ++i) {
+    const auto& out = shell.kernel().console()[i];
+    std::cout << "[pid " << out.pid << "] " << out.text << "\n";
+  }
+  const auto jobs = shell.active_jobs();
+  for (const auto& job : jobs)
+    std::cout << "[job " << job.id << "] running in background ("
+              << job.pids.size() << " process(es))\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pdc::os::Kernel kernel;
+  pdc::os::Shell shell(kernel, pdc::os::CommandRegistry::standard());
+
+  std::vector<std::string> script;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) script.emplace_back(argv[i]);
+  } else {
+    script = {
+        "echo hello from the simulated kernel",
+        "yes parallel 3 | cat",
+        "sleep 30 &",
+        "echo the foreground is not blocked",
+        "yes pipe 2 | cat | cat",
+        "false",
+    };
+  }
+
+  for (const auto& line : script) run_line(shell, line);
+
+  shell.wait_all();
+  std::cout << "all jobs done at tick " << kernel.now() << "; "
+            << kernel.process_count() << " live process(es) remain (init)\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#pragma once
+// Parallel hash join — the paper's planned CS44 (Databases) content:
+// "parallel join algorithms". GRACE-style: both relations are hash
+// partitioned in parallel, then partition pairs are joined independently
+// (build + probe), so the join parallelizes without shared mutable state.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdc::algo {
+
+/// A relation row: join key + payload.
+struct Row {
+  std::int64_t key = 0;
+  std::int64_t payload = 0;
+  bool operator==(const Row&) const = default;
+};
+
+/// One joined output tuple.
+struct JoinedRow {
+  std::int64_t key = 0;
+  std::int64_t left_payload = 0;
+  std::int64_t right_payload = 0;
+  bool operator==(const JoinedRow&) const = default;
+  auto operator<=>(const JoinedRow&) const = default;
+};
+
+/// Equi-join r ⋈ s on key, sequential nested loops — the Θ(|R|·|S|)
+/// baseline (and the test oracle).
+[[nodiscard]] std::vector<JoinedRow> nested_loop_join(
+    std::span<const Row> r, std::span<const Row> s);
+
+/// Sequential hash join: build a hash table on the smaller side, probe
+/// with the larger. Θ(|R| + |S| + |output|).
+[[nodiscard]] std::vector<JoinedRow> hash_join(std::span<const Row> r,
+                                               std::span<const Row> s);
+
+/// GRACE parallel hash join over `threads` workers and
+/// `partitions` >= threads hash partitions. Output order is unspecified;
+/// compare as multisets.
+[[nodiscard]] std::vector<JoinedRow> parallel_hash_join(
+    std::span<const Row> r, std::span<const Row> s, int threads,
+    std::size_t partitions = 0);
+
+}  // namespace pdc::algo

@@ -1,0 +1,59 @@
+#pragma once
+// Dense matrix kernels (Table III "Matrix Computation"): naive vs
+// loop-reordered vs cache-blocked vs parallel multiply, and transpose.
+// These are the in-memory counterparts of pdc::extmem's out-of-core
+// versions; bench_table3_models measures the wall-clock effect of the
+// same blocking idea the I/O model predicts.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pdc::algo {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] double* data() { return data_.data(); }
+
+  /// Deterministic pseudo-random fill.
+  void fill_pattern(std::uint64_t seed);
+
+  /// Max absolute elementwise difference.
+  [[nodiscard]] double max_diff(const Matrix& other) const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// C = A * B, classic i-j-k loop (B walked column-wise: cache hostile).
+[[nodiscard]] Matrix matmul_naive(const Matrix& a, const Matrix& b);
+
+/// C = A * B, i-k-j loop order (all unit-stride inner accesses).
+[[nodiscard]] Matrix matmul_ikj(const Matrix& a, const Matrix& b);
+
+/// C = A * B with square tiling (`tile` = 0 picks 64).
+[[nodiscard]] Matrix matmul_blocked(const Matrix& a, const Matrix& b,
+                                    std::size_t tile = 0);
+
+/// C = A * B with rows block-partitioned over `threads` (i-k-j inside).
+[[nodiscard]] Matrix matmul_parallel(const Matrix& a, const Matrix& b,
+                                     int threads);
+
+/// Out-of-place transpose.
+[[nodiscard]] Matrix transpose(const Matrix& m);
+
+}  // namespace pdc::algo

@@ -1,0 +1,72 @@
+#pragma once
+// Applications of parallel prefix (Table III "Scan" paradigm): pack/filter
+// via exclusive scan + scatter, and a parallel histogram with per-thread
+// local bins — the two idioms the CS40 reduction lab generalizes to.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "pdc/core/parallel_for.hpp"
+#include "pdc/core/reduce_scan.hpp"
+#include "pdc/core/team.hpp"
+
+namespace pdc::algo {
+
+/// Keep elements where `pred` holds, preserving order — implemented the
+/// data-parallel way: flag, exclusive-scan the flags, scatter. Work Θ(n),
+/// span Θ(n/P + P).
+template <typename T, typename Pred>
+[[nodiscard]] std::vector<T> parallel_pack(std::span<const T> data,
+                                           Pred pred, int threads) {
+  if (threads < 1) throw std::invalid_argument("threads must be >= 1");
+  const std::size_t n = data.size();
+  if (n == 0) return {};
+
+  std::vector<std::size_t> flags(n);
+  core::parallel_for(0, n, threads,
+                     [&](std::size_t i) { flags[i] = pred(data[i]) ? 1 : 0; });
+
+  std::vector<std::size_t> offsets(n);
+  core::parallel_exclusive_scan<std::size_t>(flags, offsets, 0, threads);
+
+  const std::size_t total = offsets[n - 1] + flags[n - 1];
+  std::vector<T> out(total);
+  core::parallel_for(0, n, threads, [&](std::size_t i) {
+    if (flags[i] != 0) out[offsets[i]] = data[i];
+  });
+  return out;
+}
+
+/// Histogram of `data` into `bins` buckets via `bin_of` (must return a
+/// value < bins). Per-thread local histograms merged at the end — the
+/// standard way to avoid atomics on the hot path.
+template <typename T, typename BinOf>
+[[nodiscard]] std::vector<std::uint64_t> parallel_histogram(
+    std::span<const T> data, std::size_t bins, BinOf bin_of, int threads) {
+  if (threads < 1) throw std::invalid_argument("threads must be >= 1");
+  if (bins == 0) throw std::invalid_argument("bins must be > 0");
+
+  std::vector<std::vector<std::uint64_t>> local(
+      static_cast<std::size_t>(threads),
+      std::vector<std::uint64_t>(bins, 0));
+  core::Team::run(threads, [&](core::TeamContext& ctx) {
+    auto& mine = local[static_cast<std::size_t>(ctx.rank())];
+    const auto [lo, hi] = ctx.block_range(0, data.size());
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t b = bin_of(data[i]);
+      if (b >= bins) throw std::out_of_range("bin_of returned bad bin");
+      ++mine[b];
+    }
+  });
+
+  std::vector<std::uint64_t> total(bins, 0);
+  for (const auto& hist : local)
+    for (std::size_t b = 0; b < bins; ++b) total[b] += hist[b];
+  return total;
+}
+
+}  // namespace pdc::algo

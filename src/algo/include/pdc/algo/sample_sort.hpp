@@ -1,0 +1,26 @@
+#pragma once
+// Distributed sample sort (PSRS — parallel sorting by regular sampling)
+// over the message-passing substrate: the executable counterpart of the
+// BSP cost skeleton in pdc::model::bsp_sample_sort, and the kind of MPI
+// program CS87's project unit targets.
+//
+// Phases (each rank): local sort -> pick p regular samples -> gather
+// samples at rank 0 -> rank 0 selects p-1 pivots, broadcast -> partition
+// local data by pivot -> all-to-all exchange -> local merge. Rank 0
+// gathers the concatenated result.
+
+#include <cstdint>
+#include <vector>
+
+namespace pdc::algo {
+
+/// Sort `data` using `ranks` message-passing processes; returns the
+/// sorted vector. Also returns, through the optional out-parameters, the
+/// total messages and payload words the algorithm moved (for comparison
+/// with the BSP cost model).
+[[nodiscard]] std::vector<std::int64_t> mp_sample_sort(
+    std::vector<std::int64_t> data, int ranks,
+    std::uint64_t* messages_out = nullptr,
+    std::uint64_t* payload_words_out = nullptr);
+
+}  // namespace pdc::algo

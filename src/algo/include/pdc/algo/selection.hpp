@@ -1,0 +1,29 @@
+#pragma once
+// Selection (Table III "Algorithmic Problems: Selection"): find the k-th
+// smallest element. Three algorithms with different guarantees:
+//   - sort_select:        Θ(n log n), the baseline
+//   - quickselect:        expected Θ(n), worst case Θ(n²)
+//   - median_of_medians:  worst-case Θ(n) (BFPRT)
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdc::algo {
+
+/// k is 0-based: k == 0 selects the minimum. All functions throw
+/// std::out_of_range when k >= data.size() and std::invalid_argument on
+/// empty input.
+
+[[nodiscard]] std::int64_t sort_select(std::span<const std::int64_t> data,
+                                       std::size_t k);
+
+[[nodiscard]] std::int64_t quickselect(std::span<const std::int64_t> data,
+                                       std::size_t k,
+                                       std::uint64_t seed = 12345);
+
+[[nodiscard]] std::int64_t median_of_medians(
+    std::span<const std::int64_t> data, std::size_t k);
+
+}  // namespace pdc::algo

@@ -1,0 +1,117 @@
+#include "pdc/algo/join.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "pdc/core/team.hpp"
+
+namespace pdc::algo {
+
+std::vector<JoinedRow> nested_loop_join(std::span<const Row> r,
+                                        std::span<const Row> s) {
+  std::vector<JoinedRow> out;
+  for (const auto& a : r)
+    for (const auto& b : s)
+      if (a.key == b.key) out.push_back({a.key, a.payload, b.payload});
+  return out;
+}
+
+namespace {
+
+/// Build on `build_side`, probe with `probe_side`.
+void build_and_probe(std::span<const Row> build_side,
+                     std::span<const Row> probe_side, bool build_is_left,
+                     std::vector<JoinedRow>& out) {
+  std::unordered_multimap<std::int64_t, std::int64_t> table;
+  table.reserve(build_side.size());
+  for (const auto& row : build_side) table.emplace(row.key, row.payload);
+  for (const auto& row : probe_side) {
+    const auto [lo, hi] = table.equal_range(row.key);
+    for (auto it = lo; it != hi; ++it) {
+      if (build_is_left) {
+        out.push_back({row.key, it->second, row.payload});
+      } else {
+        out.push_back({row.key, row.payload, it->second});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<JoinedRow> hash_join(std::span<const Row> r,
+                                 std::span<const Row> s) {
+  std::vector<JoinedRow> out;
+  if (r.size() <= s.size()) {
+    build_and_probe(r, s, /*build_is_left=*/true, out);
+  } else {
+    build_and_probe(s, r, /*build_is_left=*/false, out);
+  }
+  return out;
+}
+
+std::vector<JoinedRow> parallel_hash_join(std::span<const Row> r,
+                                          std::span<const Row> s,
+                                          int threads,
+                                          std::size_t partitions) {
+  if (threads < 1) throw std::invalid_argument("threads must be >= 1");
+  if (partitions == 0)
+    partitions = static_cast<std::size_t>(4 * threads);
+
+  const auto part_of = [partitions](std::int64_t key) {
+    return static_cast<std::size_t>(std::hash<std::int64_t>{}(key)) %
+           partitions;
+  };
+
+  // Phase 1: parallel partition. Each worker partitions a block of each
+  // relation into its own buckets; buckets are concatenated afterwards.
+  const auto workers = static_cast<std::size_t>(threads);
+  std::vector<std::vector<std::vector<Row>>> r_local(
+      workers, std::vector<std::vector<Row>>(partitions));
+  std::vector<std::vector<std::vector<Row>>> s_local = r_local;
+
+  core::Team::run(threads, [&](core::TeamContext& ctx) {
+    const auto w = static_cast<std::size_t>(ctx.rank());
+    {
+      const auto [lo, hi] = ctx.block_range(0, r.size());
+      for (std::size_t i = lo; i < hi; ++i)
+        r_local[w][part_of(r[i].key)].push_back(r[i]);
+    }
+    {
+      const auto [lo, hi] = ctx.block_range(0, s.size());
+      for (std::size_t i = lo; i < hi; ++i)
+        s_local[w][part_of(s[i].key)].push_back(s[i]);
+    }
+  });
+
+  std::vector<std::vector<Row>> r_parts(partitions), s_parts(partitions);
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t p = 0; p < partitions; ++p) {
+      auto& rp = r_parts[p];
+      rp.insert(rp.end(), r_local[w][p].begin(), r_local[w][p].end());
+      auto& sp = s_parts[p];
+      sp.insert(sp.end(), s_local[w][p].begin(), s_local[w][p].end());
+    }
+  }
+
+  // Phase 2: join matching partitions independently in parallel.
+  std::vector<std::vector<JoinedRow>> results(partitions);
+  core::Team::run(threads, [&](core::TeamContext& ctx) {
+    for (std::size_t p = static_cast<std::size_t>(ctx.rank());
+         p < partitions; p += static_cast<std::size_t>(ctx.size())) {
+      if (r_parts[p].empty() || s_parts[p].empty()) continue;
+      if (r_parts[p].size() <= s_parts[p].size()) {
+        build_and_probe(r_parts[p], s_parts[p], true, results[p]);
+      } else {
+        build_and_probe(s_parts[p], r_parts[p], false, results[p]);
+      }
+    }
+  });
+
+  std::vector<JoinedRow> out;
+  for (auto& part : results)
+    out.insert(out.end(), part.begin(), part.end());
+  return out;
+}
+
+}  // namespace pdc::algo

@@ -1,0 +1,129 @@
+#include "pdc/algo/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pdc/core/parallel_for.hpp"
+
+namespace pdc::algo {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  if (rows_ == 0 || cols_ == 0)
+    throw std::invalid_argument("matrix dimensions must be > 0");
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("matrix index");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("matrix index");
+  return data_[r * cols_ + c];
+}
+
+void Matrix::fill_pattern(std::uint64_t seed) {
+  std::uint64_t s = seed ? seed : 1;
+  for (auto& x : data_) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    x = static_cast<double>(s % 1997) / 1000.0 - 1.0;
+  }
+}
+
+double Matrix::max_diff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("dimension mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+namespace {
+void check_mult(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows())
+    throw std::invalid_argument("matmul dimension mismatch");
+}
+}  // namespace
+
+Matrix matmul_naive(const Matrix& a, const Matrix& b) {
+  check_mult(a, b);
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        sum += a.data()[i * a.cols() + k] * b.data()[k * b.cols() + j];
+      c.data()[i * c.cols() + j] = sum;
+    }
+  return c;
+}
+
+Matrix matmul_ikj(const Matrix& a, const Matrix& b) {
+  check_mult(a, b);
+  Matrix c(a.rows(), b.cols());
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.data()[i * a.cols() + k];
+      const double* brow = b.data() + k * n;
+      double* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  return c;
+}
+
+Matrix matmul_blocked(const Matrix& a, const Matrix& b, std::size_t tile) {
+  check_mult(a, b);
+  if (tile == 0) tile = 64;
+  Matrix c(a.rows(), b.cols());
+  const std::size_t n = b.cols();
+  for (std::size_t ii = 0; ii < a.rows(); ii += tile) {
+    const std::size_t imax = std::min(a.rows(), ii + tile);
+    for (std::size_t kk = 0; kk < a.cols(); kk += tile) {
+      const std::size_t kmax = std::min(a.cols(), kk + tile);
+      for (std::size_t jj = 0; jj < n; jj += tile) {
+        const std::size_t jmax = std::min(n, jj + tile);
+        for (std::size_t i = ii; i < imax; ++i) {
+          for (std::size_t k = kk; k < kmax; ++k) {
+            const double aik = a.data()[i * a.cols() + k];
+            const double* brow = b.data() + k * n;
+            double* crow = c.data() + i * n;
+            for (std::size_t j = jj; j < jmax; ++j)
+              crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, int threads) {
+  check_mult(a, b);
+  Matrix c(a.rows(), b.cols());
+  const std::size_t n = b.cols();
+  core::parallel_for(0, a.rows(), threads, [&](std::size_t i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.data()[i * a.cols() + k];
+      const double* brow = b.data() + k * n;
+      double* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  });
+  return c;
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix t(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      t.data()[c * m.rows() + r] = m.data()[r * m.cols() + c];
+  return t;
+}
+
+}  // namespace pdc::algo

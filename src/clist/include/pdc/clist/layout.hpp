@@ -1,0 +1,51 @@
+#pragma once
+// Memory-layout inspection (CS31 "low-level memory" goals): hexdump raw
+// object bytes, detect endianness, and report struct field layouts with
+// padding — the observations the lab has students make with gdb.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pdc::clist {
+
+/// Endianness of the host as observed by byte inspection.
+enum class Endian { kLittle, kBig };
+
+/// Inspect a multi-byte integer in memory to determine host byte order.
+[[nodiscard]] Endian host_endianness();
+
+/// Classic offset/hex/ascii dump of a byte range, 16 bytes per line:
+///   00000000  01 00 00 00 02 00 00 00  ...
+[[nodiscard]] std::string hexdump(std::span<const std::byte> bytes);
+
+/// Convenience overload for any trivially copyable object.
+template <typename T>
+[[nodiscard]] std::string hexdump_object(const T& obj) {
+  return hexdump(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&obj), sizeof(T)));
+}
+
+/// One field of a described struct layout.
+struct FieldLayout {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+/// A struct layout report: fields plus total size, revealing padding.
+struct StructLayout {
+  std::string name;
+  std::size_t size = 0;
+  std::size_t alignment = 0;
+  std::vector<FieldLayout> fields;
+
+  /// Bytes of padding = size - sum(field sizes).
+  [[nodiscard]] std::size_t padding_bytes() const;
+  /// Render as an aligned report, flagging gaps between fields.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace pdc::clist

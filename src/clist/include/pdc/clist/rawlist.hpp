@@ -1,0 +1,119 @@
+#pragma once
+// "Python lists in C" (CS31 lab): a growable, amortized-O(1)-append list
+// implemented over raw untyped storage with explicit memcpy-style element
+// movement — the C library the lab has students write, wrapped in RAII.
+//
+// RawList is type-erased (elements are fixed-size byte blobs, exactly like
+// the void* C version); List<T> is the thin typed veneer for trivially
+// copyable T.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace pdc::clist {
+
+/// How capacity grows when an append finds the list full.
+struct GrowthPolicy {
+  /// Multiplier applied to the old capacity (must be > 1.0).
+  double factor = 2.0;
+  /// Minimum number of elements added per growth step.
+  std::size_t min_step = 4;
+};
+
+/// Reallocation statistics — the lab report asks students to count how many
+/// times the list grew and how many bytes were copied, to see amortized
+/// analysis in practice.
+struct ListStats {
+  std::size_t grow_count = 0;
+  std::size_t bytes_copied = 0;  ///< total element bytes moved by growth
+  std::size_t shift_bytes = 0;   ///< bytes moved by insert/remove shifting
+};
+
+/// Dynamically sized array of fixed-size, trivially copyable blobs.
+class RawList {
+ public:
+  /// `elem_size` is the byte size of each element (> 0).
+  explicit RawList(std::size_t elem_size, GrowthPolicy policy = {});
+
+  RawList(const RawList& o);
+  RawList& operator=(const RawList& o);
+  RawList(RawList&&) noexcept = default;
+  RawList& operator=(RawList&&) noexcept = default;
+  ~RawList() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t elem_size() const { return elem_size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const ListStats& stats() const { return stats_; }
+
+  /// Copy `elem_size()` bytes from `elem` onto the end.
+  void append(const void* elem);
+
+  /// Insert at `index` (0..size), shifting the tail right.
+  void insert(std::size_t index, const void* elem);
+
+  /// Remove the element at `index` (0..size-1), shifting the tail left.
+  void remove(std::size_t index);
+
+  /// Pointer to element storage; valid until the next mutation.
+  [[nodiscard]] void* at(std::size_t index);
+  [[nodiscard]] const void* at(std::size_t index) const;
+
+  /// Copy element `index` into `out` (elem_size() bytes).
+  void get(std::size_t index, void* out) const;
+  /// Overwrite element `index` from `elem`.
+  void set(std::size_t index, const void* elem);
+
+  /// Ensure capacity >= n without changing size.
+  void reserve(std::size_t n);
+  /// Drop all elements (capacity retained).
+  void clear() { size_ = 0; }
+
+ private:
+  void grow_to(std::size_t new_capacity);
+  [[nodiscard]] std::byte* slot(std::size_t index) const;
+
+  std::size_t elem_size_;
+  GrowthPolicy policy_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  std::unique_ptr<std::byte[]> data_;
+  ListStats stats_;
+};
+
+/// Typed wrapper over RawList for trivially copyable element types.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+class List {
+ public:
+  explicit List(GrowthPolicy policy = {}) : raw_(sizeof(T), policy) {}
+
+  [[nodiscard]] std::size_t size() const { return raw_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return raw_.capacity(); }
+  [[nodiscard]] bool empty() const { return raw_.empty(); }
+  [[nodiscard]] const ListStats& stats() const { return raw_.stats(); }
+
+  void append(const T& v) { raw_.append(&v); }
+  void insert(std::size_t i, const T& v) { raw_.insert(i, &v); }
+  void remove(std::size_t i) { raw_.remove(i); }
+  void reserve(std::size_t n) { raw_.reserve(n); }
+  void clear() { raw_.clear(); }
+
+  [[nodiscard]] T get(std::size_t i) const {
+    T out;
+    raw_.get(i, &out);
+    return out;
+  }
+  void set(std::size_t i, const T& v) { raw_.set(i, &v); }
+
+  [[nodiscard]] T operator[](std::size_t i) const { return get(i); }
+
+ private:
+  RawList raw_;
+};
+
+}  // namespace pdc::clist

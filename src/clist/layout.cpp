@@ -1,0 +1,65 @@
+#include "pdc/clist/layout.hpp"
+
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+
+namespace pdc::clist {
+
+Endian host_endianness() {
+  const std::uint32_t probe = 0x01020304;
+  std::uint8_t first = 0;
+  std::memcpy(&first, &probe, 1);
+  return first == 0x04 ? Endian::kLittle : Endian::kBig;
+}
+
+std::string hexdump(std::span<const std::byte> bytes) {
+  std::ostringstream oss;
+  oss << std::hex << std::setfill('0');
+  for (std::size_t off = 0; off < bytes.size(); off += 16) {
+    oss << std::setw(8) << off << "  ";
+    const std::size_t n = std::min<std::size_t>(16, bytes.size() - off);
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (i < n) {
+        oss << std::setw(2)
+            << static_cast<unsigned>(std::to_integer<std::uint8_t>(
+                   bytes[off + i]))
+            << ' ';
+      } else {
+        oss << "   ";
+      }
+      if (i == 7) oss << ' ';
+    }
+    oss << ' ';
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = std::to_integer<std::uint8_t>(bytes[off + i]);
+      oss << (c >= 0x20 && c < 0x7f ? static_cast<char>(c) : '.');
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::size_t StructLayout::padding_bytes() const {
+  std::size_t fields_total = 0;
+  for (const auto& f : fields) fields_total += f.size;
+  return size >= fields_total ? size - fields_total : 0;
+}
+
+std::string StructLayout::to_string() const {
+  std::ostringstream oss;
+  oss << "struct " << name << " (size " << size << ", align " << alignment
+      << ")\n";
+  std::size_t cursor = 0;
+  for (const auto& f : fields) {
+    if (f.offset > cursor)
+      oss << "  [pad " << (f.offset - cursor) << " bytes]\n";
+    oss << "  +" << f.offset << "\t" << f.name << " : " << f.size
+        << " bytes\n";
+    cursor = f.offset + f.size;
+  }
+  if (size > cursor) oss << "  [tail pad " << (size - cursor) << " bytes]\n";
+  return oss.str();
+}
+
+}  // namespace pdc::clist

@@ -1,0 +1,107 @@
+#include "pdc/clist/rawlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdc::clist {
+
+RawList::RawList(std::size_t elem_size, GrowthPolicy policy)
+    : elem_size_(elem_size), policy_(policy) {
+  if (elem_size_ == 0) throw std::invalid_argument("elem_size must be > 0");
+  if (policy_.factor <= 1.0)
+    throw std::invalid_argument("growth factor must be > 1.0");
+}
+
+RawList::RawList(const RawList& o)
+    : elem_size_(o.elem_size_),
+      policy_(o.policy_),
+      size_(o.size_),
+      capacity_(o.size_),  // copies are tight-fit
+      stats_(o.stats_) {
+  if (capacity_ > 0) {
+    data_ = std::make_unique<std::byte[]>(capacity_ * elem_size_);
+    std::memcpy(data_.get(), o.data_.get(), size_ * elem_size_);
+  }
+}
+
+RawList& RawList::operator=(const RawList& o) {
+  if (this != &o) {
+    RawList tmp(o);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+std::byte* RawList::slot(std::size_t index) const {
+  return data_.get() + index * elem_size_;
+}
+
+void RawList::grow_to(std::size_t new_capacity) {
+  if (new_capacity <= capacity_) return;
+  auto fresh = std::make_unique<std::byte[]>(new_capacity * elem_size_);
+  if (size_ > 0) {
+    std::memcpy(fresh.get(), data_.get(), size_ * elem_size_);
+    stats_.bytes_copied += size_ * elem_size_;
+  }
+  data_ = std::move(fresh);
+  capacity_ = new_capacity;
+  ++stats_.grow_count;
+}
+
+void RawList::reserve(std::size_t n) { grow_to(n); }
+
+void RawList::append(const void* elem) {
+  if (size_ == capacity_) {
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(capacity_) * policy_.factor);
+    grow_to(std::max({scaled, capacity_ + policy_.min_step, std::size_t{1}}));
+  }
+  std::memcpy(slot(size_), elem, elem_size_);
+  ++size_;
+}
+
+void RawList::insert(std::size_t index, const void* elem) {
+  if (index > size_) throw std::out_of_range("insert index");
+  if (size_ == capacity_) {
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(capacity_) * policy_.factor);
+    grow_to(std::max({scaled, capacity_ + policy_.min_step, std::size_t{1}}));
+  }
+  const std::size_t tail = (size_ - index) * elem_size_;
+  if (tail > 0) {
+    std::memmove(slot(index + 1), slot(index), tail);
+    stats_.shift_bytes += tail;
+  }
+  std::memcpy(slot(index), elem, elem_size_);
+  ++size_;
+}
+
+void RawList::remove(std::size_t index) {
+  if (index >= size_) throw std::out_of_range("remove index");
+  const std::size_t tail = (size_ - index - 1) * elem_size_;
+  if (tail > 0) {
+    std::memmove(slot(index), slot(index + 1), tail);
+    stats_.shift_bytes += tail;
+  }
+  --size_;
+}
+
+void* RawList::at(std::size_t index) {
+  if (index >= size_) throw std::out_of_range("at index");
+  return slot(index);
+}
+
+const void* RawList::at(std::size_t index) const {
+  if (index >= size_) throw std::out_of_range("at index");
+  return slot(index);
+}
+
+void RawList::get(std::size_t index, void* out) const {
+  std::memcpy(out, at(index), elem_size_);
+}
+
+void RawList::set(std::size_t index, const void* elem) {
+  std::memcpy(at(index), elem, elem_size_);
+}
+
+}  // namespace pdc::clist

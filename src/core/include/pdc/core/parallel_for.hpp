@@ -1,0 +1,97 @@
+#pragma once
+// OpenMP-style parallel loop over an index range, with the three classic
+// schedules (static / dynamic / guided) the CS87 programming unit compares.
+//
+// Semantics mirror `#pragma omp parallel for schedule(...)`: a team of
+// `threads` workers is forked for the loop and joined at the end.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+
+#include "pdc/core/team.hpp"
+
+namespace pdc::core {
+
+enum class Schedule {
+  kStatic,   ///< contiguous blocks assigned up front
+  kDynamic,  ///< fixed-size chunks claimed from a shared counter
+  kGuided,   ///< shrinking chunks: max(remaining/2P, chunk)
+};
+
+struct ForOptions {
+  int threads = 1;
+  Schedule schedule = Schedule::kStatic;
+  /// Chunk size for dynamic/guided (and the minimum chunk for guided).
+  std::size_t chunk = 64;
+};
+
+/// Apply `body(i)` for every i in [begin, end). `body` must be safe to call
+/// concurrently on distinct indices.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const ForOptions& opt,
+                  Body&& body) {
+  if (opt.threads < 1) throw std::invalid_argument("threads must be >= 1");
+  if (opt.chunk == 0) throw std::invalid_argument("chunk must be > 0");
+  if (begin >= end) return;
+
+  if (opt.threads == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  switch (opt.schedule) {
+    case Schedule::kStatic: {
+      Team::run(opt.threads, [&](TeamContext& ctx) {
+        const auto [lo, hi] = ctx.block_range(begin, end);
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      });
+      break;
+    }
+    case Schedule::kDynamic: {
+      std::atomic<std::size_t> next{begin};
+      Team::run(opt.threads, [&](TeamContext&) {
+        while (true) {
+          const std::size_t lo =
+              next.fetch_add(opt.chunk, std::memory_order_relaxed);
+          if (lo >= end) return;
+          const std::size_t hi = std::min(end, lo + opt.chunk);
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        }
+      });
+      break;
+    }
+    case Schedule::kGuided: {
+      std::atomic<std::size_t> next{begin};
+      const std::size_t two_p = 2 * static_cast<std::size_t>(opt.threads);
+      Team::run(opt.threads, [&](TeamContext&) {
+        while (true) {
+          // Claim a chunk proportional to the remaining work.
+          std::size_t lo = next.load(std::memory_order_relaxed);
+          std::size_t take = 0;
+          do {
+            if (lo >= end) return;
+            const std::size_t remaining = end - lo;
+            take = std::max(opt.chunk, remaining / two_p);
+            take = std::min(take, remaining);
+          } while (!next.compare_exchange_weak(lo, lo + take,
+                                               std::memory_order_relaxed));
+          for (std::size_t i = lo; i < lo + take; ++i) body(i);
+        }
+      });
+      break;
+    }
+  }
+}
+
+/// Convenience overload: static schedule over `threads` workers.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, int threads,
+                  Body&& body) {
+  ForOptions opt;
+  opt.threads = threads;
+  parallel_for(begin, end, opt, std::forward<Body>(body));
+}
+
+}  // namespace pdc::core

@@ -1,0 +1,79 @@
+#pragma once
+// Fork-join helpers (Core Guidelines CP.4: think in terms of tasks).
+//
+//  - TaskGroup: spawn independent tasks onto a ThreadPool and wait for all
+//    of them; exceptions are collected and the first is rethrown at wait().
+//  - invoke_parallel: structured two-way fork-join for divide-and-conquer
+//    (each fork runs one branch on a fresh thread and the other inline),
+//    with a depth budget so recursion spawns O(2^depth) threads at most.
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "pdc/core/thread_pool.hpp"
+
+namespace pdc::core {
+
+/// Awaits a dynamic set of independent tasks submitted to a pool.
+class TaskGroup {
+ public:
+  /// Tasks run on `pool` (defaults to the process-global pool).
+  explicit TaskGroup(ThreadPool* pool = nullptr);
+
+  /// Not copyable/movable: tasks capture `this`.
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// `wait()`s if the caller forgot to (std::terminate-safe destruction).
+  ~TaskGroup();
+
+  /// Schedule `fn` to run concurrently. Must not be called after wait()
+  /// has returned unless more work is intentionally batched.
+  void spawn(std::function<void()> fn);
+
+  /// Block until every spawned task has finished; rethrows the first
+  /// exception any task raised.
+  void wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+/// Run `f` and `g` potentially in parallel and return when both are done.
+/// `depth_budget` > 0 forks a real thread for `f`; 0 runs both inline.
+/// Exceptions propagate (if both throw, `f`'s wins).
+template <typename F, typename G>
+void invoke_parallel(F&& f, G&& g, int depth_budget) {
+  if (depth_budget <= 0) {
+    f();
+    g();
+    return;
+  }
+  std::exception_ptr f_error;
+  {
+    std::jthread left([&] {
+      try {
+        f();
+      } catch (...) {
+        f_error = std::current_exception();
+      }
+    });
+    g();  // g's exception unwinds after the jthread joins
+  }
+  if (f_error) std::rethrow_exception(f_error);
+}
+
+/// Depth budget that bounds forked threads to about `threads`:
+/// ceil(log2(threads)).
+[[nodiscard]] int fork_depth_for_threads(int threads);
+
+}  // namespace pdc::core

@@ -1,0 +1,48 @@
+#pragma once
+// SPMD team: the Pthreads programming model taught in CS31 — spawn P
+// threads running the same function on different ranks, with a per-team
+// reusable barrier. The threaded Game of Life engine and the OpenMP-style
+// loop constructs are built on this.
+
+#include <cstddef>
+#include <functional>
+
+#include "pdc/sync/barrier.hpp"
+
+namespace pdc::core {
+
+class Team;
+
+/// Per-thread view handed to the SPMD body.
+class TeamContext {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Synchronize all team members (reusable across phases).
+  void barrier();
+
+  /// Split [begin, end) into `size()` near-equal contiguous blocks and
+  /// return this rank's [block_begin, block_end).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> block_range(
+      std::size_t begin, std::size_t end) const;
+
+ private:
+  friend class Team;
+  TeamContext(int rank, int size, sync::CyclicBarrier* barrier)
+      : rank_(rank), size_(size), barrier_(barrier) {}
+
+  int rank_;
+  int size_;
+  sync::CyclicBarrier* barrier_;
+};
+
+/// Fork-join SPMD execution: `Team::run(p, body)` spawns p threads, runs
+/// `body(ctx)` on each, and joins them all before returning. Exceptions
+/// thrown by any member are rethrown (first one wins) after the join.
+class Team {
+ public:
+  static void run(int threads, const std::function<void(TeamContext&)>& body);
+};
+
+}  // namespace pdc::core

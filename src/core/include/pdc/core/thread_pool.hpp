@@ -1,0 +1,64 @@
+#pragma once
+// Fixed-size worker pool (Core Guidelines CP.41: minimize thread creation by
+// reusing workers). Tasks are type-erased nullary callables; submit()
+// returns a future for the result.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pdc::core {
+
+/// A pool of N worker threads draining a shared FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1; defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a nullary callable; returns a future for its result.
+  /// Throws std::runtime_error if the pool is shutting down.
+  template <typename F, typename R = std::invoke_result_t<F&>>
+  std::future<R> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    post([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Enqueue fire-and-forget work (no future overhead).
+  void post(std::function<void()> fn);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Process-wide shared pool sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex m_;
+  std::condition_variable cv_;        // queue not empty / stopping
+  std::condition_variable idle_cv_;   // all work done
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace pdc::core

@@ -1,0 +1,55 @@
+#include "pdc/core/task_group.hpp"
+
+namespace pdc::core {
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::global()) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor must not throw; wait() explicitly rethrows for callers.
+  }
+}
+
+void TaskGroup::spawn(std::function<void()> fn) {
+  {
+    std::lock_guard lk(m_);
+    ++pending_;
+  }
+  pool_->post([this, fn = std::move(fn)] {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard lk(m_);
+    if (err && !first_error_) first_error_ = err;
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lk(m_);
+  cv_.wait(lk, [&] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+int fork_depth_for_threads(int threads) {
+  int depth = 0;
+  int capacity = 1;
+  while (capacity < threads) {
+    capacity *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace pdc::core

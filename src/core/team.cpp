@@ -1,0 +1,56 @@
+#include "pdc/core/team.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pdc::core {
+
+void TeamContext::barrier() { barrier_->arrive_and_wait(); }
+
+std::pair<std::size_t, std::size_t> TeamContext::block_range(
+    std::size_t begin, std::size_t end) const {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const auto p = static_cast<std::size_t>(size_);
+  const auto r = static_cast<std::size_t>(rank_);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  // First `extra` ranks get one extra element.
+  const std::size_t lo = begin + r * base + std::min(r, extra);
+  const std::size_t hi = lo + base + (r < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+void Team::run(int threads, const std::function<void(TeamContext&)>& body) {
+  if (threads < 1) throw std::invalid_argument("team size must be >= 1");
+
+  sync::CyclicBarrier barrier(static_cast<std::size_t>(threads));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
+
+  if (threads == 1) {
+    TeamContext ctx(0, 1, &barrier);
+    body(ctx);
+    return;
+  }
+
+  {
+    std::vector<std::jthread> members;
+    members.reserve(static_cast<std::size_t>(threads));
+    for (int r = 0; r < threads; ++r) {
+      members.emplace_back([&, r] {
+        try {
+          TeamContext ctx(r, threads, &barrier);
+          body(ctx);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+      });
+    }
+  }  // join all
+
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace pdc::core

@@ -1,0 +1,64 @@
+#include "pdc/core/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace pdc::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(m_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    std::lock_guard lk(m_);
+    if (stopping_) throw std::runtime_error("ThreadPool is shutting down");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(m_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(m_);
+      cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lk(m_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pdc::core

@@ -1,0 +1,144 @@
+#include "pdc/extmem/block_device.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pdc::extmem {
+
+BlockDevice::BlockDevice(std::size_t num_blocks, std::size_t block_size)
+    : num_blocks_(num_blocks), block_size_(block_size) {
+  if (num_blocks_ == 0) throw std::invalid_argument("num_blocks must be > 0");
+  if (block_size_ == 0) throw std::invalid_argument("block_size must be > 0");
+  data_.resize(num_blocks_ * block_size_);
+}
+
+void BlockDevice::check(std::size_t index, std::size_t span_bytes) const {
+  if (index >= num_blocks_) throw std::out_of_range("block index");
+  if (span_bytes != block_size_)
+    throw std::invalid_argument("buffer must be exactly one block");
+}
+
+void BlockDevice::read_block(std::size_t index, std::span<std::byte> out) {
+  check(index, out.size());
+  std::memcpy(out.data(), data_.data() + index * block_size_, block_size_);
+  ++stats_.block_reads;
+}
+
+void BlockDevice::write_block(std::size_t index,
+                              std::span<const std::byte> in) {
+  check(index, in.size());
+  std::memcpy(data_.data() + index * block_size_, in.data(), block_size_);
+  ++stats_.block_writes;
+}
+
+DeviceSpan::DeviceSpan(BlockDevice& dev, std::size_t first_block,
+                       std::size_t count)
+    : dev_(&dev), first_block_(first_block), count_(count) {
+  if (dev.block_size() % sizeof(std::int64_t) != 0)
+    throw std::invalid_argument("block_size must be a multiple of 8");
+  vpb_ = dev.block_size() / sizeof(std::int64_t);
+  if (first_block_ + blocks_spanned() > dev.num_blocks())
+    throw std::out_of_range("region exceeds device capacity");
+}
+
+std::int64_t DeviceSpan::read_value(std::size_t i) const {
+  if (i >= count_) throw std::out_of_range("DeviceSpan index");
+  std::vector<std::byte> buf(dev_->block_size());
+  dev_->read_block(first_block_ + i / vpb_, buf);
+  std::int64_t v;
+  std::memcpy(&v, buf.data() + (i % vpb_) * sizeof(v), sizeof(v));
+  return v;
+}
+
+void DeviceSpan::write_value(std::size_t i, std::int64_t v) {
+  if (i >= count_) throw std::out_of_range("DeviceSpan index");
+  // Read-modify-write the containing block.
+  std::vector<std::byte> buf(dev_->block_size());
+  const std::size_t block = first_block_ + i / vpb_;
+  dev_->read_block(block, buf);
+  std::memcpy(buf.data() + (i % vpb_) * sizeof(v), &v, sizeof(v));
+  dev_->write_block(block, buf);
+}
+
+void DeviceSpan::read_range(std::size_t first, std::size_t n,
+                            std::vector<std::int64_t>& out) const {
+  if (first + n > count_) throw std::out_of_range("read_range");
+  out.resize(n);
+  if (n == 0) return;
+  std::vector<std::byte> buf(dev_->block_size());
+  const std::size_t first_blk = first / vpb_;
+  const std::size_t last_blk = (first + n - 1) / vpb_;
+  std::size_t out_pos = 0;
+  for (std::size_t b = first_blk; b <= last_blk; ++b) {
+    dev_->read_block(first_block_ + b, buf);
+    const std::size_t blk_first_value = b * vpb_;
+    const std::size_t lo = std::max(first, blk_first_value);
+    const std::size_t hi = std::min(first + n, blk_first_value + vpb_);
+    std::memcpy(out.data() + out_pos,
+                buf.data() + (lo - blk_first_value) * sizeof(std::int64_t),
+                (hi - lo) * sizeof(std::int64_t));
+    out_pos += hi - lo;
+  }
+}
+
+void DeviceSpan::write_range(std::size_t first,
+                             std::span<const std::int64_t> values) {
+  if (first + values.size() > count_) throw std::out_of_range("write_range");
+  if (values.empty()) return;
+  std::vector<std::byte> buf(dev_->block_size());
+  const std::size_t first_blk = first / vpb_;
+  const std::size_t last_blk = (first + values.size() - 1) / vpb_;
+  std::size_t in_pos = 0;
+  for (std::size_t b = first_blk; b <= last_blk; ++b) {
+    const std::size_t blk_first_value = b * vpb_;
+    const std::size_t lo = std::max(first, blk_first_value);
+    const std::size_t hi =
+        std::min(first + values.size(), blk_first_value + vpb_);
+    const bool full_block = (lo == blk_first_value) && (hi - lo == vpb_);
+    if (!full_block) dev_->read_block(first_block_ + b, buf);  // RMW
+    std::memcpy(buf.data() + (lo - blk_first_value) * sizeof(std::int64_t),
+                values.data() + in_pos, (hi - lo) * sizeof(std::int64_t));
+    dev_->write_block(first_block_ + b, buf);
+    in_pos += hi - lo;
+  }
+}
+
+BlockReader::BlockReader(DeviceSpan span) : span_(span) {}
+
+std::int64_t BlockReader::next() {
+  if (!has_next()) throw std::out_of_range("BlockReader exhausted");
+  const std::size_t vpb = span_.values_per_block();
+  if (!buffer_valid_ || pos_ >= buffer_first_ + buffer_.size()) {
+    const std::size_t blk_first = (pos_ / vpb) * vpb;
+    const std::size_t n = std::min(vpb, span_.size() - blk_first);
+    span_.read_range(blk_first, n, buffer_);
+    buffer_first_ = blk_first;
+    buffer_valid_ = true;
+  }
+  return buffer_[pos_++ - buffer_first_];
+}
+
+BlockWriter::BlockWriter(DeviceSpan span) : span_(span) {
+  buffer_.reserve(span_.values_per_block());
+}
+
+void BlockWriter::push(std::int64_t v) {
+  if (pos_ + buffer_.size() >= span_.size())
+    throw std::out_of_range("BlockWriter overflow");
+  buffer_.push_back(v);
+  if (buffer_.size() == span_.values_per_block()) {
+    span_.write_range(pos_, buffer_);
+    pos_ += buffer_.size();
+    buffer_.clear();
+  }
+}
+
+void BlockWriter::finish() {
+  if (!buffer_.empty()) {
+    span_.write_range(pos_, buffer_);
+    pos_ += buffer_.size();
+    buffer_.clear();
+  }
+}
+
+}  // namespace pdc::extmem

@@ -1,0 +1,105 @@
+#include "pdc/extmem/buffer_cache.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pdc::extmem {
+
+BufferCache::BufferCache(BlockDevice& dev, std::size_t frames)
+    : dev_(&dev), frames_(frames) {
+  if (frames_ == 0) throw std::invalid_argument("frames must be > 0");
+}
+
+void BufferCache::evict_lru() {
+  Frame& victim = lru_.back();
+  if (victim.dirty) {
+    dev_->write_block(victim.block, victim.data);
+    ++stats_.writebacks;
+  }
+  ++stats_.evictions;
+  index_.erase(victim.block);
+  lru_.pop_back();
+}
+
+BufferCache::Frame& BufferCache::get_frame(std::size_t block) {
+  if (auto it = index_.find(block); it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return *it->second;
+  }
+  ++stats_.misses;
+  if (lru_.size() == frames_) evict_lru();
+  lru_.emplace_front();
+  Frame& f = lru_.front();
+  f.block = block;
+  f.dirty = false;
+  f.data.resize(dev_->block_size());
+  dev_->read_block(block, f.data);
+  index_[block] = lru_.begin();
+  return f;
+}
+
+void BufferCache::read(std::size_t offset, std::span<std::byte> out) {
+  const std::size_t bs = dev_->block_size();
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t block = (offset + pos) / bs;
+    const std::size_t in_block = (offset + pos) % bs;
+    const std::size_t n = std::min(bs - in_block, out.size() - pos);
+    Frame& f = get_frame(block);
+    std::memcpy(out.data() + pos, f.data.data() + in_block, n);
+    pos += n;
+  }
+}
+
+void BufferCache::write(std::size_t offset, std::span<const std::byte> in) {
+  const std::size_t bs = dev_->block_size();
+  std::size_t pos = 0;
+  while (pos < in.size()) {
+    const std::size_t block = (offset + pos) / bs;
+    const std::size_t in_block = (offset + pos) % bs;
+    const std::size_t n = std::min(bs - in_block, in.size() - pos);
+    Frame& f = get_frame(block);
+    std::memcpy(f.data.data() + in_block, in.data() + pos, n);
+    f.dirty = true;
+    pos += n;
+  }
+}
+
+std::int64_t BufferCache::read_i64(std::size_t index) {
+  std::int64_t v;
+  read(index * sizeof(v),
+       std::span<std::byte>(reinterpret_cast<std::byte*>(&v), sizeof(v)));
+  return v;
+}
+
+void BufferCache::write_i64(std::size_t index, std::int64_t v) {
+  write(index * sizeof(v), std::span<const std::byte>(
+                               reinterpret_cast<const std::byte*>(&v),
+                               sizeof(v)));
+}
+
+double BufferCache::read_f64(std::size_t index) {
+  double v;
+  read(index * sizeof(v),
+       std::span<std::byte>(reinterpret_cast<std::byte*>(&v), sizeof(v)));
+  return v;
+}
+
+void BufferCache::write_f64(std::size_t index, double v) {
+  write(index * sizeof(v), std::span<const std::byte>(
+                               reinterpret_cast<const std::byte*>(&v),
+                               sizeof(v)));
+}
+
+void BufferCache::flush() {
+  for (auto& f : lru_) {
+    if (f.dirty) {
+      dev_->write_block(f.block, f.data);
+      f.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+}
+
+}  // namespace pdc::extmem

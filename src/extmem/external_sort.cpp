@@ -1,0 +1,176 @@
+#include "pdc/extmem/external_sort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace pdc::extmem {
+
+namespace {
+
+struct Run {
+  std::size_t first_block = 0;  // absolute device block
+  std::size_t count = 0;        // values
+};
+
+/// Merge `runs` (each a block-aligned region on dev) into one run starting
+/// at dst_first_block. Returns the merged run.
+Run merge_runs(BlockDevice& dev, const std::vector<Run>& runs,
+               std::size_t dst_first_block) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.count;
+
+  std::vector<BlockReader> readers;
+  readers.reserve(runs.size());
+  for (const auto& r : runs)
+    readers.emplace_back(DeviceSpan(dev, r.first_block, r.count));
+
+  BlockWriter writer(DeviceSpan(dev, dst_first_block, total));
+
+  using Entry = std::pair<std::int64_t, std::size_t>;  // value, reader index
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t i = 0; i < readers.size(); ++i)
+    if (readers[i].has_next()) heap.emplace(readers[i].next(), i);
+
+  while (!heap.empty()) {
+    const auto [v, i] = heap.top();
+    heap.pop();
+    writer.push(v);
+    if (readers[i].has_next()) heap.emplace(readers[i].next(), i);
+  }
+  writer.finish();
+  return {dst_first_block, total};
+}
+
+}  // namespace
+
+ExtSortStats external_merge_sort(BlockDevice& dev, DeviceSpan input,
+                                 DeviceSpan scratch,
+                                 const ExtSortConfig& cfg) {
+  const std::size_t bs = dev.block_size();
+  const std::size_t vpb = input.values_per_block();
+  const std::size_t mem_blocks = cfg.memory_bytes / bs;
+  if (mem_blocks < 3)
+    throw std::invalid_argument(
+        "memory must hold >= 3 blocks (2 inputs + 1 output)");
+  if (scratch.size() < input.size())
+    throw std::invalid_argument("scratch region too small");
+  {
+    // Disjointness check (block granular).
+    const std::size_t in_lo = input.first_block();
+    const std::size_t in_hi = in_lo + input.blocks_spanned();
+    const std::size_t sc_lo = scratch.first_block();
+    const std::size_t sc_hi = sc_lo + scratch.blocks_spanned();
+    if (in_lo < sc_hi && sc_lo < in_hi)
+      throw std::invalid_argument("input and scratch regions overlap");
+  }
+
+  ExtSortStats stats;
+  stats.values = input.size();
+  const DeviceStats before = dev.stats();
+  const std::size_t n = input.size();
+  if (n == 0) return stats;
+
+  const std::size_t run_values = mem_blocks * vpb;  // block-aligned runs
+  stats.fan_in = mem_blocks - 1;
+
+  // ---- Phase 1: run formation (sorted runs written to scratch) ----
+  std::vector<Run> runs;
+  std::vector<std::int64_t> buffer;
+  for (std::size_t off = 0; off < n; off += run_values) {
+    const std::size_t len = std::min(run_values, n - off);
+    input.read_range(off, len, buffer);
+    std::sort(buffer.begin(), buffer.end());
+    if (runs.empty() && len == n) {
+      // Fits in memory entirely: write straight back, no merge needed.
+      input.write_range(0, buffer);
+      stats.initial_runs = 1;
+      const DeviceStats after = dev.stats();
+      stats.block_reads = after.block_reads - before.block_reads;
+      stats.block_writes = after.block_writes - before.block_writes;
+      return stats;
+    }
+    DeviceSpan run_span(dev, scratch.first_block() + off / vpb, len);
+    run_span.write_range(0, buffer);
+    runs.push_back({scratch.first_block() + off / vpb, len});
+  }
+  stats.initial_runs = runs.size();
+
+  // ---- Phase 2: k-way merge passes, ping-ponging scratch <-> input ----
+  const std::size_t k = stats.fan_in;
+  bool dst_is_input = true;  // runs currently live in scratch
+  while (runs.size() > 1) {
+    const std::size_t dst_base =
+        dst_is_input ? input.first_block() : scratch.first_block();
+    std::vector<Run> merged;
+    std::size_t dst_block = dst_base;
+    for (std::size_t g = 0; g < runs.size(); g += k) {
+      const std::size_t group_end = std::min(runs.size(), g + k);
+      std::vector<Run> group(runs.begin() + static_cast<long>(g),
+                             runs.begin() + static_cast<long>(group_end));
+      const Run out = merge_runs(dev, group, dst_block);
+      merged.push_back(out);
+      dst_block += (out.count + vpb - 1) / vpb;
+    }
+    runs = std::move(merged);
+    ++stats.merge_passes;
+    dst_is_input = !dst_is_input;
+  }
+
+  // Result now starts at runs[0]. If it ended up in scratch, copy back.
+  if (runs[0].first_block != input.first_block()) {
+    DeviceSpan result(dev, runs[0].first_block, n);
+    for (std::size_t off = 0; off < n; off += vpb) {
+      const std::size_t len = std::min(vpb, n - off);
+      result.read_range(off, len, buffer);
+      input.write_range(off, buffer);
+    }
+  }
+
+  const DeviceStats after = dev.stats();
+  stats.block_reads = after.block_reads - before.block_reads;
+  stats.block_writes = after.block_writes - before.block_writes;
+  return stats;
+}
+
+double predicted_sort_ios(std::size_t n_values, std::size_t memory_bytes,
+                          std::size_t block_bytes) {
+  if (n_values == 0) return 0.0;
+  const double N = static_cast<double>(n_values) * 8.0;  // bytes
+  const double B = static_cast<double>(block_bytes);
+  const double M = static_cast<double>(memory_bytes);
+  const double blocks = std::ceil(N / B);
+  if (N <= M) return 2.0 * blocks;  // read + write, fits in memory
+  const double runs = std::ceil(N / M);
+  const double k = std::max(2.0, M / B - 1.0);
+  const double passes = std::ceil(std::log(runs) / std::log(k));
+  return 2.0 * blocks * (1.0 + passes);
+}
+
+ExtSortStats external_merge_sort(std::vector<std::int64_t>& values,
+                                 std::size_t block_bytes,
+                                 std::size_t memory_bytes) {
+  const std::size_t vpb = block_bytes / sizeof(std::int64_t);
+  if (vpb == 0) throw std::invalid_argument("block too small for int64");
+  const std::size_t region_blocks =
+      std::max<std::size_t>(1, (values.size() + vpb - 1) / vpb);
+  BlockDevice dev(2 * region_blocks, block_bytes);
+  DeviceSpan input(dev, 0, values.size());
+  DeviceSpan scratch(dev, region_blocks, values.size());
+  if (!values.empty()) input.write_range(0, values);
+  dev.reset_stats();  // loading the device is not part of the sort
+
+  ExtSortConfig cfg;
+  cfg.memory_bytes = memory_bytes;
+  const ExtSortStats stats = external_merge_sort(dev, input, scratch, cfg);
+
+  if (!values.empty()) {
+    std::vector<std::int64_t> out;
+    input.read_range(0, values.size(), out);
+    values = std::move(out);
+  }
+  return stats;
+}
+
+}  // namespace pdc::extmem

@@ -1,0 +1,121 @@
+#pragma once
+// Simulated block device for the CS41 I/O (external-memory) model. The
+// model charges one unit per block transferred; this device *is* that
+// counter, with an in-memory backing store so algorithms are fully
+// executable and verifiable.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdc::extmem {
+
+/// Device transfer counters — the quantities the I/O model analyzes.
+struct DeviceStats {
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+
+  [[nodiscard]] std::uint64_t total_ios() const {
+    return block_reads + block_writes;
+  }
+};
+
+/// Fixed-geometry block device: `num_blocks` blocks of `block_size` bytes.
+/// All access is whole-block; byte addressing is the caller's job (that is
+/// the point of the model).
+class BlockDevice {
+ public:
+  BlockDevice(std::size_t num_blocks, std::size_t block_size);
+
+  [[nodiscard]] std::size_t num_blocks() const { return num_blocks_; }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return num_blocks_ * block_size_;
+  }
+
+  /// Read block `index` into `out` (must be exactly block_size bytes).
+  void read_block(std::size_t index, std::span<std::byte> out);
+
+  /// Write `in` (exactly block_size bytes) to block `index`.
+  void write_block(std::size_t index, std::span<const std::byte> in);
+
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void check(std::size_t index, std::size_t span_bytes) const;
+
+  std::size_t num_blocks_;
+  std::size_t block_size_;
+  std::vector<std::byte> data_;
+  DeviceStats stats_;
+};
+
+/// Typed view of a device region as an array of std::int64_t values, with
+/// block-buffered sequential readers/writers used by the external
+/// algorithms. values_per_block() == block_size / 8.
+class DeviceSpan {
+ public:
+  /// Region of `count` values starting at `first_block`. block_size must
+  /// be a multiple of 8 and the region must fit on the device.
+  DeviceSpan(BlockDevice& dev, std::size_t first_block, std::size_t count);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t first_block() const { return first_block_; }
+  [[nodiscard]] std::size_t values_per_block() const { return vpb_; }
+  [[nodiscard]] std::size_t blocks_spanned() const {
+    return (count_ + vpb_ - 1) / vpb_;
+  }
+
+  /// Random access — one block I/O per call. Intentionally expensive:
+  /// the model charges you for ignoring blocking.
+  [[nodiscard]] std::int64_t read_value(std::size_t i) const;
+  void write_value(std::size_t i, std::int64_t v);
+
+  /// Bulk helpers (block-granular, minimal I/O).
+  void read_range(std::size_t first, std::size_t n,
+                  std::vector<std::int64_t>& out) const;
+  void write_range(std::size_t first, std::span<const std::int64_t> values);
+
+ private:
+  BlockDevice* dev_;
+  std::size_t first_block_;
+  std::size_t count_;
+  std::size_t vpb_;
+};
+
+/// Sequential one-block-buffered reader over a DeviceSpan region.
+class BlockReader {
+ public:
+  explicit BlockReader(DeviceSpan span);
+
+  /// True while values remain.
+  [[nodiscard]] bool has_next() const { return pos_ < span_.size(); }
+  /// Next value (reads a block only at block boundaries).
+  std::int64_t next();
+
+ private:
+  DeviceSpan span_;
+  std::vector<std::int64_t> buffer_;
+  std::size_t pos_ = 0;
+  std::size_t buffer_first_ = 0;  // index of buffer_[0]
+  bool buffer_valid_ = false;
+};
+
+/// Sequential one-block-buffered writer over a DeviceSpan region.
+class BlockWriter {
+ public:
+  explicit BlockWriter(DeviceSpan span);
+  void push(std::int64_t v);
+  /// Flush the partial tail block. Must be called when done.
+  void finish();
+  [[nodiscard]] std::size_t written() const { return pos_; }
+
+ private:
+  DeviceSpan span_;
+  std::vector<std::int64_t> buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pdc::extmem

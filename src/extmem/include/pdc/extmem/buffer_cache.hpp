@@ -1,0 +1,77 @@
+#pragma once
+// Write-back LRU buffer cache in front of a BlockDevice — the OS buffer
+// cache from CS45, reused by the out-of-core matrix algorithms so their
+// device I/O counts reflect the "M bytes of fast memory" the model grants.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "pdc/extmem/block_device.hpp"
+
+namespace pdc::extmem {
+
+struct BufferCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Caches `frames` device blocks with LRU replacement and write-back.
+class BufferCache {
+ public:
+  BufferCache(BlockDevice& dev, std::size_t frames);
+
+  /// Read `count` bytes at byte offset `offset` through the cache.
+  void read(std::size_t offset, std::span<std::byte> out);
+
+  /// Write bytes at byte offset `offset` through the cache (write-back:
+  /// dirty frames hit the device only on eviction or flush).
+  void write(std::size_t offset, std::span<const std::byte> in);
+
+  /// Typed convenience for 8-byte values.
+  [[nodiscard]] std::int64_t read_i64(std::size_t index);
+  void write_i64(std::size_t index, std::int64_t v);
+  [[nodiscard]] double read_f64(std::size_t index);
+  void write_f64(std::size_t index, double v);
+
+  /// Write all dirty frames back to the device.
+  void flush();
+
+  [[nodiscard]] const BufferCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+  [[nodiscard]] BlockDevice& device() { return *dev_; }
+  /// frames * block_size — the cache's "M" in I/O-model terms.
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return frames_ * dev_->block_size();
+  }
+
+ private:
+  struct Frame {
+    std::size_t block = 0;
+    bool dirty = false;
+    std::vector<std::byte> data;
+  };
+
+  /// Returns the frame holding `block`, faulting it in if needed.
+  Frame& get_frame(std::size_t block);
+  void evict_lru();
+
+  BlockDevice* dev_;
+  std::size_t frames_;
+  std::list<Frame> lru_;  // front = most recent
+  std::unordered_map<std::size_t, std::list<Frame>::iterator> index_;
+  BufferCacheStats stats_;
+};
+
+}  // namespace pdc::extmem

@@ -1,0 +1,59 @@
+#pragma once
+// External (out-of-core) k-way merge sort — the I/O-efficient algorithm
+// CS41 uses as its unifying example. With N values, M bytes of memory and
+// B-byte blocks, the algorithm does
+//     Θ( (N/B) · log_{M/B}(N/M) )
+// block transfers: run formation reads+writes everything once, then each
+// merge pass reads+writes everything once, and the fan-in M/B - 1 bounds
+// the number of passes.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pdc/extmem/block_device.hpp"
+
+namespace pdc::extmem {
+
+struct ExtSortConfig {
+  std::size_t memory_bytes = 4096;  ///< the model's M
+};
+
+struct ExtSortStats {
+  std::size_t values = 0;
+  std::size_t initial_runs = 0;
+  int merge_passes = 0;
+  std::size_t fan_in = 0;
+  std::uint64_t block_reads = 0;   ///< attributable to this sort
+  std::uint64_t block_writes = 0;
+
+  [[nodiscard]] std::uint64_t total_ios() const {
+    return block_reads + block_writes;
+  }
+};
+
+/// Sort the `n` int64 values in `input` (a region on `dev`) in place,
+/// using `scratch` (a disjoint region of at least the same size, also on
+/// `dev`) as run storage. Memory use is bounded by cfg.memory_bytes.
+///
+/// Throws std::invalid_argument if M < 3 blocks (need >= 2 input buffers +
+/// 1 output buffer to merge) or the regions overlap.
+ExtSortStats external_merge_sort(BlockDevice& dev, DeviceSpan input,
+                                 DeviceSpan scratch,
+                                 const ExtSortConfig& cfg);
+
+/// Predicted block I/Os from the textbook formula:
+///   2 * ceil(N/B) * (1 + passes),  passes = ceil(log_k(runs)),
+/// with runs = ceil(N*8 / M) and k = max(2, M/B - 1).
+[[nodiscard]] double predicted_sort_ios(std::size_t n_values,
+                                        std::size_t memory_bytes,
+                                        std::size_t block_bytes);
+
+/// Host-side convenience for tests/benches: round-trip a vector through a
+/// fresh device, sort it externally, and return the stats. `values` is
+/// replaced by its sorted contents.
+ExtSortStats external_merge_sort(std::vector<std::int64_t>& values,
+                                 std::size_t block_bytes,
+                                 std::size_t memory_bytes);
+
+}  // namespace pdc::extmem

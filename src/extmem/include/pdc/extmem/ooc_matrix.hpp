@@ -1,0 +1,66 @@
+#pragma once
+// Out-of-core matrix multiply in the I/O model (CS41 "Blocking" paradigm):
+// square matrices of doubles live on the block device and are accessed
+// through a BufferCache of M bytes. The naive triple loop incurs
+// Θ(n^3 / B) I/Os; tiling with t x t tiles (3t^2 doubles <= M) brings it
+// down to Θ(n^3 / (t·B)) — the blocked version's advantage is the
+// experiment bench_extmem_ablation reproduces.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pdc/extmem/block_device.hpp"
+#include "pdc/extmem/buffer_cache.hpp"
+
+namespace pdc::extmem {
+
+/// n x n row-major matrix of doubles stored on a device starting at byte
+/// offset `base_bytes`, accessed through a shared BufferCache.
+class OocMatrix {
+ public:
+  OocMatrix(BufferCache& cache, std::size_t n, std::size_t base_bytes);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+  [[nodiscard]] double get(std::size_t r, std::size_t c);
+  void set(std::size_t r, std::size_t c, double v);
+
+  /// Fill with a deterministic pattern (tests) or zero.
+  void fill_pattern(std::uint64_t seed);
+  void fill_zero();
+
+  /// Bytes this matrix occupies on the device.
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return n_ * n_ * sizeof(double);
+  }
+
+  [[nodiscard]] BufferCache& cache() { return *cache_; }
+
+ private:
+  [[nodiscard]] std::size_t offset(std::size_t r, std::size_t c) const;
+
+  BufferCache* cache_;
+  std::size_t n_;
+  std::size_t base_;
+};
+
+/// C = A * B with the naive i-j-k loop; every element access goes through
+/// the cache. Returns device I/Os incurred (reads+writes below the cache).
+std::uint64_t matmul_naive(OocMatrix& a, OocMatrix& b, OocMatrix& c);
+
+/// C = A * B with t x t tiling. `tile` of 0 picks the largest t with
+/// 3·t²·8 bytes <= cache capacity (frames * block_size).
+std::uint64_t matmul_blocked(OocMatrix& a, OocMatrix& b, OocMatrix& c,
+                             std::size_t tile = 0);
+
+/// out = a^T, walking a row-by-row: writes stride n across out, so when a
+/// column of blocks exceeds the cache this incurs Θ(n²) I/Os.
+std::uint64_t transpose_naive(OocMatrix& a, OocMatrix& out);
+
+/// out = a^T, cache-OBLIVIOUS: recursively split the larger dimension
+/// until tiles are tiny; no tuning parameter, yet Θ(n²/B) I/Os once tiles
+/// fit — the CS41 "I/O-efficient algorithms" capstone idea.
+std::uint64_t transpose_cache_oblivious(OocMatrix& a, OocMatrix& out,
+                                        std::size_t leaf = 4);
+
+}  // namespace pdc::extmem

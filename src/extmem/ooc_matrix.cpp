@@ -1,0 +1,164 @@
+#include "pdc/extmem/ooc_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pdc::extmem {
+
+OocMatrix::OocMatrix(BufferCache& cache, std::size_t n,
+                     std::size_t base_bytes)
+    : cache_(&cache), n_(n), base_(base_bytes) {
+  if (n_ == 0) throw std::invalid_argument("matrix dimension must be > 0");
+  if (base_ % sizeof(double) != 0)
+    throw std::invalid_argument("base offset must be 8-byte aligned");
+  const std::size_t end = base_ + footprint_bytes();
+  if (end > cache.device().capacity_bytes())
+    throw std::out_of_range("matrix exceeds device capacity");
+}
+
+std::size_t OocMatrix::offset(std::size_t r, std::size_t c) const {
+  if (r >= n_ || c >= n_) throw std::out_of_range("matrix index");
+  return base_ / sizeof(double) + r * n_ + c;
+}
+
+double OocMatrix::get(std::size_t r, std::size_t c) {
+  return cache_->read_f64(offset(r, c));
+}
+
+void OocMatrix::set(std::size_t r, std::size_t c, double v) {
+  cache_->write_f64(offset(r, c), v);
+}
+
+void OocMatrix::fill_pattern(std::uint64_t seed) {
+  std::uint64_t s = seed ? seed : 1;
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = 0; c < n_; ++c) {
+      s ^= s << 13;
+      s ^= s >> 7;
+      s ^= s << 17;
+      set(r, c, static_cast<double>(s % 97) - 48.0);
+    }
+}
+
+void OocMatrix::fill_zero() {
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = 0; c < n_; ++c) set(r, c, 0.0);
+}
+
+namespace {
+
+std::uint64_t ios_since(BlockDevice& dev, const DeviceStats& before) {
+  const DeviceStats after = dev.stats();
+  return (after.block_reads - before.block_reads) +
+         (after.block_writes - before.block_writes);
+}
+
+}  // namespace
+
+std::uint64_t matmul_naive(OocMatrix& a, OocMatrix& b, OocMatrix& c) {
+  if (a.n() != b.n() || a.n() != c.n())
+    throw std::invalid_argument("dimension mismatch");
+  BlockDevice& dev = a.cache().device();
+  const DeviceStats before = dev.stats();
+  const std::size_t n = a.n();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) sum += a.get(i, k) * b.get(k, j);
+      c.set(i, j, sum);
+    }
+  }
+  a.cache().flush();
+  return ios_since(dev, before);
+}
+
+std::uint64_t matmul_blocked(OocMatrix& a, OocMatrix& b, OocMatrix& c,
+                             std::size_t tile) {
+  if (a.n() != b.n() || a.n() != c.n())
+    throw std::invalid_argument("dimension mismatch");
+  const std::size_t n = a.n();
+  if (tile == 0) {
+    // Tiles are not contiguous on disk: a t x t tile touches t row
+    // segments, each spanning up to 8t/B + 1 blocks. Requiring the three
+    // tiles' block footprint to fit in M gives 24t^2 + 6tB <= M, i.e.
+    // t = (-6B + sqrt(36B^2 + 96M)) / 48.
+    const double m = static_cast<double>(a.cache().capacity_bytes());
+    const double bs = static_cast<double>(a.cache().device().block_size());
+    const double t =
+        (-6.0 * bs + std::sqrt(36.0 * bs * bs + 96.0 * m)) / 48.0;
+    tile = static_cast<std::size_t>(std::max(1.0, std::floor(t)));
+    tile = std::min(tile, n);
+  }
+  BlockDevice& dev = a.cache().device();
+  const DeviceStats before = dev.stats();
+  c.fill_zero();  // blocked kernel accumulates into C
+  for (std::size_t ii = 0; ii < n; ii += tile) {
+    const std::size_t imax = std::min(n, ii + tile);
+    for (std::size_t jj = 0; jj < n; jj += tile) {
+      const std::size_t jmax = std::min(n, jj + tile);
+      for (std::size_t kk = 0; kk < n; kk += tile) {
+        const std::size_t kmax = std::min(n, kk + tile);
+        for (std::size_t i = ii; i < imax; ++i) {
+          for (std::size_t j = jj; j < jmax; ++j) {
+            double sum = c.get(i, j);
+            for (std::size_t k = kk; k < kmax; ++k)
+              sum += a.get(i, k) * b.get(k, j);
+            c.set(i, j, sum);
+          }
+        }
+      }
+    }
+  }
+  a.cache().flush();
+  return ios_since(dev, before);
+}
+
+std::uint64_t transpose_naive(OocMatrix& a, OocMatrix& out) {
+  if (a.n() != out.n()) throw std::invalid_argument("dimension mismatch");
+  BlockDevice& dev = a.cache().device();
+  const DeviceStats before = dev.stats();
+  const std::size_t n = a.n();
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) out.set(c, r, a.get(r, c));
+  a.cache().flush();
+  return ios_since(dev, before);
+}
+
+namespace {
+
+void co_transpose(OocMatrix& a, OocMatrix& out, std::size_t r0,
+                  std::size_t r1, std::size_t c0, std::size_t c1,
+                  std::size_t leaf) {
+  const std::size_t dr = r1 - r0;
+  const std::size_t dc = c1 - c0;
+  if (dr <= leaf && dc <= leaf) {
+    for (std::size_t r = r0; r < r1; ++r)
+      for (std::size_t c = c0; c < c1; ++c) out.set(c, r, a.get(r, c));
+    return;
+  }
+  if (dr >= dc) {
+    const std::size_t mid = r0 + dr / 2;
+    co_transpose(a, out, r0, mid, c0, c1, leaf);
+    co_transpose(a, out, mid, r1, c0, c1, leaf);
+  } else {
+    const std::size_t mid = c0 + dc / 2;
+    co_transpose(a, out, r0, r1, c0, mid, leaf);
+    co_transpose(a, out, r0, r1, mid, c1, leaf);
+  }
+}
+
+}  // namespace
+
+std::uint64_t transpose_cache_oblivious(OocMatrix& a, OocMatrix& out,
+                                        std::size_t leaf) {
+  if (a.n() != out.n()) throw std::invalid_argument("dimension mismatch");
+  if (leaf == 0) throw std::invalid_argument("leaf must be > 0");
+  BlockDevice& dev = a.cache().device();
+  const DeviceStats before = dev.stats();
+  co_transpose(a, out, 0, a.n(), 0, a.n(), leaf);
+  a.cache().flush();
+  return ios_since(dev, before);
+}
+
+}  // namespace pdc::extmem

@@ -1,0 +1,229 @@
+#include "pdc/isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace pdc::isa {
+
+namespace {
+
+struct PendingInstruction {
+  Instruction ins;
+  std::string label_ref;  // unresolved branch target (empty if none)
+  int line = 0;
+};
+
+std::string trim(std::string s) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.front())))
+    s.erase(s.begin());
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.back())))
+    s.pop_back();
+  return s;
+}
+
+std::optional<Opcode> parse_opcode(const std::string& text) {
+  static const std::map<std::string, Opcode> kOps = {
+      {"nop", Opcode::kNop},   {"halt", Opcode::kHalt},
+      {"mov", Opcode::kMov},   {"add", Opcode::kAdd},
+      {"sub", Opcode::kSub},   {"mul", Opcode::kMul},
+      {"div", Opcode::kDiv},   {"and", Opcode::kAnd},
+      {"or", Opcode::kOr},     {"xor", Opcode::kXor},
+      {"not", Opcode::kNot},   {"neg", Opcode::kNeg},
+      {"shl", Opcode::kShl},   {"shr", Opcode::kShr},
+      {"cmp", Opcode::kCmp},   {"test", Opcode::kTest},
+      {"jmp", Opcode::kJmp},   {"je", Opcode::kJe},
+      {"jne", Opcode::kJne},   {"jl", Opcode::kJl},
+      {"jle", Opcode::kJle},   {"jg", Opcode::kJg},
+      {"jge", Opcode::kJge},   {"push", Opcode::kPush},
+      {"pop", Opcode::kPop},   {"call", Opcode::kCall},
+      {"ret", Opcode::kRet},   {"in", Opcode::kIn},
+      {"out", Opcode::kOut},
+  };
+  const auto it = kOps.find(text);
+  if (it == kOps.end()) return std::nullopt;
+  return it->second;
+}
+
+bool is_branch(Opcode op) {
+  switch (op) {
+    case Opcode::kJmp:
+    case Opcode::kJe:
+    case Opcode::kJne:
+    case Opcode::kJl:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kJge:
+    case Opcode::kCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Expected operand count for validation.
+int operand_count(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kRet:
+      return 0;
+    case Opcode::kNot:
+    case Opcode::kNeg:
+    case Opcode::kPush:
+    case Opcode::kPop:
+    case Opcode::kIn:
+    case Opcode::kOut:
+      return 1;
+    case Opcode::kJmp:
+    case Opcode::kJe:
+    case Opcode::kJne:
+    case Opcode::kJl:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kJge:
+    case Opcode::kCall:
+      return 1;  // the label
+    default:
+      return 2;
+  }
+}
+
+std::int64_t parse_int(const std::string& text, int line) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(text, &pos, 0);
+    if (pos != text.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw AsmError(line, "bad integer literal: " + text);
+  }
+}
+
+Operand parse_operand(const std::string& text, int line) {
+  if (text.empty()) throw AsmError(line, "missing operand");
+  if (text[0] == '$') return Operand::imm(parse_int(text.substr(1), line));
+  if (text[0] == '[') {
+    if (text.back() != ']') throw AsmError(line, "unterminated memory operand");
+    std::string inner = text.substr(1, text.size() - 2);
+    // "[ fp + 2 ]" and "[fp+2]" are equivalent: drop all inner whitespace.
+    std::erase_if(inner, [](unsigned char c) { return std::isspace(c) != 0; });
+    // [reg], [reg+disp], [reg-disp]
+    std::size_t sign = inner.find_first_of("+-");
+    std::string reg_text = sign == std::string::npos
+                               ? inner
+                               : trim(inner.substr(0, sign));
+    std::int64_t disp = 0;
+    if (sign != std::string::npos)
+      disp = parse_int(trim(inner.substr(sign)), line);
+    try {
+      return Operand::mem(parse_reg(reg_text), disp);
+    } catch (const std::invalid_argument& e) {
+      throw AsmError(line, e.what());
+    }
+  }
+  try {
+    return Operand::reg_op(parse_reg(text));
+  } catch (const std::invalid_argument& e) {
+    throw AsmError(line, e.what());
+  }
+}
+
+std::vector<std::string> split_operands(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',') {
+      parts.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cur = trim(cur);
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace
+
+std::vector<Instruction> assemble(const std::string& source) {
+  std::vector<PendingInstruction> pending;
+  std::map<std::string, std::size_t> labels;
+
+  std::istringstream in(source);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments.
+    if (const auto semi = raw.find(';'); semi != std::string::npos)
+      raw.erase(semi);
+    std::string line = trim(raw);
+    // Pull off any leading labels ("name:").
+    while (true) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) break;
+      const std::string name = trim(line.substr(0, colon));
+      if (name.empty() || name.find(' ') != std::string::npos)
+        throw AsmError(line_no, "bad label");
+      if (labels.contains(name))
+        throw AsmError(line_no, "duplicate label: " + name);
+      labels[name] = pending.size();
+      line = trim(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+
+    // Opcode is the first word.
+    const auto space = line.find_first_of(" \t");
+    std::string op_text = line.substr(0, space);
+    std::transform(op_text.begin(), op_text.end(), op_text.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    const auto op = parse_opcode(op_text);
+    if (!op) throw AsmError(line_no, "unknown opcode: " + op_text);
+
+    const std::string rest =
+        space == std::string::npos ? "" : trim(line.substr(space));
+    const auto operands = split_operands(rest);
+    if (static_cast<int>(operands.size()) != operand_count(*op))
+      throw AsmError(line_no, "wrong operand count for " + op_text);
+
+    PendingInstruction p;
+    p.ins.op = *op;
+    p.line = line_no;
+    if (is_branch(*op)) {
+      p.label_ref = operands[0];
+    } else {
+      if (!operands.empty()) p.ins.dst = parse_operand(operands[0], line_no);
+      if (operands.size() > 1) p.ins.src = parse_operand(operands[1], line_no);
+    }
+    pending.push_back(std::move(p));
+  }
+
+  // Pass 2: resolve labels.
+  std::vector<Instruction> program;
+  program.reserve(pending.size());
+  for (auto& p : pending) {
+    if (!p.label_ref.empty()) {
+      const auto it = labels.find(p.label_ref);
+      if (it == labels.end())
+        throw AsmError(p.line, "undefined label: " + p.label_ref);
+      p.ins.target = it->second;
+    }
+    program.push_back(p.ins);
+  }
+  return program;
+}
+
+std::string disassemble_program(const std::vector<Instruction>& program) {
+  std::string out;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    out += "@" + std::to_string(i) + ": " + disassemble(program[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace pdc::isa

@@ -1,0 +1,45 @@
+#pragma once
+// Two-pass assembler for SwatVM assembly.
+//
+// Syntax (one instruction per line):
+//   ; comments run to end of line
+//   label:            ; labels name the next instruction
+//   mov r0, $42       ; $n  = immediate
+//   mov r1, [fp-2]    ; [reg+disp] = memory operand (word displacement)
+//   add r0, r1
+//   cmp r0, $0
+//   je  done
+//   call func
+//   out r0
+//   halt
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pdc/isa/instruction.hpp"
+
+namespace pdc::isa {
+
+/// Assembly error with (1-based) source line.
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Assemble a full program; throws AsmError on syntax errors, duplicate
+/// labels, or references to undefined labels.
+[[nodiscard]] std::vector<Instruction> assemble(const std::string& source);
+
+/// Disassemble a whole program, one instruction per line, prefixed with
+/// the instruction index ("@3: mov r0, $1").
+[[nodiscard]] std::string disassemble_program(
+    const std::vector<Instruction>& program);
+
+}  // namespace pdc::isa

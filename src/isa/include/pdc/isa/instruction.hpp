@@ -1,0 +1,91 @@
+#pragma once
+// SwatVM instruction set — the portable stand-in for the IA32 material in
+// CS31 (reading/tracing assembly, the stack, function-call mechanics).
+// An 8-register machine with condition flags, a downward-growing stack,
+// and word-addressed memory of 64-bit integers.
+
+#include <cstdint>
+#include <string>
+
+namespace pdc::isa {
+
+/// General-purpose registers. R6 is the frame pointer (FP) and R7 the
+/// stack pointer (SP) by convention; CALL/RET/PUSH/POP use SP implicitly.
+enum class Reg : std::uint8_t { kR0, kR1, kR2, kR3, kR4, kR5, kFp, kSp };
+
+inline constexpr int kNumRegs = 8;
+
+[[nodiscard]] std::string_view reg_name(Reg r);
+/// Parse "r0".."r5", "fp", "sp" (case-insensitive); throws on bad names.
+[[nodiscard]] Reg parse_reg(std::string_view text);
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kHalt,
+  kMov,    // mov dst, src
+  kAdd,    // dst += src (sets flags)
+  kSub,    // dst -= src (sets flags)
+  kMul,    // dst *= src (sets ZF/SF)
+  kDiv,    // dst /= src (traps on 0)
+  kAnd,
+  kOr,
+  kXor,
+  kNot,    // dst = ~dst
+  kNeg,    // dst = -dst
+  kShl,
+  kShr,
+  kCmp,    // flags from dst - src (no write)
+  kTest,   // flags from dst & src (no write)
+  kJmp,
+  kJe,     // ZF
+  kJne,    // !ZF
+  kJl,     // SF != OF
+  kJle,    // ZF or SF != OF
+  kJg,     // !ZF and SF == OF
+  kJge,    // SF == OF
+  kPush,
+  kPop,
+  kCall,
+  kRet,
+  kIn,     // dst = next input value (traps if exhausted)
+  kOut,    // append src to output
+};
+
+[[nodiscard]] std::string_view opcode_name(Opcode op);
+
+/// Operand: register, immediate, or memory [reg + disp].
+struct Operand {
+  enum class Kind : std::uint8_t { kNone, kReg, kImm, kMem };
+  Kind kind = Kind::kNone;
+  Reg reg = Reg::kR0;           // for kReg / kMem base
+  std::int64_t value = 0;       // immediate, or displacement for kMem
+
+  [[nodiscard]] static Operand none() { return {}; }
+  [[nodiscard]] static Operand reg_op(Reg r) {
+    return {Kind::kReg, r, 0};
+  }
+  [[nodiscard]] static Operand imm(std::int64_t v) {
+    return {Kind::kImm, Reg::kR0, v};
+  }
+  [[nodiscard]] static Operand mem(Reg base, std::int64_t disp = 0) {
+    return {Kind::kMem, base, disp};
+  }
+  bool operator==(const Operand&) const = default;
+};
+
+/// One decoded instruction. Jump/call targets are instruction indices
+/// stored in `target` after label resolution.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Operand dst;
+  Operand src;
+  std::size_t target = 0;  // jmp/call destination (instruction index)
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Render one instruction back to assembly text (labels appear as
+/// absolute instruction indices: "jmp @12").
+[[nodiscard]] std::string disassemble(const Instruction& ins);
+
+}  // namespace pdc::isa

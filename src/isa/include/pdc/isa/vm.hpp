@@ -1,0 +1,112 @@
+#pragma once
+// The SwatVM execution engine: fetch/decode/execute with condition flags,
+// a downward-growing stack, word-addressed memory, trapping semantics for
+// every error students would hit with gdb on real hardware, and an
+// optional single-step trace.
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pdc/isa/instruction.hpp"
+
+namespace pdc::isa {
+
+/// Runtime fault (invalid memory, stack overflow, division by zero, ...).
+class VmTrap : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Condition flags, set by add/sub/cmp/test/logic ops.
+struct Flags {
+  bool zf = false;  ///< zero
+  bool sf = false;  ///< sign
+  bool of = false;  ///< signed overflow
+  bool cf = false;  ///< carry (unsigned overflow)
+  bool operator==(const Flags&) const = default;
+};
+
+/// One line of an execution trace.
+struct TraceEntry {
+  std::size_t pc = 0;
+  std::string text;                  // disassembled instruction
+  std::int64_t regs[kNumRegs] = {};  // register file *after* execution
+  Flags flags;
+};
+
+class Vm {
+ public:
+  /// `memory_words` words of RAM; SP starts at memory_words (one past the
+  /// end, stack grows down), FP starts equal to SP.
+  explicit Vm(std::vector<Instruction> program,
+              std::size_t memory_words = 4096);
+
+  /// Feed input values consumed by the `in` instruction.
+  void set_input(std::vector<std::int64_t> values);
+
+  /// Execute one instruction. Returns false when halted (or already
+  /// halted). Throws VmTrap on faults.
+  bool step();
+
+  /// Run until halt or `max_steps` executed. Returns the number of
+  /// instructions executed. Throws VmTrap on faults and on exceeding
+  /// max_steps (runaway guard).
+  std::size_t run(std::size_t max_steps = 1'000'000);
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::size_t pc() const { return pc_; }
+  [[nodiscard]] std::int64_t reg(Reg r) const;
+  void set_reg(Reg r, std::int64_t v);
+  [[nodiscard]] const Flags& flags() const { return flags_; }
+  [[nodiscard]] std::int64_t mem(std::size_t addr) const;
+  void set_mem(std::size_t addr, std::int64_t v);
+  [[nodiscard]] std::size_t memory_words() const { return memory_.size(); }
+
+  /// Values emitted by `out`, in order.
+  [[nodiscard]] const std::vector<std::int64_t>& output() const {
+    return output_;
+  }
+
+  /// Enable per-step tracing (kept in trace()).
+  void set_tracing(bool on) { tracing_ = on; }
+  [[nodiscard]] const std::vector<TraceEntry>& trace() const { return trace_; }
+
+  [[nodiscard]] std::size_t instructions_executed() const { return executed_; }
+
+  /// Per-opcode execution counts (always collected; the profiling view of
+  /// the bomb lab: "where does this program spend its instructions?").
+  [[nodiscard]] std::uint64_t opcode_count(Opcode op) const;
+
+  /// Execution count of the instruction at `pc` (hot-spot histogram).
+  [[nodiscard]] std::uint64_t pc_count(std::size_t pc) const;
+
+  /// The `top` hottest (pc, count) pairs, descending by count.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::uint64_t>>
+  hottest_instructions(std::size_t top = 5) const;
+
+ private:
+  [[nodiscard]] std::int64_t read_operand(const Operand& o) const;
+  void write_operand(const Operand& o, std::int64_t v);
+  void set_arith_flags(std::int64_t result);
+  void push(std::int64_t v);
+  [[nodiscard]] std::int64_t pop();
+
+  std::vector<Instruction> program_;
+  std::vector<std::int64_t> memory_;
+  std::int64_t regs_[kNumRegs] = {};
+  Flags flags_;
+  std::size_t pc_ = 0;
+  bool halted_ = false;
+  std::deque<std::int64_t> input_;
+  std::vector<std::int64_t> output_;
+  bool tracing_ = false;
+  std::vector<TraceEntry> trace_;
+  std::size_t executed_ = 0;
+  std::uint64_t opcode_counts_[64] = {};
+  std::vector<std::uint64_t> pc_counts_;
+};
+
+}  // namespace pdc::isa

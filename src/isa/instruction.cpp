@@ -1,0 +1,108 @@
+#include "pdc/isa/instruction.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace pdc::isa {
+
+namespace {
+constexpr std::array<std::string_view, kNumRegs> kRegNames = {
+    "r0", "r1", "r2", "r3", "r4", "r5", "fp", "sp"};
+}
+
+std::string_view reg_name(Reg r) {
+  return kRegNames[static_cast<std::size_t>(r)];
+}
+
+Reg parse_reg(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  for (std::size_t i = 0; i < kRegNames.size(); ++i)
+    if (lower == kRegNames[i]) return static_cast<Reg>(i);
+  throw std::invalid_argument("unknown register: " + std::string(text));
+}
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNot: return "not";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kTest: return "test";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kJe: return "je";
+    case Opcode::kJne: return "jne";
+    case Opcode::kJl: return "jl";
+    case Opcode::kJle: return "jle";
+    case Opcode::kJg: return "jg";
+    case Opcode::kJge: return "jge";
+    case Opcode::kPush: return "push";
+    case Opcode::kPop: return "pop";
+    case Opcode::kCall: return "call";
+    case Opcode::kRet: return "ret";
+    case Opcode::kIn: return "in";
+    case Opcode::kOut: return "out";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string operand_text(const Operand& o) {
+  switch (o.kind) {
+    case Operand::Kind::kNone: return "";
+    case Operand::Kind::kReg: return std::string(reg_name(o.reg));
+    case Operand::Kind::kImm: return "$" + std::to_string(o.value);
+    case Operand::Kind::kMem: {
+      std::string s = "[" + std::string(reg_name(o.reg));
+      if (o.value > 0) s += "+" + std::to_string(o.value);
+      if (o.value < 0) s += std::to_string(o.value);
+      return s + "]";
+    }
+  }
+  return "";
+}
+
+bool is_branch(Opcode op) {
+  switch (op) {
+    case Opcode::kJmp:
+    case Opcode::kJe:
+    case Opcode::kJne:
+    case Opcode::kJl:
+    case Opcode::kJle:
+    case Opcode::kJg:
+    case Opcode::kJge:
+    case Opcode::kCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& ins) {
+  std::string s(opcode_name(ins.op));
+  if (is_branch(ins.op)) {
+    s += " @" + std::to_string(ins.target);
+    return s;
+  }
+  const std::string d = operand_text(ins.dst);
+  const std::string r = operand_text(ins.src);
+  if (!d.empty()) s += " " + d;
+  if (!r.empty()) s += ", " + r;
+  return s;
+}
+
+}  // namespace pdc::isa

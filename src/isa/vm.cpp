@@ -1,0 +1,296 @@
+#include "pdc/isa/vm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pdc::isa {
+
+Vm::Vm(std::vector<Instruction> program, std::size_t memory_words)
+    : program_(std::move(program)), memory_(memory_words, 0) {
+  pc_counts_.resize(program_.size(), 0);
+  if (memory_words == 0) throw std::invalid_argument("memory must be > 0");
+  regs_[static_cast<int>(Reg::kSp)] = static_cast<std::int64_t>(memory_words);
+  regs_[static_cast<int>(Reg::kFp)] = static_cast<std::int64_t>(memory_words);
+}
+
+void Vm::set_input(std::vector<std::int64_t> values) {
+  input_.assign(values.begin(), values.end());
+}
+
+std::int64_t Vm::reg(Reg r) const {
+  return regs_[static_cast<int>(r)];
+}
+
+void Vm::set_reg(Reg r, std::int64_t v) { regs_[static_cast<int>(r)] = v; }
+
+std::int64_t Vm::mem(std::size_t addr) const {
+  if (addr >= memory_.size()) throw VmTrap("memory read out of bounds");
+  return memory_[addr];
+}
+
+void Vm::set_mem(std::size_t addr, std::int64_t v) {
+  if (addr >= memory_.size()) throw VmTrap("memory write out of bounds");
+  memory_[addr] = v;
+}
+
+std::int64_t Vm::read_operand(const Operand& o) const {
+  switch (o.kind) {
+    case Operand::Kind::kReg: return regs_[static_cast<int>(o.reg)];
+    case Operand::Kind::kImm: return o.value;
+    case Operand::Kind::kMem: {
+      const std::int64_t addr = regs_[static_cast<int>(o.reg)] + o.value;
+      if (addr < 0) throw VmTrap("negative memory address");
+      return mem(static_cast<std::size_t>(addr));
+    }
+    case Operand::Kind::kNone: break;
+  }
+  throw VmTrap("read of missing operand");
+}
+
+void Vm::write_operand(const Operand& o, std::int64_t v) {
+  switch (o.kind) {
+    case Operand::Kind::kReg:
+      regs_[static_cast<int>(o.reg)] = v;
+      return;
+    case Operand::Kind::kMem: {
+      const std::int64_t addr = regs_[static_cast<int>(o.reg)] + o.value;
+      if (addr < 0) throw VmTrap("negative memory address");
+      set_mem(static_cast<std::size_t>(addr), v);
+      return;
+    }
+    case Operand::Kind::kImm:
+      throw VmTrap("write to immediate operand");
+    case Operand::Kind::kNone:
+      throw VmTrap("write to missing operand");
+  }
+}
+
+void Vm::set_arith_flags(std::int64_t result) {
+  flags_.zf = result == 0;
+  flags_.sf = result < 0;
+}
+
+void Vm::push(std::int64_t v) {
+  std::int64_t& sp = regs_[static_cast<int>(Reg::kSp)];
+  if (sp <= 0) throw VmTrap("stack overflow");
+  --sp;
+  memory_[static_cast<std::size_t>(sp)] = v;
+}
+
+std::int64_t Vm::pop() {
+  std::int64_t& sp = regs_[static_cast<int>(Reg::kSp)];
+  if (sp >= static_cast<std::int64_t>(memory_.size()))
+    throw VmTrap("stack underflow");
+  return memory_[static_cast<std::size_t>(sp++)];
+}
+
+bool Vm::step() {
+  if (halted_) return false;
+  if (pc_ >= program_.size()) throw VmTrap("program counter out of range");
+
+  const Instruction& ins = program_[pc_];
+  std::size_t next_pc = pc_ + 1;
+
+  auto sub_with_flags = [&](std::int64_t a, std::int64_t b) {
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    const auto ur = ua - ub;
+    const auto r = static_cast<std::int64_t>(ur);
+    flags_.zf = r == 0;
+    flags_.sf = r < 0;
+    flags_.cf = ua < ub;
+    flags_.of = ((a < 0) != (b < 0)) && ((r < 0) != (a < 0));
+    return r;
+  };
+  auto add_with_flags = [&](std::int64_t a, std::int64_t b) {
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    const auto ur = ua + ub;
+    const auto r = static_cast<std::int64_t>(ur);
+    flags_.zf = r == 0;
+    flags_.sf = r < 0;
+    flags_.cf = ur < ua;
+    flags_.of = ((a < 0) == (b < 0)) && ((r < 0) != (a < 0));
+    return r;
+  };
+  auto branch_if = [&](bool cond) {
+    if (cond) {
+      if (ins.target >= program_.size())
+        throw VmTrap("branch target out of range");
+      next_pc = ins.target;
+    }
+  };
+
+  switch (ins.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      halted_ = true;
+      break;
+    case Opcode::kMov:
+      write_operand(ins.dst, read_operand(ins.src));
+      break;
+    case Opcode::kAdd:
+      write_operand(ins.dst,
+                    add_with_flags(read_operand(ins.dst),
+                                   read_operand(ins.src)));
+      break;
+    case Opcode::kSub:
+      write_operand(ins.dst,
+                    sub_with_flags(read_operand(ins.dst),
+                                   read_operand(ins.src)));
+      break;
+    case Opcode::kMul: {
+      const std::int64_t r = read_operand(ins.dst) * read_operand(ins.src);
+      set_arith_flags(r);
+      write_operand(ins.dst, r);
+      break;
+    }
+    case Opcode::kDiv: {
+      const std::int64_t b = read_operand(ins.src);
+      if (b == 0) throw VmTrap("division by zero");
+      const std::int64_t r = read_operand(ins.dst) / b;
+      set_arith_flags(r);
+      write_operand(ins.dst, r);
+      break;
+    }
+    case Opcode::kAnd: {
+      const std::int64_t r = read_operand(ins.dst) & read_operand(ins.src);
+      set_arith_flags(r);
+      flags_.of = flags_.cf = false;
+      write_operand(ins.dst, r);
+      break;
+    }
+    case Opcode::kOr: {
+      const std::int64_t r = read_operand(ins.dst) | read_operand(ins.src);
+      set_arith_flags(r);
+      flags_.of = flags_.cf = false;
+      write_operand(ins.dst, r);
+      break;
+    }
+    case Opcode::kXor: {
+      const std::int64_t r = read_operand(ins.dst) ^ read_operand(ins.src);
+      set_arith_flags(r);
+      flags_.of = flags_.cf = false;
+      write_operand(ins.dst, r);
+      break;
+    }
+    case Opcode::kNot:
+      write_operand(ins.dst, ~read_operand(ins.dst));
+      break;
+    case Opcode::kNeg: {
+      const std::int64_t r = -read_operand(ins.dst);
+      set_arith_flags(r);
+      write_operand(ins.dst, r);
+      break;
+    }
+    case Opcode::kShl: {
+      const std::int64_t sh = read_operand(ins.src);
+      if (sh < 0 || sh > 63) throw VmTrap("shift amount out of range");
+      const std::int64_t r = static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(read_operand(ins.dst)) << sh);
+      set_arith_flags(r);
+      write_operand(ins.dst, r);
+      break;
+    }
+    case Opcode::kShr: {
+      const std::int64_t sh = read_operand(ins.src);
+      if (sh < 0 || sh > 63) throw VmTrap("shift amount out of range");
+      const std::int64_t r = static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(read_operand(ins.dst)) >> sh);
+      set_arith_flags(r);
+      write_operand(ins.dst, r);
+      break;
+    }
+    case Opcode::kCmp:
+      (void)sub_with_flags(read_operand(ins.dst), read_operand(ins.src));
+      break;
+    case Opcode::kTest: {
+      const std::int64_t r = read_operand(ins.dst) & read_operand(ins.src);
+      set_arith_flags(r);
+      flags_.of = flags_.cf = false;
+      break;
+    }
+    case Opcode::kJmp: branch_if(true); break;
+    case Opcode::kJe: branch_if(flags_.zf); break;
+    case Opcode::kJne: branch_if(!flags_.zf); break;
+    case Opcode::kJl: branch_if(flags_.sf != flags_.of); break;
+    case Opcode::kJle: branch_if(flags_.zf || flags_.sf != flags_.of); break;
+    case Opcode::kJg: branch_if(!flags_.zf && flags_.sf == flags_.of); break;
+    case Opcode::kJge: branch_if(flags_.sf == flags_.of); break;
+    case Opcode::kPush:
+      push(read_operand(ins.dst));
+      break;
+    case Opcode::kPop:
+      write_operand(ins.dst, pop());
+      break;
+    case Opcode::kCall:
+      push(static_cast<std::int64_t>(pc_ + 1));
+      branch_if(true);
+      break;
+    case Opcode::kRet: {
+      const std::int64_t ra = pop();
+      if (ra < 0 || static_cast<std::size_t>(ra) > program_.size())
+        throw VmTrap("corrupt return address");
+      next_pc = static_cast<std::size_t>(ra);
+      // Returning to one-past-the-end halts cleanly (main's return).
+      if (next_pc == program_.size()) halted_ = true;
+      break;
+    }
+    case Opcode::kIn: {
+      if (input_.empty()) throw VmTrap("input exhausted");
+      write_operand(ins.dst, input_.front());
+      input_.pop_front();
+      break;
+    }
+    case Opcode::kOut:
+      output_.push_back(read_operand(ins.dst));
+      break;
+  }
+
+  ++executed_;
+  ++opcode_counts_[static_cast<int>(ins.op)];
+  ++pc_counts_[pc_];
+  if (tracing_) {
+    TraceEntry e;
+    e.pc = pc_;
+    e.text = disassemble(ins);
+    for (int i = 0; i < kNumRegs; ++i) e.regs[i] = regs_[i];
+    e.flags = flags_;
+    trace_.push_back(std::move(e));
+  }
+  if (!halted_) pc_ = next_pc;
+  return !halted_;
+}
+
+std::uint64_t Vm::opcode_count(Opcode op) const {
+  return opcode_counts_[static_cast<int>(op)];
+}
+
+std::uint64_t Vm::pc_count(std::size_t pc) const {
+  return pc < pc_counts_.size() ? pc_counts_[pc] : 0;
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>> Vm::hottest_instructions(
+    std::size_t top) const {
+  std::vector<std::pair<std::size_t, std::uint64_t>> all;
+  for (std::size_t pc = 0; pc < pc_counts_.size(); ++pc)
+    if (pc_counts_[pc] > 0) all.emplace_back(pc, pc_counts_[pc]);
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (all.size() > top) all.resize(top);
+  return all;
+}
+
+std::size_t Vm::run(std::size_t max_steps) {
+  const std::size_t start = executed_;
+  while (!halted_) {
+    if (executed_ - start >= max_steps)
+      throw VmTrap("instruction budget exceeded (runaway program?)");
+    step();
+  }
+  return executed_ - start;
+}
+
+}  // namespace pdc::isa

@@ -1,0 +1,162 @@
+#include "pdc/life/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "pdc/core/team.hpp"
+#include "pdc/mp/comm.hpp"
+
+namespace pdc::life {
+
+namespace {
+
+/// Compute rows [row_begin, row_end) of `dst` from `src`.
+void step_rows(const Grid& src, Grid& dst, std::size_t row_begin,
+               std::size_t row_end) {
+  for (std::size_t r = row_begin; r < row_end; ++r)
+    for (std::size_t c = 0; c < src.cols(); ++c)
+      dst.set(r, c, src.next_state(r, c));
+}
+
+}  // namespace
+
+void run_sequential(Grid& board, int generations) {
+  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
+  Grid next(board.rows(), board.cols(), board.boundary());
+  for (int g = 0; g < generations; ++g) {
+    step_rows(board, next, 0, board.rows());
+    std::swap(board, next);
+  }
+}
+
+void run_threaded(Grid& board, int generations, int threads) {
+  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
+  if (threads < 1) throw std::invalid_argument("threads must be >= 1");
+  if (generations == 0) return;
+
+  Grid other(board.rows(), board.cols(), board.boundary());
+  Grid* bufs[2] = {&board, &other};
+
+  core::Team::run(threads, [&](core::TeamContext& ctx) {
+    const auto [lo, hi] = ctx.block_range(0, board.rows());
+    int src = 0;
+    for (int g = 0; g < generations; ++g) {
+      step_rows(*bufs[src], *bufs[1 - src], lo, hi);
+      // One barrier per generation: nobody may start writing the old
+      // source until everyone has finished reading it.
+      ctx.barrier();
+      src = 1 - src;
+    }
+  });
+
+  // If the final board landed in `other`, move it back.
+  if (generations % 2 == 1) std::swap(board, other);
+}
+
+void run_message_passing(Grid& board, int generations, int ranks,
+                         std::uint64_t* messages_out,
+                         std::uint64_t* payload_words_out) {
+  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
+  if (ranks < 1) throw std::invalid_argument("ranks must be >= 1");
+  if (static_cast<std::size_t>(ranks) > board.rows())
+    throw std::invalid_argument("more ranks than rows");
+  if (generations == 0) return;
+
+  const std::size_t rows = board.rows();
+  const std::size_t cols = board.cols();
+  const bool torus = board.boundary() == Boundary::kTorus;
+
+  mp::Communicator comm(ranks);
+  comm.run([&](mp::RankContext& ctx) {
+    const int p = ctx.size();
+    const int r = ctx.rank();
+    // Block partition of rows.
+    const std::size_t base = rows / static_cast<std::size_t>(p);
+    const std::size_t extra = rows % static_cast<std::size_t>(p);
+    const auto ur = static_cast<std::size_t>(r);
+    const std::size_t lo = ur * base + std::min(ur, extra);
+    const std::size_t n = base + (ur < extra ? 1 : 0);
+
+    // Local block with one halo row above and below.
+    // local[0] = halo above, local[1..n] = owned rows, local[n+1] = below.
+    std::vector<std::vector<std::uint8_t>> local(
+        n + 2, std::vector<std::uint8_t>(cols, 0));
+    std::vector<std::vector<std::uint8_t>> next = local;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t c = 0; c < cols; ++c)
+        local[i + 1][c] = board.get(lo + i, c) ? 1 : 0;
+
+    const int up = r == 0 ? (torus ? p - 1 : -1) : r - 1;
+    const int down = r == p - 1 ? (torus ? 0 : -1) : r + 1;
+
+    auto pack = [&](const std::vector<std::uint8_t>& row) {
+      std::vector<std::int64_t> out(cols);
+      for (std::size_t c = 0; c < cols; ++c) out[c] = row[c];
+      return out;
+    };
+    auto unpack = [&](const std::vector<std::int64_t>& data,
+                      std::vector<std::uint8_t>& row) {
+      for (std::size_t c = 0; c < cols; ++c)
+        row[c] = static_cast<std::uint8_t>(data[c]);
+    };
+
+    for (int g = 0; g < generations; ++g) {
+      const int tag = 2 * g;
+      // Halo exchange (buffered sends: no deadlock).
+      // Degenerate single-rank torus: my own rows wrap onto myself.
+      if (up >= 0) ctx.send(up, tag, pack(local[1]));
+      if (down >= 0) ctx.send(down, tag + 1, pack(local[n]));
+      if (down >= 0) {
+        unpack(ctx.recv(down, tag).data, local[n + 1]);
+      } else {
+        local[n + 1].assign(cols, 0);
+      }
+      if (up >= 0) {
+        unpack(ctx.recv(up, tag + 1).data, local[0]);
+      } else {
+        local[0].assign(cols, 0);
+      }
+
+      // Compute owned rows from the haloed block.
+      for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          int count = 0;
+          for (int dr = -1; dr <= 1; ++dr) {
+            for (int dc = -1; dc <= 1; ++dc) {
+              if (dr == 0 && dc == 0) continue;
+              long cc = static_cast<long>(c) + dc;
+              if (torus) {
+                cc = (cc + static_cast<long>(cols)) %
+                     static_cast<long>(cols);
+              } else if (cc < 0 || cc >= static_cast<long>(cols)) {
+                continue;
+              }
+              count += local[i + static_cast<std::size_t>(dr)]
+                            [static_cast<std::size_t>(cc)];
+            }
+          }
+          const bool alive = local[i][c] != 0;
+          next[i][c] = (alive ? (count == 2 || count == 3) : (count == 3))
+                           ? 1
+                           : 0;
+        }
+      }
+      std::swap(local, next);
+    }
+
+    // Everyone finishes computing before anyone writes the shared board
+    // (ranks read neighbors' initial rows only at init, but keep the
+    // barrier as the explicit synchronization point).
+    ctx.barrier();
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t c = 0; c < cols; ++c)
+        board.set(lo + i, c, local[i + 1][c] != 0);
+  });
+
+  const auto traffic = comm.traffic();
+  if (messages_out != nullptr) *messages_out = traffic.messages;
+  if (payload_words_out != nullptr) *payload_words_out = traffic.payload_words;
+}
+
+}  // namespace pdc::life

@@ -1,0 +1,30 @@
+#pragma once
+// Game of Life engines — three implementations of the same generation
+// rule, exactly the progression the curriculum teaches:
+//   1. sequential         (CS31 "Game of Life" lab)
+//   2. row-partitioned threads with a per-generation barrier
+//                         (CS31 "Parallel Game of Life" scalability lab)
+//   3. message-passing halo exchange over pdc::mp
+//                         (CS87 distributed-memory version)
+// All three produce bit-identical boards; tests assert it.
+
+#include "pdc/life/grid.hpp"
+
+namespace pdc::life {
+
+/// Advance `board` by `generations` steps, single threaded.
+void run_sequential(Grid& board, int generations);
+
+/// Advance `board` using `threads` workers. Rows are block-partitioned;
+/// a barrier separates generations (double buffering, no locks needed).
+void run_threaded(Grid& board, int generations, int threads);
+
+/// Advance `board` on `ranks` message-passing processes: each rank owns a
+/// block of rows and exchanges one halo row with each neighbor per
+/// generation. `traffic_out`, if non-null, receives the total messages and
+/// payload words exchanged.
+void run_message_passing(Grid& board, int generations, int ranks,
+                         std::uint64_t* messages_out = nullptr,
+                         std::uint64_t* payload_words_out = nullptr);
+
+}  // namespace pdc::life

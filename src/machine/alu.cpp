@@ -1,0 +1,156 @@
+#include "pdc/machine/alu.hpp"
+
+#include <stdexcept>
+
+#include "pdc/machine/bits.hpp"
+
+namespace pdc::machine {
+
+AdderBit half_adder(Circuit& c, Wire a, Wire b) {
+  return {c.xor_gate(a, b), c.and_gate(a, b)};
+}
+
+AdderBit full_adder(Circuit& c, Wire a, Wire b, Wire carry_in) {
+  const AdderBit h1 = half_adder(c, a, b);
+  const AdderBit h2 = half_adder(c, h1.sum, carry_in);
+  return {h2.sum, c.or_gate(h1.carry, h2.carry)};
+}
+
+AdderResult ripple_carry_adder(Circuit& c, const Bus& a, const Bus& b,
+                               Wire carry_in) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("adder requires equal non-empty buses");
+  AdderResult r;
+  Wire carry = carry_in;
+  Wire carry_into_msb = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i == a.size() - 1) carry_into_msb = carry;
+    const AdderBit fa = full_adder(c, a[i], b[i], carry);
+    r.sum.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  r.carry_out = carry;
+  // Signed overflow: carry into the MSB differs from carry out of it.
+  r.overflow = c.xor_gate(carry_into_msb, carry);
+  return r;
+}
+
+namespace {
+
+/// 3-to-8 decoder over the op-select bus: line k is high iff op == k.
+std::vector<Wire> decode_op(Circuit& c, const Bus& op) {
+  if (op.size() != 3) throw std::invalid_argument("op bus must be 3 bits");
+  const Wire n0 = c.not_gate(op[0]);
+  const Wire n1 = c.not_gate(op[1]);
+  const Wire n2 = c.not_gate(op[2]);
+  std::vector<Wire> lines;
+  lines.reserve(8);
+  for (int k = 0; k < 8; ++k) {
+    const Wire b0 = (k & 1) ? op[0] : n0;
+    const Wire b1 = (k & 2) ? op[1] : n1;
+    const Wire b2 = (k & 4) ? op[2] : n2;
+    lines.push_back(c.and_gate(c.and_gate(b0, b1), b2));
+  }
+  return lines;
+}
+
+/// OR together a non-empty list of wires as a balanced tree.
+Wire or_tree(Circuit& c, std::vector<Wire> ws) {
+  if (ws.empty()) throw std::invalid_argument("or_tree of nothing");
+  while (ws.size() > 1) {
+    std::vector<Wire> next;
+    for (std::size_t i = 0; i + 1 < ws.size(); i += 2)
+      next.push_back(c.or_gate(ws[i], ws[i + 1]));
+    if (ws.size() % 2 == 1) next.push_back(ws.back());
+    ws = std::move(next);
+  }
+  return ws[0];
+}
+
+}  // namespace
+
+AluOutputs build_alu(Circuit& c, const Bus& a, const Bus& b, const Bus& op) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("ALU requires equal non-empty operand buses");
+  const std::size_t n = a.size();
+  const std::vector<Wire> sel = decode_op(c, op);
+
+  // Shared adder/subtractor: b is XOR'd with the subtract line so one
+  // ripple-carry adder serves ADD, SUB and LESS, as in the lab handout.
+  const Wire sub_active =
+      or_tree(c, {sel[static_cast<int>(AluOp::kSub)],
+                  sel[static_cast<int>(AluOp::kLess)]});
+  Bus b_eff;
+  b_eff.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b_eff.push_back(c.xor_gate(b[i], sub_active));
+  const AdderResult adder = ripple_carry_adder(c, a, b_eff, sub_active);
+
+  // Per-op result buses.
+  Bus and_bus, or_bus, xor_bus, nor_bus, less_bus;
+  for (std::size_t i = 0; i < n; ++i) {
+    and_bus.push_back(c.and_gate(a[i], b[i]));
+    or_bus.push_back(c.or_gate(a[i], b[i]));
+    xor_bus.push_back(c.xor_gate(a[i], b[i]));
+    nor_bus.push_back(c.nor_gate(a[i], b[i]));
+  }
+  // Signed less-than: sign of (a-b) corrected by overflow.
+  const Wire slt = c.xor_gate(adder.sum[n - 1], adder.overflow);
+  const Wire zero_const = c.constant(false);
+  less_bus.push_back(slt);
+  for (std::size_t i = 1; i < n; ++i) less_bus.push_back(zero_const);
+
+  auto bus_for = [&](AluOp o) -> const Bus& {
+    switch (o) {
+      case AluOp::kAdd:
+      case AluOp::kSub: return adder.sum;
+      case AluOp::kAnd: return and_bus;
+      case AluOp::kOr: return or_bus;
+      case AluOp::kXor: return xor_bus;
+      case AluOp::kNor: return nor_bus;
+      case AluOp::kPassA: return a;
+      case AluOp::kLess: return less_bus;
+    }
+    throw std::logic_error("unreachable");
+  };
+
+  // Result mux: bit i = OR_k (sel_k AND bus_k[i]).
+  AluOutputs out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Wire> terms;
+    for (int k = 0; k < 8; ++k)
+      terms.push_back(
+          c.and_gate(sel[k], bus_for(static_cast<AluOp>(k))[i]));
+    out.result.push_back(or_tree(c, std::move(terms)));
+  }
+
+  out.zero = c.not_gate(or_tree(c, out.result));
+  out.negative = out.result[n - 1];
+  out.carry_out = adder.carry_out;
+  out.overflow = adder.overflow;
+  return out;
+}
+
+std::uint64_t alu_reference(AluOp op, std::uint64_t a, std::uint64_t b,
+                            int width) {
+  const std::uint64_t mask = low_mask(width);
+  a &= mask;
+  b &= mask;
+  switch (op) {
+    case AluOp::kAdd: return (a + b) & mask;
+    case AluOp::kSub: return (a - b) & mask;
+    case AluOp::kAnd: return a & b;
+    case AluOp::kOr: return a | b;
+    case AluOp::kXor: return a ^ b;
+    case AluOp::kNor: return ~(a | b) & mask;
+    case AluOp::kPassA: return a;
+    case AluOp::kLess:
+      return decode_twos_complement(a, width) <
+                     decode_twos_complement(b, width)
+                 ? 1u
+                 : 0u;
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace pdc::machine

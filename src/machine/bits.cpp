@@ -1,0 +1,158 @@
+#include "pdc/machine/bits.hpp"
+
+#include <stdexcept>
+
+namespace pdc::machine {
+
+namespace {
+
+void check_width(int width) {
+  if (width < 1 || width > kMaxWidth)
+    throw std::invalid_argument("width must be in [1,64]");
+}
+
+}  // namespace
+
+std::uint64_t low_mask(int width) {
+  check_width(width);
+  return width == 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << width) - 1);
+}
+
+std::string to_binary(std::uint64_t value, int width) {
+  check_width(width);
+  std::string out(static_cast<std::size_t>(width), '0');
+  for (int i = 0; i < width; ++i)
+    if ((value >> (width - 1 - i)) & 1u) out[static_cast<std::size_t>(i)] = '1';
+  return out;
+}
+
+std::string to_hex(std::uint64_t value, int width) {
+  check_width(width);
+  if (width % 4 != 0)
+    throw std::invalid_argument("hex width must be a multiple of 4");
+  static constexpr char digits[] = "0123456789abcdef";
+  const int nibbles = width / 4;
+  std::string out(static_cast<std::size_t>(nibbles), '0');
+  for (int i = 0; i < nibbles; ++i) {
+    const auto nib = (value >> (4 * (nibbles - 1 - i))) & 0xFu;
+    out[static_cast<std::size_t>(i)] = digits[nib];
+  }
+  return out;
+}
+
+std::uint64_t parse_binary(std::string_view text) {
+  if (text.starts_with("0b") || text.starts_with("0B")) text.remove_prefix(2);
+  if (text.empty() || text.size() > 64)
+    throw std::invalid_argument("binary literal must have 1..64 digits");
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c != '0' && c != '1')
+      throw std::invalid_argument("invalid binary digit");
+    v = (v << 1) | static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+std::uint64_t parse_hex(std::string_view text) {
+  if (text.starts_with("0x") || text.starts_with("0X")) text.remove_prefix(2);
+  if (text.empty() || text.size() > 16)
+    throw std::invalid_argument("hex literal must have 1..16 digits");
+  std::uint64_t v = 0;
+  for (char c : text) {
+    std::uint64_t d = 0;
+    if (c >= '0' && c <= '9')
+      d = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      d = static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      d = static_cast<std::uint64_t>(c - 'A' + 10);
+    else
+      throw std::invalid_argument("invalid hex digit");
+    v = (v << 4) | d;
+  }
+  return v;
+}
+
+std::int64_t decode_twos_complement(std::uint64_t bits, int width) {
+  check_width(width);
+  bits &= low_mask(width);
+  const std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+  if (bits & sign_bit) {
+    // value = bits - 2^width, computed without overflow.
+    return static_cast<std::int64_t>(bits | ~low_mask(width));
+  }
+  return static_cast<std::int64_t>(bits);
+}
+
+std::int64_t min_signed(int width) {
+  check_width(width);
+  return -(static_cast<std::int64_t>(1) << (width - 1));
+}
+
+std::int64_t max_signed(int width) {
+  check_width(width);
+  return (static_cast<std::int64_t>(1) << (width - 1)) - 1;
+}
+
+bool fits_twos_complement(std::int64_t value, int width) {
+  check_width(width);
+  if (width == 64) return true;
+  return value >= min_signed(width) && value <= max_signed(width);
+}
+
+std::uint64_t encode_twos_complement(std::int64_t value, int width) {
+  check_width(width);
+  if (!fits_twos_complement(value, width))
+    throw std::out_of_range("value not representable at this width");
+  return static_cast<std::uint64_t>(value) & low_mask(width);
+}
+
+std::uint64_t sign_extend(std::uint64_t bits, int from_width, int to_width) {
+  check_width(from_width);
+  check_width(to_width);
+  if (to_width < from_width)
+    throw std::invalid_argument("to_width must be >= from_width");
+  bits &= low_mask(from_width);
+  const std::uint64_t sign_bit = std::uint64_t{1} << (from_width - 1);
+  if (bits & sign_bit)
+    bits |= low_mask(to_width) & ~low_mask(from_width);
+  return bits;
+}
+
+AddResult add_with_flags(std::uint64_t a, std::uint64_t b, int width,
+                         bool carry_in) {
+  check_width(width);
+  const std::uint64_t mask = low_mask(width);
+  a &= mask;
+  b &= mask;
+
+  // Bitwise ripple so carry-out works uniformly, including width == 64.
+  std::uint64_t sum = 0;
+  bool carry = carry_in;
+  bool carry_into_msb = false;
+  for (int i = 0; i < width; ++i) {
+    const bool ai = (a >> i) & 1u;
+    const bool bi = (b >> i) & 1u;
+    const bool s = ai ^ bi ^ carry;
+    if (i == width - 1) carry_into_msb = carry;
+    carry = (ai && bi) || (ai && carry) || (bi && carry);
+    if (s) sum |= std::uint64_t{1} << i;
+  }
+
+  AddResult r;
+  r.bits = sum;
+  r.carry_out = carry;
+  // Signed overflow iff carry into MSB differs from carry out of MSB.
+  r.signed_overflow = carry_into_msb != carry;
+  r.zero = sum == 0;
+  r.negative = (sum >> (width - 1)) & 1u;
+  return r;
+}
+
+AddResult sub_with_flags(std::uint64_t a, std::uint64_t b, int width) {
+  // a - b == a + ~b + 1 at fixed width.
+  return add_with_flags(a, ~b & low_mask(width), width, /*carry_in=*/true);
+}
+
+}  // namespace pdc::machine

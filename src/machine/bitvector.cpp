@@ -1,0 +1,131 @@
+#include "pdc/machine/bitvector.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pdc::machine {
+
+namespace {
+constexpr std::size_t kBits = 64;
+}
+
+BitVector::BitVector(std::size_t size)
+    : size_(size), data_((size + kBits - 1) / kBits, 0) {}
+
+bool BitVector::test(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitVector index");
+  return (data_[i / kBits] >> (i % kBits)) & 1u;
+}
+
+void BitVector::set(std::size_t i) {
+  if (i >= size_) throw std::out_of_range("BitVector index");
+  data_[i / kBits] |= std::uint64_t{1} << (i % kBits);
+}
+
+void BitVector::reset(std::size_t i) {
+  if (i >= size_) throw std::out_of_range("BitVector index");
+  data_[i / kBits] &= ~(std::uint64_t{1} << (i % kBits));
+}
+
+void BitVector::flip(std::size_t i) {
+  if (i >= size_) throw std::out_of_range("BitVector index");
+  data_[i / kBits] ^= std::uint64_t{1} << (i % kBits);
+}
+
+void BitVector::assign(std::size_t i, bool value) {
+  value ? set(i) : reset(i);
+}
+
+void BitVector::set_all() {
+  for (auto& w : data_) w = ~std::uint64_t{0};
+  clear_padding();
+}
+
+void BitVector::reset_all() {
+  for (auto& w : data_) w = 0;
+}
+
+std::size_t BitVector::count() const {
+  std::size_t n = 0;
+  for (auto w : data_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVector::find_first() const {
+  for (std::size_t wi = 0; wi < data_.size(); ++wi)
+    if (data_[wi] != 0)
+      return wi * kBits + static_cast<std::size_t>(std::countr_zero(data_[wi]));
+  return size_;
+}
+
+std::size_t BitVector::find_next(std::size_t i) const {
+  if (i + 1 >= size_) return size_;
+  std::size_t start = i + 1;
+  std::size_t wi = start / kBits;
+  std::uint64_t w = data_[wi] & (~std::uint64_t{0} << (start % kBits));
+  while (true) {
+    if (w != 0)
+      return wi * kBits + static_cast<std::size_t>(std::countr_zero(w));
+    if (++wi >= data_.size()) return size_;
+    w = data_[wi];
+  }
+}
+
+void BitVector::check_same_size(const BitVector& o) const {
+  if (size_ != o.size_)
+    throw std::invalid_argument("BitVector size mismatch");
+}
+
+BitVector& BitVector::operator&=(const BitVector& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] &= o.data_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] |= o.data_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] ^= o.data_[i];
+  return *this;
+}
+
+BitVector BitVector::operator~() const {
+  BitVector r(*this);
+  for (auto& w : r.data_) w = ~w;
+  r.clear_padding();
+  return r;
+}
+
+bool BitVector::is_subset_of(const BitVector& o) const {
+  check_same_size(o);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if ((data_[i] & ~o.data_[i]) != 0) return false;
+  return true;
+}
+
+std::string BitVector::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (test(i)) s[i] = '1';
+  return s;
+}
+
+std::vector<std::size_t> BitVector::to_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = find_first(); i < size_; i = find_next(i))
+    out.push_back(i);
+  return out;
+}
+
+void BitVector::clear_padding() {
+  const std::size_t used = size_ % kBits;
+  if (used != 0 && !data_.empty())
+    data_.back() &= (std::uint64_t{1} << used) - 1;
+}
+
+}  // namespace pdc::machine

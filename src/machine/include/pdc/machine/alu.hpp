@@ -1,0 +1,72 @@
+#pragma once
+// Gate-level arithmetic building blocks and an n-bit ALU, composed from the
+// Circuit primitives exactly the way the CS31 lab has students wire them:
+// half adder -> full adder -> ripple-carry adder -> op-mux'd ALU.
+
+#include <cstdint>
+
+#include "pdc/machine/logic.hpp"
+
+namespace pdc::machine {
+
+/// sum/carry outputs of a 1-bit adder stage.
+struct AdderBit {
+  Wire sum;
+  Wire carry;
+};
+
+/// Half adder: sum = a XOR b, carry = a AND b. (2 gates)
+[[nodiscard]] AdderBit half_adder(Circuit& c, Wire a, Wire b);
+
+/// Full adder from two half adders plus an OR. (5 gates)
+[[nodiscard]] AdderBit full_adder(Circuit& c, Wire a, Wire b, Wire carry_in);
+
+/// Result buses of an n-bit ripple-carry adder.
+struct AdderResult {
+  Bus sum;        ///< n bits
+  Wire carry_out; ///< unsigned overflow
+  Wire overflow;  ///< signed (two's complement) overflow
+};
+
+/// n-bit ripple-carry adder over little-endian buses `a` and `b`
+/// (equal width required) with explicit carry-in wire.
+[[nodiscard]] AdderResult ripple_carry_adder(Circuit& c, const Bus& a,
+                                             const Bus& b, Wire carry_in);
+
+/// Operations supported by the lab ALU. Encoded on 3 select bits.
+enum class AluOp : std::uint8_t {
+  kAdd = 0,
+  kSub = 1,
+  kAnd = 2,
+  kOr = 3,
+  kXor = 4,
+  kNor = 5,
+  kPassA = 6,
+  kLess = 7,  ///< set-less-than (signed): result = (a < b) ? 1 : 0
+};
+
+/// Output buses/flags of the constructed ALU.
+struct AluOutputs {
+  Bus result;      ///< n bits
+  Wire zero;       ///< result == 0
+  Wire negative;   ///< MSB of result
+  Wire carry_out;  ///< from the adder (meaningful for add/sub)
+  Wire overflow;   ///< signed overflow (meaningful for add/sub)
+};
+
+/// Gate-level n-bit ALU.
+///
+/// Inputs: operand buses `a`, `b` (width n) and a 3-wire op-select bus
+/// `op` (little-endian, values matching AluOp). Every operation is computed
+/// and the select bits mux the result, mirroring the single-cycle datapath
+/// presented in lecture.
+[[nodiscard]] AluOutputs build_alu(Circuit& c, const Bus& a, const Bus& b,
+                                   const Bus& op);
+
+/// Software oracle for the gate-level ALU: computes what an n-bit ALU must
+/// produce for `op` on the low n bits of a and b. Used by tests/benches to
+/// cross-check the circuit against arithmetic done natively.
+[[nodiscard]] std::uint64_t alu_reference(AluOp op, std::uint64_t a,
+                                          std::uint64_t b, int width);
+
+}  // namespace pdc::machine

@@ -1,0 +1,74 @@
+#pragma once
+// Binary data representation (CS31 "Data Representation" lab):
+// base conversion, two's complement encode/decode at arbitrary width,
+// sign extension, and width-limited arithmetic with carry/overflow flags.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pdc::machine {
+
+/// Maximum representable width for the fixed-width helpers below.
+inline constexpr int kMaxWidth = 64;
+
+/// Render the low `width` bits of `value` as a binary string, MSB first.
+/// e.g. to_binary(10, 8) == "00001010".
+[[nodiscard]] std::string to_binary(std::uint64_t value, int width);
+
+/// Render the low `width` bits (width must be a multiple of 4) as lowercase
+/// hex without a prefix. e.g. to_hex(255, 16) == "00ff".
+[[nodiscard]] std::string to_hex(std::uint64_t value, int width);
+
+/// Parse a binary string ("1010" or "0b1010"); throws std::invalid_argument
+/// on bad characters, empty input, or more than 64 digits.
+[[nodiscard]] std::uint64_t parse_binary(std::string_view text);
+
+/// Parse a hex string ("ff", "0xff", upper or lower case); throws
+/// std::invalid_argument on bad input.
+[[nodiscard]] std::uint64_t parse_hex(std::string_view text);
+
+/// Two's complement interpretation of the low `width` bits of `bits`.
+/// decode_twos_complement(0b1111, 4) == -1.
+[[nodiscard]] std::int64_t decode_twos_complement(std::uint64_t bits,
+                                                  int width);
+
+/// Encode `value` as a `width`-bit two's complement pattern. Throws
+/// std::out_of_range if `value` is not representable in `width` bits.
+[[nodiscard]] std::uint64_t encode_twos_complement(std::int64_t value,
+                                                   int width);
+
+/// True iff signed `value` fits in `width`-bit two's complement.
+[[nodiscard]] bool fits_twos_complement(std::int64_t value, int width);
+
+/// Smallest/largest signed values representable in `width` bits.
+[[nodiscard]] std::int64_t min_signed(int width);
+[[nodiscard]] std::int64_t max_signed(int width);
+
+/// Sign-extend the low `from_width` bits of `bits` to `to_width` bits.
+[[nodiscard]] std::uint64_t sign_extend(std::uint64_t bits, int from_width,
+                                        int to_width);
+
+/// Result of width-limited binary addition, exposing the condition codes the
+/// CS31 lab asks students to derive by hand.
+struct AddResult {
+  std::uint64_t bits = 0;       ///< low `width` bits of the sum
+  bool carry_out = false;       ///< unsigned overflow
+  bool signed_overflow = false; ///< two's complement overflow
+  bool zero = false;            ///< result == 0
+  bool negative = false;        ///< sign bit of result
+};
+
+/// Add the low `width` bits of a and b (plus optional carry-in), reporting
+/// flags exactly as an ALU of that width would.
+[[nodiscard]] AddResult add_with_flags(std::uint64_t a, std::uint64_t b,
+                                       int width, bool carry_in = false);
+
+/// Subtract via two's complement (a + ~b + 1) with the same flag semantics.
+[[nodiscard]] AddResult sub_with_flags(std::uint64_t a, std::uint64_t b,
+                                       int width);
+
+/// Mask selecting the low `width` bits.
+[[nodiscard]] std::uint64_t low_mask(int width);
+
+}  // namespace pdc::machine

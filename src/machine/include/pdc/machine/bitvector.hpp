@@ -1,0 +1,74 @@
+#pragma once
+// Dynamic bit vector with set operations — the CS31 "bit vectors" lab:
+// represent a set of small integers as packed bits and implement the set
+// algebra with bit-wise operators.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdc::machine {
+
+/// Fixed-universe set of integers [0, size) backed by packed 64-bit words.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// All bits cleared.
+  explicit BitVector(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Value of bit `i`; throws std::out_of_range past the end.
+  [[nodiscard]] bool test(std::size_t i) const;
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  void flip(std::size_t i);
+  /// Set bit i to `value`.
+  void assign(std::size_t i, bool value);
+
+  void set_all();
+  void reset_all();
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] bool any() const { return count() > 0; }
+  [[nodiscard]] bool none() const { return count() == 0; }
+
+  /// Index of the lowest set bit, or size() if none.
+  [[nodiscard]] std::size_t find_first() const;
+  /// Index of the lowest set bit strictly after `i`, or size() if none.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const;
+
+  /// Set algebra. Operands must have equal size (std::invalid_argument).
+  BitVector& operator&=(const BitVector& o);
+  BitVector& operator|=(const BitVector& o);
+  BitVector& operator^=(const BitVector& o);
+  /// Complement within the universe [0, size).
+  [[nodiscard]] BitVector operator~() const;
+
+  friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+  friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+  friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+
+  bool operator==(const BitVector& o) const = default;
+
+  /// True iff every element of *this is also in `o` (subset test).
+  [[nodiscard]] bool is_subset_of(const BitVector& o) const;
+
+  /// "10110..." MSB-last rendering (bit 0 first), handy in tests.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+ private:
+  [[nodiscard]] std::size_t words() const { return data_.size(); }
+  void clear_padding();
+  void check_same_size(const BitVector& o) const;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace pdc::machine

@@ -1,0 +1,92 @@
+#pragma once
+// Gate-level digital logic (CS31 "Building an ALU" lab): a combinational
+// circuit is a DAG of gates over boolean wires; evaluation is topological,
+// and propagation delay is the longest gate path.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdc::machine {
+
+/// Handle to a boolean wire inside a Circuit.
+struct Wire {
+  std::uint32_t id = 0;
+  bool operator==(const Wire&) const = default;
+};
+
+enum class GateKind : std::uint8_t {
+  kInput,     ///< external input wire
+  kConstant,  ///< constant 0/1
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+};
+
+[[nodiscard]] std::string_view gate_name(GateKind kind);
+
+/// A combinational circuit built incrementally. Gates may only reference
+/// wires created earlier, so the wire order is already topological and a
+/// single forward pass evaluates the whole circuit.
+class Circuit {
+ public:
+  /// Create a named external input.
+  Wire input(std::string name);
+  /// Create a constant wire.
+  Wire constant(bool value);
+
+  Wire not_gate(Wire a);
+  Wire and_gate(Wire a, Wire b);
+  Wire or_gate(Wire a, Wire b);
+  Wire xor_gate(Wire a, Wire b);
+  Wire nand_gate(Wire a, Wire b);
+  Wire nor_gate(Wire a, Wire b);
+
+  /// Number of logic gates (excludes inputs and constants).
+  [[nodiscard]] std::size_t gate_count() const;
+  /// Total wires, including inputs and constants.
+  [[nodiscard]] std::size_t wire_count() const { return kinds_.size(); }
+  /// Longest path measured in gates from any input/constant to `w`
+  /// (unit-delay propagation model).
+  [[nodiscard]] int depth(Wire w) const;
+  /// Number of declared external inputs.
+  [[nodiscard]] std::size_t input_count() const { return inputs_.size(); }
+
+  /// Evaluate every wire given input values in declaration order; throws
+  /// std::invalid_argument if `input_values.size() != input_count()`.
+  /// Returns per-wire values indexed by Wire::id.
+  [[nodiscard]] std::vector<bool> evaluate(
+      const std::vector<bool>& input_values) const;
+
+  /// Convenience: evaluate and read one output wire.
+  [[nodiscard]] bool evaluate_wire(Wire w,
+                                   const std::vector<bool>& inputs) const;
+
+ private:
+  Wire add_gate(GateKind kind, Wire a, Wire b);
+  void check_wire(Wire w) const;
+
+  std::vector<GateKind> kinds_;
+  std::vector<std::uint32_t> in0_, in1_;  // operand wire ids (unused -> 0)
+  std::vector<bool> const_values_;        // parallel; meaningful for kConstant
+  std::vector<std::uint32_t> inputs_;     // wire ids of external inputs
+  std::vector<std::string> input_names_;
+};
+
+/// A group of wires interpreted as an unsigned little-endian bus
+/// (bit 0 = least significant).
+using Bus = std::vector<Wire>;
+
+/// Build an n-bit bus of external inputs named `prefix0..prefix{n-1}`.
+[[nodiscard]] Bus input_bus(Circuit& c, const std::string& prefix, int n);
+
+/// Read a bus from an evaluation result as an unsigned integer.
+[[nodiscard]] std::uint64_t read_bus(const Bus& bus,
+                                     const std::vector<bool>& values);
+
+}  // namespace pdc::machine

@@ -1,0 +1,148 @@
+#include "pdc/machine/logic.hpp"
+
+#include <algorithm>
+
+namespace pdc::machine {
+
+std::string_view gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput: return "INPUT";
+    case GateKind::kConstant: return "CONST";
+    case GateKind::kNot: return "NOT";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kOr: return "OR";
+    case GateKind::kXor: return "XOR";
+    case GateKind::kNand: return "NAND";
+    case GateKind::kNor: return "NOR";
+  }
+  return "?";
+}
+
+void Circuit::check_wire(Wire w) const {
+  if (w.id >= kinds_.size()) throw std::invalid_argument("unknown wire");
+}
+
+Wire Circuit::input(std::string name) {
+  const Wire w{static_cast<std::uint32_t>(kinds_.size())};
+  kinds_.push_back(GateKind::kInput);
+  in0_.push_back(0);
+  in1_.push_back(0);
+  const_values_.push_back(false);
+  inputs_.push_back(w.id);
+  input_names_.push_back(std::move(name));
+  return w;
+}
+
+Wire Circuit::constant(bool value) {
+  const Wire w{static_cast<std::uint32_t>(kinds_.size())};
+  kinds_.push_back(GateKind::kConstant);
+  in0_.push_back(0);
+  in1_.push_back(0);
+  const_values_.push_back(value);
+  return w;
+}
+
+Wire Circuit::add_gate(GateKind kind, Wire a, Wire b) {
+  check_wire(a);
+  if (kind != GateKind::kNot) check_wire(b);
+  const Wire w{static_cast<std::uint32_t>(kinds_.size())};
+  kinds_.push_back(kind);
+  in0_.push_back(a.id);
+  in1_.push_back(kind == GateKind::kNot ? a.id : b.id);
+  const_values_.push_back(false);
+  return w;
+}
+
+Wire Circuit::not_gate(Wire a) { return add_gate(GateKind::kNot, a, a); }
+Wire Circuit::and_gate(Wire a, Wire b) { return add_gate(GateKind::kAnd, a, b); }
+Wire Circuit::or_gate(Wire a, Wire b) { return add_gate(GateKind::kOr, a, b); }
+Wire Circuit::xor_gate(Wire a, Wire b) { return add_gate(GateKind::kXor, a, b); }
+Wire Circuit::nand_gate(Wire a, Wire b) {
+  return add_gate(GateKind::kNand, a, b);
+}
+Wire Circuit::nor_gate(Wire a, Wire b) { return add_gate(GateKind::kNor, a, b); }
+
+std::size_t Circuit::gate_count() const {
+  std::size_t n = 0;
+  for (auto k : kinds_)
+    if (k != GateKind::kInput && k != GateKind::kConstant) ++n;
+  return n;
+}
+
+int Circuit::depth(Wire w) const {
+  check_wire(w);
+  std::vector<int> d(kinds_.size(), 0);
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    switch (kinds_[i]) {
+      case GateKind::kInput:
+      case GateKind::kConstant:
+        d[i] = 0;
+        break;
+      case GateKind::kNot:
+        d[i] = d[in0_[i]] + 1;
+        break;
+      default:
+        d[i] = std::max(d[in0_[i]], d[in1_[i]]) + 1;
+    }
+  }
+  return d[w.id];
+}
+
+std::vector<bool> Circuit::evaluate(
+    const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size())
+    throw std::invalid_argument("wrong number of circuit inputs");
+  std::vector<bool> v(kinds_.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    switch (kinds_[i]) {
+      case GateKind::kInput:
+        v[i] = input_values[next_input++];
+        break;
+      case GateKind::kConstant:
+        v[i] = const_values_[i];
+        break;
+      case GateKind::kNot:
+        v[i] = !v[in0_[i]];
+        break;
+      case GateKind::kAnd:
+        v[i] = v[in0_[i]] && v[in1_[i]];
+        break;
+      case GateKind::kOr:
+        v[i] = v[in0_[i]] || v[in1_[i]];
+        break;
+      case GateKind::kXor:
+        v[i] = v[in0_[i]] != v[in1_[i]];
+        break;
+      case GateKind::kNand:
+        v[i] = !(v[in0_[i]] && v[in1_[i]]);
+        break;
+      case GateKind::kNor:
+        v[i] = !(v[in0_[i]] || v[in1_[i]]);
+        break;
+    }
+  }
+  return v;
+}
+
+bool Circuit::evaluate_wire(Wire w, const std::vector<bool>& inputs) const {
+  check_wire(w);
+  return evaluate(inputs)[w.id];
+}
+
+Bus input_bus(Circuit& c, const std::string& prefix, int n) {
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) bus.push_back(c.input(prefix + std::to_string(i)));
+  return bus;
+}
+
+std::uint64_t read_bus(const Bus& bus, const std::vector<bool>& values) {
+  if (bus.size() > 64) throw std::invalid_argument("bus wider than 64 bits");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    if (values[bus[i].id]) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+}  // namespace pdc::machine

@@ -1,0 +1,138 @@
+#pragma once
+// Mini MapReduce engine (the CS87 Hadoop-lab substitute): the same three
+// phases — parallel map with hash partitioning, shuffle/group-by-key,
+// parallel reduce — at laptop scale on the pdc::core thread pool, with an
+// optional combiner and per-phase statistics.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "pdc/core/team.hpp"
+
+namespace pdc::mapreduce {
+
+/// Intermediate key/value pair.
+template <typename K, typename V>
+struct KeyValue {
+  K key;
+  V value;
+};
+
+/// Engine configuration.
+struct JobConfig {
+  int map_workers = 2;
+  int reduce_workers = 2;
+  int partitions = 8;       ///< shuffle buckets (>= 1)
+  bool use_combiner = true; ///< apply the reducer map-side when possible
+};
+
+/// Phase statistics, for the scaling bench and tests.
+struct JobStats {
+  std::size_t inputs = 0;
+  std::size_t map_emitted = 0;     ///< pairs out of the mappers
+  std::size_t shuffled = 0;        ///< pairs entering the shuffle (post-combine)
+  std::size_t distinct_keys = 0;
+};
+
+/// Run a MapReduce job.
+///
+/// - `mapper(input, emit)` calls `emit(key, value)` any number of times.
+/// - `reducer(key, values)` folds all values for a key into one result of
+///   type R (defaults to V).
+/// - When `cfg.use_combiner` is set AND R == V, the reducer doubles as a
+///   map-side combiner on each mapper's local buckets (legal when the
+///   reduction is associative, as in word count). When R != V the flag is
+///   ignored.
+///
+/// Returns key -> reduced value, plus stats through `stats_out`.
+template <typename Input, typename K, typename V, typename R = V>
+std::map<K, R> run_job(
+    std::span<const Input> inputs,
+    const std::type_identity_t<std::function<void(
+        const Input&, const std::function<void(K, V)>&)>>& mapper,
+    const std::type_identity_t<
+        std::function<R(const K&, const std::vector<V>&)>>& reducer,
+    const JobConfig& cfg, JobStats* stats_out = nullptr) {
+  if (cfg.map_workers < 1 || cfg.reduce_workers < 1 || cfg.partitions < 1)
+    throw std::invalid_argument("bad MapReduce config");
+
+  JobStats stats;
+  stats.inputs = inputs.size();
+  const auto parts = static_cast<std::size_t>(cfg.partitions);
+
+  // ---- map phase: each worker owns a contiguous input block and emits
+  // into its own partitioned buckets (no shared mutable state). ----
+  const auto workers = static_cast<std::size_t>(cfg.map_workers);
+  // buckets[worker][partition] -> key -> values
+  std::vector<std::vector<std::map<K, std::vector<V>>>> buckets(
+      workers, std::vector<std::map<K, std::vector<V>>>(parts));
+  std::vector<std::size_t> emitted(workers, 0);
+
+  core::Team::run(cfg.map_workers, [&](core::TeamContext& ctx) {
+    const auto w = static_cast<std::size_t>(ctx.rank());
+    const auto [lo, hi] = ctx.block_range(0, inputs.size());
+    auto emit = [&](K key, V value) {
+      ++emitted[w];
+      const std::size_t p = std::hash<K>{}(key) % parts;
+      buckets[w][p][std::move(key)].push_back(std::move(value));
+    };
+    std::function<void(K, V)> emit_fn = emit;
+    for (std::size_t i = lo; i < hi; ++i) mapper(inputs[i], emit_fn);
+
+    // Map-side combine: collapse each local bucket's value lists. Only
+    // type-correct when the reducer's output feeds back in as a value.
+    if constexpr (std::is_same_v<R, V>) {
+      if (cfg.use_combiner) {
+        for (auto& bucket : buckets[w]) {
+          for (auto& [key, values] : bucket) {
+            if (values.size() > 1) {
+              V combined = reducer(key, values);
+              values.clear();
+              values.push_back(std::move(combined));
+            }
+          }
+        }
+      }
+    }
+  });
+  for (auto e : emitted) stats.map_emitted += e;
+
+  // ---- shuffle: merge worker buckets per partition ----
+  std::vector<std::map<K, std::vector<V>>> grouped(parts);
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t p = 0; p < parts; ++p) {
+      for (auto& [key, values] : buckets[w][p]) {
+        auto& dst = grouped[p][key];
+        stats.shuffled += values.size();
+        dst.insert(dst.end(), std::make_move_iterator(values.begin()),
+                   std::make_move_iterator(values.end()));
+      }
+    }
+  }
+
+  // ---- reduce phase: partitions in parallel ----
+  std::vector<std::map<K, R>> partial(parts);
+  core::Team::run(cfg.reduce_workers, [&](core::TeamContext& ctx) {
+    for (std::size_t p = static_cast<std::size_t>(ctx.rank()); p < parts;
+         p += static_cast<std::size_t>(ctx.size())) {
+      for (auto& [key, values] : grouped[p])
+        partial[p].emplace(key, reducer(key, values));
+    }
+  });
+
+  std::map<K, R> result;
+  for (auto& part : partial) {
+    stats.distinct_keys += part.size();
+    result.merge(part);
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+}  // namespace pdc::mapreduce

@@ -1,0 +1,34 @@
+#pragma once
+// Library MapReduce jobs: word count (the canonical first Hadoop program)
+// and an inverted index, plus a deterministic synthetic-corpus generator
+// for benches and tests.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pdc/mapreduce/engine.hpp"
+
+namespace pdc::mapreduce {
+
+/// Lowercase words of `text` split on non-alphanumeric characters.
+[[nodiscard]] std::vector<std::string> tokenize(const std::string& text);
+
+/// Count word occurrences over the documents.
+[[nodiscard]] std::map<std::string, std::int64_t> word_count(
+    std::span<const std::string> documents, const JobConfig& cfg = {},
+    JobStats* stats = nullptr);
+
+/// word -> sorted list of document ids (index into `documents`) containing
+/// it, each id listed once.
+[[nodiscard]] std::map<std::string, std::vector<std::int64_t>> inverted_index(
+    std::span<const std::string> documents, const JobConfig& cfg = {});
+
+/// Deterministic synthetic corpus: `docs` documents of `words_per_doc`
+/// words drawn Zipf-ishly from a fixed vocabulary.
+[[nodiscard]] std::vector<std::string> synthetic_corpus(
+    std::size_t docs, std::size_t words_per_doc, std::uint64_t seed = 42);
+
+}  // namespace pdc::mapreduce

@@ -1,0 +1,108 @@
+#include "pdc/mapreduce/jobs.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pdc::mapreduce {
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!cur.empty()) {
+      words.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+std::map<std::string, std::int64_t> word_count(
+    std::span<const std::string> documents, const JobConfig& cfg,
+    JobStats* stats) {
+  return run_job<std::string, std::string, std::int64_t>(
+      documents,
+      [](const std::string& doc,
+         const std::function<void(std::string, std::int64_t)>& emit) {
+        for (auto& w : tokenize(doc)) emit(std::move(w), 1);
+      },
+      [](const std::string&, const std::vector<std::int64_t>& counts) {
+        std::int64_t total = 0;
+        for (auto c : counts) total += c;
+        return total;
+      },
+      cfg, stats);
+}
+
+std::map<std::string, std::vector<std::int64_t>> inverted_index(
+    std::span<const std::string> documents, const JobConfig& cfg) {
+  // Mapper emits (word, doc id); reducer dedups and sorts the ids.
+  // Doc ids come from a side vector of (text, id) pairs so the mapper
+  // knows the id; build the paired input first.
+  struct Doc {
+    const std::string* text;
+    std::int64_t id;
+  };
+  std::vector<Doc> docs;
+  docs.reserve(documents.size());
+  for (std::size_t i = 0; i < documents.size(); ++i)
+    docs.push_back({&documents[i], static_cast<std::int64_t>(i)});
+
+  return run_job<Doc, std::string, std::int64_t,
+                 std::vector<std::int64_t>>(
+      docs,
+      [](const Doc& doc,
+         const std::function<void(std::string, std::int64_t)>& emit) {
+        for (auto& w : tokenize(*doc.text)) emit(std::move(w), doc.id);
+      },
+      [](const std::string&, const std::vector<std::int64_t>& ids) {
+        std::vector<std::int64_t> sorted(ids);
+        std::sort(sorted.begin(), sorted.end());
+        sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                     sorted.end());
+        return sorted;
+      },
+      cfg);
+}
+
+std::vector<std::string> synthetic_corpus(std::size_t docs,
+                                          std::size_t words_per_doc,
+                                          std::uint64_t seed) {
+  static const char* kVocab[] = {
+      "parallel", "distributed", "thread",  "process", "cache",  "memory",
+      "lock",     "barrier",     "message", "reduce",  "scan",   "sort",
+      "graph",    "matrix",      "kernel",  "page",    "disk",   "block",
+      "signal",   "pipe",        "fork",    "wait",    "mutex",  "atomic",
+      "latency",  "bandwidth",   "speedup", "amdahl",  "pram",   "bsp"};
+  constexpr std::size_t kVocabSize = sizeof(kVocab) / sizeof(kVocab[0]);
+
+  std::uint64_t s = seed ? seed : 1;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+
+  std::vector<std::string> corpus;
+  corpus.reserve(docs);
+  for (std::size_t d = 0; d < docs; ++d) {
+    std::string doc;
+    for (std::size_t w = 0; w < words_per_doc; ++w) {
+      // Zipf-ish: square the uniform draw so low indices dominate.
+      const double u =
+          static_cast<double>(next() % 10000) / 10000.0;
+      const auto idx =
+          static_cast<std::size_t>(u * u * static_cast<double>(kVocabSize));
+      doc += kVocab[std::min(idx, kVocabSize - 1)];
+      doc += ' ';
+    }
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+}  // namespace pdc::mapreduce

@@ -1,0 +1,202 @@
+#include "pdc/memsim/cache.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pdc::memsim {
+
+std::string_view replacement_name(Replacement r) {
+  switch (r) {
+    case Replacement::kLru: return "LRU";
+    case Replacement::kFifo: return "FIFO";
+    case Replacement::kRandom: return "Random";
+  }
+  return "?";
+}
+
+void CacheConfig::validate() const {
+  if (total_size == 0 || !std::has_single_bit(total_size))
+    throw std::invalid_argument("total_size must be a power of two");
+  if (line_size == 0 || !std::has_single_bit(line_size))
+    throw std::invalid_argument("line_size must be a power of two");
+  if (line_size > total_size)
+    throw std::invalid_argument("line_size must be <= total_size");
+  if (associativity == 0 || !std::has_single_bit(associativity))
+    throw std::invalid_argument("associativity must be a power of two");
+  if (associativity > num_lines())
+    throw std::invalid_argument("associativity exceeds number of lines");
+}
+
+AddressParts split_address(Address addr, const CacheConfig& cfg) {
+  cfg.validate();
+  const int offset_bits = std::countr_zero(cfg.line_size);
+  const int set_bits = std::countr_zero(cfg.num_sets());
+  AddressParts p;
+  p.offset = static_cast<std::size_t>(addr & (cfg.line_size - 1));
+  p.set = static_cast<std::size_t>((addr >> offset_bits) &
+                                   (cfg.num_sets() - 1));
+  p.tag = addr >> (offset_bits + set_bits);
+  return p;
+}
+
+Cache::Cache(CacheConfig cfg, std::uint32_t rng_seed)
+    : cfg_(cfg), rng_state_(rng_seed == 0 ? 1 : rng_seed) {
+  cfg_.validate();
+  lines_.resize(cfg_.num_lines());
+}
+
+std::size_t Cache::victim_way(std::size_t set) {
+  const std::size_t base = set * cfg_.associativity;
+  // Prefer an invalid way.
+  for (std::size_t w = 0; w < cfg_.associativity; ++w)
+    if (!lines_[base + w].valid) return w;
+
+  switch (cfg_.replacement) {
+    case Replacement::kLru: {
+      std::size_t victim = 0;
+      for (std::size_t w = 1; w < cfg_.associativity; ++w)
+        if (lines_[base + w].last_use < lines_[base + victim].last_use)
+          victim = w;
+      return victim;
+    }
+    case Replacement::kFifo: {
+      std::size_t victim = 0;
+      for (std::size_t w = 1; w < cfg_.associativity; ++w)
+        if (lines_[base + w].fill_time < lines_[base + victim].fill_time)
+          victim = w;
+      return victim;
+    }
+    case Replacement::kRandom: {
+      // xorshift64 — deterministic given the seed.
+      rng_state_ ^= rng_state_ << 13;
+      rng_state_ ^= rng_state_ >> 7;
+      rng_state_ ^= rng_state_ << 17;
+      return static_cast<std::size_t>(rng_state_ % cfg_.associativity);
+    }
+  }
+  return 0;
+}
+
+void Cache::fill_line(Address addr, bool dirty, bool prefetched) {
+  const AddressParts p = split_address(addr, cfg_);
+  const std::size_t base = p.set * cfg_.associativity;
+  // Already resident? Nothing to do.
+  for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == p.tag) {
+      if (dirty) line.dirty = true;
+      return;
+    }
+  }
+  const std::size_t w = victim_way(p.set);
+  Line& line = lines_[base + w];
+  if (line.valid) {
+    ++stats_.evictions;
+    if (line.dirty) ++stats_.writebacks;
+  }
+  line.valid = true;
+  line.dirty = dirty;
+  line.prefetched = prefetched;
+  line.tag = p.tag;
+  line.last_use = tick_;
+  line.fill_time = tick_;
+  if (prefetched) ++stats_.prefetch_fills;
+}
+
+bool Cache::access(Address addr, bool is_write) {
+  ++tick_;
+  ++stats_.accesses;
+  const AddressParts p = split_address(addr, cfg_);
+  const std::size_t base = p.set * cfg_.associativity;
+
+  for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == p.tag) {
+      ++stats_.hits;
+      if (line.prefetched) {
+        ++stats_.prefetch_useful;
+        line.prefetched = false;
+      }
+      line.last_use = tick_;
+      if (is_write) line.dirty = true;
+      return true;
+    }
+  }
+
+  ++stats_.misses;
+  if (is_write && !cfg_.write_allocate) return false;  // write-around
+
+  fill_line(addr, is_write, /*prefetched=*/false);
+  if (cfg_.next_line_prefetch) {
+    const Address next_line = addr + cfg_.line_size;
+    fill_line(next_line, false, /*prefetched=*/true);
+  }
+  return false;
+}
+
+bool Cache::contains(Address addr) const {
+  const AddressParts p = split_address(addr, cfg_);
+  const std::size_t base = p.set * cfg_.associativity;
+  for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+    const Line& line = lines_[base + w];
+    if (line.valid && line.tag == p.tag) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(Address addr) {
+  const AddressParts p = split_address(addr, cfg_);
+  const std::size_t base = p.set * cfg_.associativity;
+  for (std::size_t w = 0; w < cfg_.associativity; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == p.tag) {
+      const bool was_dirty = line.dirty;
+      line.valid = false;
+      line.dirty = false;
+      return was_dirty;
+    }
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) {
+    line.valid = false;
+    line.dirty = false;
+  }
+}
+
+Hierarchy::Hierarchy(
+    std::vector<std::pair<CacheConfig, LevelLatency>> levels,
+    double memory_cycles)
+    : memory_cycles_(memory_cycles) {
+  if (levels.empty())
+    throw std::invalid_argument("hierarchy needs at least one level");
+  for (auto& [cfg, lat] : levels) {
+    caches_.emplace_back(cfg);
+    latencies_.push_back(lat);
+  }
+}
+
+void Hierarchy::access(Address addr, bool is_write) {
+  for (auto& cache : caches_) {
+    if (cache.access(addr, is_write)) return;  // hit at this level
+  }
+}
+
+const CacheStats& Hierarchy::level_stats(std::size_t level) const {
+  if (level >= caches_.size()) throw std::out_of_range("hierarchy level");
+  return caches_[level].stats();
+}
+
+double Hierarchy::amat() const {
+  // Fold from the last level backwards:
+  // amat_i = hit_i + miss_rate_i * amat_{i+1}; amat_{n} = memory.
+  double amat = memory_cycles_;
+  for (std::size_t i = caches_.size(); i-- > 0;) {
+    amat = latencies_[i].hit_cycles + caches_[i].stats().miss_rate() * amat;
+  }
+  return amat;
+}
+
+}  // namespace pdc::memsim

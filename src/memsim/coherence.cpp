@@ -1,0 +1,169 @@
+#include "pdc/memsim/coherence.hpp"
+
+#include <stdexcept>
+
+namespace pdc::memsim {
+
+std::string_view protocol_name(Protocol p) {
+  return p == Protocol::kMsi ? "MSI" : "MESI";
+}
+
+char line_state_letter(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return 'I';
+    case LineState::kShared: return 'S';
+    case LineState::kExclusive: return 'E';
+    case LineState::kModified: return 'M';
+  }
+  return '?';
+}
+
+SnoopBus::SnoopBus(int cores, Protocol protocol, std::size_t line_size)
+    : protocol_(protocol), line_size_(line_size) {
+  if (cores < 1) throw std::invalid_argument("need >= 1 core");
+  if (line_size_ == 0) throw std::invalid_argument("line_size must be > 0");
+  caches_.resize(static_cast<std::size_t>(cores));
+  hits_.resize(static_cast<std::size_t>(cores), 0);
+  misses_.resize(static_cast<std::size_t>(cores), 0);
+}
+
+void SnoopBus::check_core(int core) const {
+  if (core < 0 || core >= cores()) throw std::out_of_range("core id");
+}
+
+LineState SnoopBus::state(int core, Address addr) const {
+  check_core(core);
+  const auto& cache = caches_[static_cast<std::size_t>(core)];
+  const auto it = cache.find(line_of(addr));
+  return it == cache.end() ? LineState::kInvalid : it->second;
+}
+
+void SnoopBus::read(int core, Address addr) {
+  check_core(core);
+  const Address line = line_of(addr);
+  auto& mine = caches_[static_cast<std::size_t>(core)];
+  const LineState st = state(core, addr);
+
+  if (st != LineState::kInvalid) {  // M/E/S all satisfy a read locally
+    ++hits_[static_cast<std::size_t>(core)];
+    return;
+  }
+
+  ++misses_[static_cast<std::size_t>(core)];
+  ++stats_.bus_reads;
+
+  // Snoop: any peer in M must flush; peers in M/E degrade to S.
+  bool someone_has_it = false;
+  for (int c = 0; c < cores(); ++c) {
+    if (c == core) continue;
+    auto& peer = caches_[static_cast<std::size_t>(c)];
+    auto it = peer.find(line);
+    if (it == peer.end() || it->second == LineState::kInvalid) continue;
+    someone_has_it = true;
+    if (it->second == LineState::kModified) ++stats_.writebacks;
+    it->second = LineState::kShared;
+  }
+
+  mine[line] = (protocol_ == Protocol::kMesi && !someone_has_it)
+                   ? LineState::kExclusive
+                   : LineState::kShared;
+}
+
+void SnoopBus::write(int core, Address addr) {
+  check_core(core);
+  const Address line = line_of(addr);
+  auto& mine = caches_[static_cast<std::size_t>(core)];
+  const LineState st = state(core, addr);
+
+  switch (st) {
+    case LineState::kModified:
+      ++hits_[static_cast<std::size_t>(core)];
+      return;
+    case LineState::kExclusive:
+      // MESI: silent upgrade, no bus transaction.
+      ++hits_[static_cast<std::size_t>(core)];
+      ++stats_.silent_upgrades;
+      mine[line] = LineState::kModified;
+      return;
+    case LineState::kShared:
+      // Upgrade: invalidate peers, no data transfer needed.
+      ++hits_[static_cast<std::size_t>(core)];
+      ++stats_.bus_upgrades;
+      break;
+    case LineState::kInvalid:
+      ++misses_[static_cast<std::size_t>(core)];
+      ++stats_.bus_read_x;
+      break;
+  }
+
+  for (int c = 0; c < cores(); ++c) {
+    if (c == core) continue;
+    auto& peer = caches_[static_cast<std::size_t>(c)];
+    auto it = peer.find(line);
+    if (it == peer.end() || it->second == LineState::kInvalid) continue;
+    if (it->second == LineState::kModified) ++stats_.writebacks;
+    it->second = LineState::kInvalid;
+    ++stats_.invalidations;
+  }
+
+  mine[line] = LineState::kModified;
+}
+
+std::uint64_t SnoopBus::hits(int core) const {
+  check_core(core);
+  return hits_[static_cast<std::size_t>(core)];
+}
+
+std::uint64_t SnoopBus::misses(int core) const {
+  check_core(core);
+  return misses_[static_cast<std::size_t>(core)];
+}
+
+bool SnoopBus::invariants_hold() const {
+  // Collect every line any core has seen.
+  std::unordered_map<Address, int> exclusive_holders;  // line -> count M/E
+  std::unordered_map<Address, int> sharers;            // line -> count S
+  for (const auto& cache : caches_) {
+    for (const auto& [line, st] : cache) {
+      if (st == LineState::kModified || st == LineState::kExclusive)
+        ++exclusive_holders[line];
+      if (st == LineState::kShared) ++sharers[line];
+    }
+  }
+  for (const auto& [line, n] : exclusive_holders) {
+    if (n > 1) return false;                      // two writers/owners
+    if (sharers.contains(line) && sharers[line] > 0) return false;
+  }
+  return true;
+}
+
+std::vector<CoreRef> interleaved_counter_trace(int cores, int iterations,
+                                               std::size_t stride_bytes,
+                                               Address base) {
+  if (cores < 1) throw std::invalid_argument("need >= 1 core");
+  if (iterations < 0) throw std::invalid_argument("iterations must be >= 0");
+  if (stride_bytes == 0) throw std::invalid_argument("stride must be > 0");
+  std::vector<CoreRef> t;
+  t.reserve(static_cast<std::size_t>(cores) *
+            static_cast<std::size_t>(iterations) * 2);
+  for (int i = 0; i < iterations; ++i) {
+    for (int c = 0; c < cores; ++c) {
+      const Address a = base + static_cast<Address>(c) * stride_bytes;
+      t.push_back({c, {a, false}});  // load counter
+      t.push_back({c, {a, true}});   // store counter+1
+    }
+  }
+  return t;
+}
+
+void run_trace(SnoopBus& bus, const std::vector<CoreRef>& trace) {
+  for (const auto& cr : trace) {
+    if (cr.ref.is_write) {
+      bus.write(cr.core, cr.ref.addr);
+    } else {
+      bus.read(cr.core, cr.ref.addr);
+    }
+  }
+}
+
+}  // namespace pdc::memsim

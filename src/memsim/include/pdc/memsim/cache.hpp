@@ -1,0 +1,147 @@
+#pragma once
+// Trace-driven set-associative cache model (CS31 "The Memory Hierarchy"
+// unit): address decomposition into tag/set/offset, LRU/FIFO/Random
+// replacement, write-back + write-allocate, and multi-level hierarchies
+// with AMAT (average memory access time) accounting.
+//
+// All quantities are *model counts*, not wall-clock measurements — the lab
+// asks students to predict miss counts by hand and check them against the
+// simulator.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdc::memsim {
+
+using Address = std::uint64_t;
+
+enum class Replacement { kLru, kFifo, kRandom };
+
+[[nodiscard]] std::string_view replacement_name(Replacement r);
+
+/// Geometry + policy of one cache level. All sizes in bytes; sizes and
+/// associativity must be powers of two, with line_size <= total_size and
+/// associativity <= total_size / line_size.
+struct CacheConfig {
+  std::size_t total_size = 32 * 1024;
+  std::size_t line_size = 64;
+  std::size_t associativity = 4;  ///< ways per set
+  Replacement replacement = Replacement::kLru;
+  bool write_allocate = true;     ///< fetch line on write miss
+  /// Next-line prefetch: on a demand miss, also fill line+1. Helps
+  /// sequential streams, pollutes the cache on random access — the
+  /// trade-off bench_table2_memhier quantifies.
+  bool next_line_prefetch = false;
+
+  [[nodiscard]] std::size_t num_lines() const { return total_size / line_size; }
+  [[nodiscard]] std::size_t num_sets() const {
+    return num_lines() / associativity;
+  }
+  /// Throws std::invalid_argument describing the first violated constraint.
+  void validate() const;
+};
+
+/// Decomposed address for a given cache geometry.
+struct AddressParts {
+  Address tag = 0;
+  std::size_t set = 0;
+  std::size_t offset = 0;
+};
+
+[[nodiscard]] AddressParts split_address(Address addr, const CacheConfig& cfg);
+
+/// Hit/miss counters for one cache.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;  ///< dirty lines evicted
+  std::uint64_t prefetch_fills = 0;   ///< lines brought in by prefetch
+  std::uint64_t prefetch_useful = 0;  ///< prefetched lines later hit
+
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+  [[nodiscard]] double hit_rate() const { return 1.0 - miss_rate(); }
+};
+
+/// One level of set-associative cache.
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg, std::uint32_t rng_seed = 1);
+
+  /// Simulate one access; returns true on hit. Write misses allocate when
+  /// cfg.write_allocate, else write around (counted as a miss, no fill).
+  bool access(Address addr, bool is_write);
+
+  /// True iff the line containing addr is currently resident.
+  [[nodiscard]] bool contains(Address addr) const;
+
+  /// Invalidate the line containing addr if resident. Returns whether it
+  /// was dirty (the coherence layer needs this for flushes).
+  bool invalidate(Address addr);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  void reset_stats() { stats_ = {}; }
+  /// Drop all cached lines (cold restart) and keep stats.
+  void flush();
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;      // filled by prefetch, not yet demanded
+    Address tag = 0;
+    std::uint64_t last_use = 0;   // LRU timestamp
+    std::uint64_t fill_time = 0;  // FIFO timestamp
+  };
+
+  /// Fill the line containing `addr` (no hit/miss accounting).
+  void fill_line(Address addr, bool dirty, bool prefetched);
+
+  [[nodiscard]] std::size_t victim_way(std::size_t set);
+
+  CacheConfig cfg_;
+  std::vector<Line> lines_;  // num_sets * associativity, set-major
+  CacheStats stats_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t rng_state_;
+};
+
+/// Latency model for one level of a hierarchy (cycles).
+struct LevelLatency {
+  double hit_cycles = 4;
+};
+
+/// Inclusive-stats multi-level hierarchy: L1 -> L2 -> ... -> memory.
+/// Each access walks levels until a hit; lower levels only see upper-level
+/// misses. AMAT = L1.hit + L1.miss_rate*(L2.hit + L2.miss_rate*(...)).
+class Hierarchy {
+ public:
+  /// `levels` are (config, latency) pairs ordered L1 first;
+  /// `memory_cycles` is the terminal miss penalty.
+  Hierarchy(std::vector<std::pair<CacheConfig, LevelLatency>> levels,
+            double memory_cycles);
+
+  void access(Address addr, bool is_write);
+
+  [[nodiscard]] std::size_t depth() const { return caches_.size(); }
+  [[nodiscard]] const CacheStats& level_stats(std::size_t level) const;
+
+  /// Average memory access time in cycles, from the recorded miss rates.
+  [[nodiscard]] double amat() const;
+
+ private:
+  std::vector<Cache> caches_;
+  std::vector<LevelLatency> latencies_;
+  double memory_cycles_;
+};
+
+}  // namespace pdc::memsim

@@ -1,0 +1,106 @@
+#pragma once
+// Snooping cache-coherence simulator — MSI and MESI — for the CS31
+// "Multicore, Buses, Coherency" unit and the CS75 false-sharing topic.
+//
+// Each core has an (unbounded) private cache tracked at line granularity;
+// the object of study is the *protocol traffic*: bus reads, read-exclusives,
+// upgrades, writebacks, and invalidations. False sharing shows up as
+// invalidation storms on a line that distinct cores never logically share.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pdc/memsim/trace.hpp"
+
+namespace pdc::memsim {
+
+enum class Protocol { kMsi, kMesi };
+
+[[nodiscard]] std::string_view protocol_name(Protocol p);
+
+/// Per-line state (kExclusive is only reachable under MESI).
+enum class LineState : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+[[nodiscard]] char line_state_letter(LineState s);
+
+/// Aggregate protocol traffic counters.
+struct CoherenceStats {
+  std::uint64_t bus_reads = 0;       ///< BusRd (read miss)
+  std::uint64_t bus_read_x = 0;      ///< BusRdX (write miss)
+  std::uint64_t bus_upgrades = 0;    ///< BusUpgr (S -> M without data)
+  std::uint64_t writebacks = 0;      ///< M line flushed for another core
+  std::uint64_t invalidations = 0;   ///< lines invalidated in peers
+  std::uint64_t silent_upgrades = 0; ///< E -> M with no bus traffic (MESI)
+
+  [[nodiscard]] std::uint64_t bus_transactions() const {
+    return bus_reads + bus_read_x + bus_upgrades;
+  }
+};
+
+/// P cores snooping one shared bus.
+class SnoopBus {
+ public:
+  SnoopBus(int cores, Protocol protocol, std::size_t line_size = 64);
+
+  void read(int core, Address addr);
+  void write(int core, Address addr);
+
+  /// Current state of the line containing `addr` in `core`'s cache.
+  [[nodiscard]] LineState state(int core, Address addr) const;
+
+  [[nodiscard]] const CoherenceStats& stats() const { return stats_; }
+  [[nodiscard]] int cores() const { return static_cast<int>(caches_.size()); }
+  [[nodiscard]] std::size_t line_size() const { return line_size_; }
+
+  /// Per-core cache hits (access found line not-Invalid and with sufficient
+  /// permission) and misses.
+  [[nodiscard]] std::uint64_t hits(int core) const;
+  [[nodiscard]] std::uint64_t misses(int core) const;
+
+  /// The single-writer/multiple-reader protocol invariant: for every
+  /// line, at most one core holds it M or E, and an M/E holder excludes
+  /// every other state but Invalid. Tests call this after every workload.
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  [[nodiscard]] Address line_of(Address addr) const {
+    return addr / line_size_;
+  }
+  void check_core(int core) const;
+
+  Protocol protocol_;
+  std::size_t line_size_;
+  std::vector<std::unordered_map<Address, LineState>> caches_;
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> misses_;
+  CoherenceStats stats_;
+};
+
+/// A memory reference attributed to a core, for multi-core traces.
+struct CoreRef {
+  int core = 0;
+  MemRef ref;
+};
+
+/// The false-sharing microbenchmark as a trace: each core repeatedly
+/// increments (read+write) its own counter; counters are `stride_bytes`
+/// apart starting at `base`. Cores are interleaved round-robin, the
+/// worst case for ping-ponging.
+///
+/// stride < line_size  => false sharing (counters share a line);
+/// stride >= line_size => padded, each counter has a private line.
+[[nodiscard]] std::vector<CoreRef> interleaved_counter_trace(
+    int cores, int iterations, std::size_t stride_bytes, Address base = 0);
+
+/// Feed a multi-core trace through the bus.
+void run_trace(SnoopBus& bus, const std::vector<CoreRef>& trace);
+
+}  // namespace pdc::memsim

@@ -1,0 +1,73 @@
+#pragma once
+// Demand-paging and TLB simulation (CS31 "Operating Systems: Virtual
+// Memory" topics): page-replacement policies over a reference string,
+// including the Optimal offline policy as a lower bound, plus a
+// fully-associative LRU TLB.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pdc::memsim {
+
+enum class PageReplacement { kFifo, kLru, kClock, kOptimal };
+
+[[nodiscard]] std::string_view page_replacement_name(PageReplacement p);
+
+struct PagingResult {
+  std::uint64_t references = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double fault_rate() const {
+    return references == 0
+               ? 0.0
+               : static_cast<double>(faults) / static_cast<double>(references);
+  }
+};
+
+/// Simulate demand paging of `refs` (page numbers) in `frames` physical
+/// frames under `policy`. Optimal requires the whole string up front (it is
+/// an offline bound).
+[[nodiscard]] PagingResult simulate_paging(std::span<const std::uint64_t> refs,
+                                           std::size_t frames,
+                                           PageReplacement policy);
+
+/// The classic reference string exhibiting Belady's anomaly under FIFO:
+/// 1,2,3,4,1,2,5,1,2,3,4,5 — more frames (4 vs 3) yields MORE faults.
+[[nodiscard]] std::vector<std::uint64_t> belady_reference_string();
+
+/// Fully-associative LRU translation lookaside buffer.
+class Tlb {
+ public:
+  Tlb(std::size_t entries, std::size_t page_size);
+
+  /// Translate: true on TLB hit; on miss the mapping is filled (page-table
+  /// walk assumed to succeed).
+  bool lookup(std::uint64_t vaddr);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  void flush();  ///< e.g. on context switch
+
+ private:
+  struct Entry {
+    std::uint64_t page = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+  std::size_t page_size_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pdc::memsim

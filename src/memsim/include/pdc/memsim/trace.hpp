@@ -1,0 +1,57 @@
+#pragma once
+// Reference-trace generators for the cache model: the access patterns the
+// CS31 memory-hierarchy lab studies (row- vs column-major matrix walks,
+// strided scans, repeated working sets) expressed as explicit address
+// streams.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pdc/memsim/cache.hpp"
+
+namespace pdc::memsim {
+
+/// One memory reference.
+struct MemRef {
+  Address addr = 0;
+  bool is_write = false;
+};
+
+using Trace = std::vector<MemRef>;
+
+/// Row-major walk of an rows x cols matrix of `elem_size`-byte elements
+/// starting at `base`: the unit-stride pattern with maximal spatial
+/// locality.
+[[nodiscard]] Trace matrix_row_major(std::size_t rows, std::size_t cols,
+                                     std::size_t elem_size, Address base = 0,
+                                     bool writes = false);
+
+/// Column-major walk of the SAME row-major-laid-out matrix: stride of
+/// cols*elem_size bytes, the classic cache-hostile traversal.
+[[nodiscard]] Trace matrix_col_major(std::size_t rows, std::size_t cols,
+                                     std::size_t elem_size, Address base = 0,
+                                     bool writes = false);
+
+/// Linear scan of `count` elements with a byte stride.
+[[nodiscard]] Trace strided(std::size_t count, std::size_t stride_bytes,
+                            Address base = 0, bool writes = false);
+
+/// `passes` sequential sweeps over a working set of `bytes` bytes at
+/// `line`-sized granularity: hit rate flips from ~0 to ~1 when the working
+/// set fits in the cache.
+[[nodiscard]] Trace repeated_sweep(std::size_t bytes, std::size_t line,
+                                   int passes, Address base = 0);
+
+/// Uniform-random references over `span_bytes` (deterministic for a seed).
+[[nodiscard]] Trace uniform_random(std::size_t count, std::size_t span_bytes,
+                                   std::uint64_t seed, Address base = 0,
+                                   double write_fraction = 0.0);
+
+/// Run a trace through a cache; returns final stats (cache keeps them too).
+CacheStats run_trace(Cache& cache, const Trace& trace);
+
+/// Run a trace through a multi-level hierarchy.
+void run_trace(Hierarchy& hierarchy, const Trace& trace);
+
+}  // namespace pdc::memsim

@@ -1,0 +1,190 @@
+#include "pdc/memsim/paging.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pdc::memsim {
+
+std::string_view page_replacement_name(PageReplacement p) {
+  switch (p) {
+    case PageReplacement::kFifo: return "FIFO";
+    case PageReplacement::kLru: return "LRU";
+    case PageReplacement::kClock: return "Clock";
+    case PageReplacement::kOptimal: return "Optimal";
+  }
+  return "?";
+}
+
+namespace {
+
+PagingResult simulate_fifo(std::span<const std::uint64_t> refs,
+                           std::size_t frames) {
+  PagingResult r;
+  std::unordered_set<std::uint64_t> resident;
+  std::deque<std::uint64_t> order;
+  for (auto page : refs) {
+    ++r.references;
+    if (resident.contains(page)) continue;
+    ++r.faults;
+    if (resident.size() == frames) {
+      resident.erase(order.front());
+      order.pop_front();
+      ++r.evictions;
+    }
+    resident.insert(page);
+    order.push_back(page);
+  }
+  return r;
+}
+
+PagingResult simulate_lru(std::span<const std::uint64_t> refs,
+                          std::size_t frames) {
+  PagingResult r;
+  std::unordered_map<std::uint64_t, std::uint64_t> last_use;
+  std::uint64_t tick = 0;
+  for (auto page : refs) {
+    ++r.references;
+    ++tick;
+    if (auto it = last_use.find(page); it != last_use.end()) {
+      it->second = tick;
+      continue;
+    }
+    ++r.faults;
+    if (last_use.size() == frames) {
+      auto victim = last_use.begin();
+      for (auto it = last_use.begin(); it != last_use.end(); ++it)
+        if (it->second < victim->second) victim = it;
+      last_use.erase(victim);
+      ++r.evictions;
+    }
+    last_use[page] = tick;
+  }
+  return r;
+}
+
+PagingResult simulate_clock(std::span<const std::uint64_t> refs,
+                            std::size_t frames) {
+  PagingResult r;
+  struct Frame {
+    std::uint64_t page = 0;
+    bool used = false;
+    bool valid = false;
+  };
+  std::vector<Frame> frame(frames);
+  std::unordered_map<std::uint64_t, std::size_t> where;
+  std::size_t hand = 0;
+  for (auto page : refs) {
+    ++r.references;
+    if (auto it = where.find(page); it != where.end()) {
+      frame[it->second].used = true;  // second chance
+      continue;
+    }
+    ++r.faults;
+    // Advance the hand to a frame with used == false.
+    while (frame[hand].valid && frame[hand].used) {
+      frame[hand].used = false;
+      hand = (hand + 1) % frames;
+    }
+    if (frame[hand].valid) {
+      where.erase(frame[hand].page);
+      ++r.evictions;
+    }
+    frame[hand] = {page, true, true};
+    where[page] = hand;
+    hand = (hand + 1) % frames;
+  }
+  return r;
+}
+
+PagingResult simulate_optimal(std::span<const std::uint64_t> refs,
+                              std::size_t frames) {
+  // Precompute, for each position, the next use of that page.
+  constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> next_use(refs.size(), kNever);
+  std::unordered_map<std::uint64_t, std::size_t> next_seen;
+  for (std::size_t i = refs.size(); i-- > 0;) {
+    if (auto it = next_seen.find(refs[i]); it != next_seen.end())
+      next_use[i] = it->second;
+    next_seen[refs[i]] = i;
+  }
+
+  PagingResult r;
+  std::unordered_map<std::uint64_t, std::size_t> resident;  // page -> next use
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const auto page = refs[i];
+    ++r.references;
+    if (auto it = resident.find(page); it != resident.end()) {
+      it->second = next_use[i];
+      continue;
+    }
+    ++r.faults;
+    if (resident.size() == frames) {
+      // Evict the page used farthest in the future (or never again).
+      auto victim = resident.begin();
+      for (auto it = resident.begin(); it != resident.end(); ++it)
+        if (it->second > victim->second) victim = it;
+      resident.erase(victim);
+      ++r.evictions;
+    }
+    resident[page] = next_use[i];
+  }
+  return r;
+}
+
+}  // namespace
+
+PagingResult simulate_paging(std::span<const std::uint64_t> refs,
+                             std::size_t frames, PageReplacement policy) {
+  if (frames == 0) throw std::invalid_argument("frames must be > 0");
+  switch (policy) {
+    case PageReplacement::kFifo: return simulate_fifo(refs, frames);
+    case PageReplacement::kLru: return simulate_lru(refs, frames);
+    case PageReplacement::kClock: return simulate_clock(refs, frames);
+    case PageReplacement::kOptimal: return simulate_optimal(refs, frames);
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::vector<std::uint64_t> belady_reference_string() {
+  return {1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5};
+}
+
+Tlb::Tlb(std::size_t entries, std::size_t page_size)
+    : page_size_(page_size), entries_(entries) {
+  if (entries == 0) throw std::invalid_argument("entries must be > 0");
+  if (page_size == 0) throw std::invalid_argument("page_size must be > 0");
+}
+
+bool Tlb::lookup(std::uint64_t vaddr) {
+  ++tick_;
+  const std::uint64_t page = vaddr / page_size_;
+  for (auto& e : entries_) {
+    if (e.valid && e.page == page) {
+      e.last_use = tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  // Fill: LRU victim (invalid entries have last_use 0, chosen first).
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->valid) {
+      victim = it;
+      break;
+    }
+    if (it->last_use < victim->last_use) victim = it;
+  }
+  *victim = {page, tick_, true};
+  return false;
+}
+
+void Tlb::flush() {
+  for (auto& e : entries_) e.valid = false;
+}
+
+}  // namespace pdc::memsim

@@ -1,0 +1,86 @@
+#include "pdc/memsim/trace.hpp"
+
+#include <stdexcept>
+
+namespace pdc::memsim {
+
+Trace matrix_row_major(std::size_t rows, std::size_t cols,
+                       std::size_t elem_size, Address base, bool writes) {
+  if (elem_size == 0) throw std::invalid_argument("elem_size must be > 0");
+  Trace t;
+  t.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      t.push_back({base + (r * cols + c) * elem_size, writes});
+  return t;
+}
+
+Trace matrix_col_major(std::size_t rows, std::size_t cols,
+                       std::size_t elem_size, Address base, bool writes) {
+  if (elem_size == 0) throw std::invalid_argument("elem_size must be > 0");
+  Trace t;
+  t.reserve(rows * cols);
+  for (std::size_t c = 0; c < cols; ++c)
+    for (std::size_t r = 0; r < rows; ++r)
+      t.push_back({base + (r * cols + c) * elem_size, writes});
+  return t;
+}
+
+Trace strided(std::size_t count, std::size_t stride_bytes, Address base,
+              bool writes) {
+  if (stride_bytes == 0) throw std::invalid_argument("stride must be > 0");
+  Trace t;
+  t.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    t.push_back({base + i * stride_bytes, writes});
+  return t;
+}
+
+Trace repeated_sweep(std::size_t bytes, std::size_t line, int passes,
+                     Address base) {
+  if (line == 0) throw std::invalid_argument("line must be > 0");
+  if (passes < 1) throw std::invalid_argument("passes must be >= 1");
+  Trace t;
+  const std::size_t refs = bytes / line;
+  t.reserve(refs * static_cast<std::size_t>(passes));
+  for (int p = 0; p < passes; ++p)
+    for (std::size_t i = 0; i < refs; ++i)
+      t.push_back({base + i * line, false});
+  return t;
+}
+
+Trace uniform_random(std::size_t count, std::size_t span_bytes,
+                     std::uint64_t seed, Address base,
+                     double write_fraction) {
+  if (span_bytes == 0) throw std::invalid_argument("span must be > 0");
+  if (write_fraction < 0.0 || write_fraction > 1.0)
+    throw std::invalid_argument("write_fraction must be in [0,1]");
+  std::uint64_t s = seed ? seed : 0x9E3779B97F4A7C15ull;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  Trace t;
+  t.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Address a = base + next() % span_bytes;
+    const bool w =
+        write_fraction > 0.0 &&
+        static_cast<double>(next() % 10000) < write_fraction * 10000.0;
+    t.push_back({a, w});
+  }
+  return t;
+}
+
+CacheStats run_trace(Cache& cache, const Trace& trace) {
+  for (const auto& ref : trace) cache.access(ref.addr, ref.is_write);
+  return cache.stats();
+}
+
+void run_trace(Hierarchy& hierarchy, const Trace& trace) {
+  for (const auto& ref : trace) hierarchy.access(ref.addr, ref.is_write);
+}
+
+}  // namespace pdc::memsim

@@ -1,0 +1,94 @@
+#include "pdc/model/bsp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdc::model {
+
+void BspProgram::add_superstep(double max_local_work, std::size_t h_relation,
+                               std::string label) {
+  if (max_local_work < 0.0) throw std::invalid_argument("work must be >= 0");
+  steps_.push_back({max_local_work, h_relation, std::move(label)});
+}
+
+const Superstep& BspProgram::step(std::size_t i) const {
+  if (i >= steps_.size()) throw std::out_of_range("superstep index");
+  return steps_[i];
+}
+
+double BspProgram::cost(const BspMachine& m) const {
+  const auto b = breakdown(m);
+  return b.compute + b.communicate + b.synchronize;
+}
+
+BspProgram::Breakdown BspProgram::breakdown(const BspMachine& m) const {
+  if (m.processors < 1) throw std::invalid_argument("processors must be >= 1");
+  Breakdown b;
+  for (const auto& s : steps_) {
+    b.compute += s.max_local_work;
+    b.communicate += m.g * static_cast<double>(s.h_relation);
+    b.synchronize += m.l;
+  }
+  return b;
+}
+
+namespace {
+int ceil_log2(int p) {
+  int levels = 0;
+  int reach = 1;
+  while (reach < p) {
+    reach *= 2;
+    ++levels;
+  }
+  return levels;
+}
+}  // namespace
+
+BspProgram bsp_broadcast(int p, bool tree) {
+  if (p < 1) throw std::invalid_argument("p must be >= 1");
+  BspProgram prog;
+  if (tree) {
+    const int levels = ceil_log2(p);
+    for (int i = 0; i < levels; ++i)
+      prog.add_superstep(1.0, 1, "bcast-level-" + std::to_string(i));
+  } else {
+    prog.add_superstep(1.0, p > 1 ? static_cast<std::size_t>(p - 1) : 0,
+                       "bcast-flat");
+  }
+  return prog;
+}
+
+BspProgram bsp_reduce(std::size_t n, int p) {
+  if (p < 1) throw std::invalid_argument("p must be >= 1");
+  BspProgram prog;
+  const double local = static_cast<double>(n) / static_cast<double>(p);
+  prog.add_superstep(local, 0, "local-reduce");
+  const int levels = ceil_log2(p);
+  for (int i = 0; i < levels; ++i)
+    prog.add_superstep(1.0, 1, "combine-level-" + std::to_string(i));
+  return prog;
+}
+
+BspProgram bsp_sample_sort(std::size_t n, int p) {
+  if (p < 1) throw std::invalid_argument("p must be >= 1");
+  const double np = static_cast<double>(n) / static_cast<double>(p);
+  const auto pu = static_cast<std::size_t>(p);
+  BspProgram prog;
+  // 1. Local sort: (n/p) log(n/p) comparisons.
+  prog.add_superstep(np * std::max(1.0, std::log2(std::max(2.0, np))), 0,
+                     "local-sort");
+  // 2. Each processor sends p samples to processor 0.
+  prog.add_superstep(static_cast<double>(p), pu * pu, "sample-gather");
+  // 3. Processor 0 sorts p^2 samples, broadcasts p-1 pivots.
+  prog.add_superstep(static_cast<double>(p * p) *
+                         std::max(1.0, std::log2(std::max(2.0, double(p)))),
+                     pu * (pu - 1), "pivot-bcast");
+  // 4. Partition exchange: every processor sends/receives ~n/p keys.
+  prog.add_superstep(np, static_cast<std::size_t>(np), "partition-exchange");
+  // 5. Local p-way merge.
+  prog.add_superstep(np * std::max(1.0, std::log2(std::max(2.0, double(p)))),
+                     0, "local-merge");
+  return prog;
+}
+
+}  // namespace pdc::model

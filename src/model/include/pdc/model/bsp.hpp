@@ -1,0 +1,70 @@
+#pragma once
+// BSP (Bulk Synchronous Parallel) cost model — the second "alternative
+// model of computation" CS41 introduces alongside PRAM. A program is a
+// sequence of supersteps; each superstep costs
+//     w + g * h + l
+// where w is the maximum local work, h the maximum messages sent or
+// received by any processor (an h-relation), g the per-message gap, and l
+// the barrier latency.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pdc::model {
+
+/// Machine parameters.
+struct BspMachine {
+  int processors = 4;
+  double g = 1.0;  ///< cost per message unit (gap)
+  double l = 10.0; ///< barrier synchronization latency
+};
+
+/// One superstep's resource usage.
+struct Superstep {
+  double max_local_work = 0.0;
+  std::size_t h_relation = 0;  ///< max messages in/out at any processor
+  std::string label;
+};
+
+/// A BSP program: supersteps in order.
+class BspProgram {
+ public:
+  void add_superstep(double max_local_work, std::size_t h_relation,
+                     std::string label = {});
+
+  [[nodiscard]] std::size_t supersteps() const { return steps_.size(); }
+  [[nodiscard]] const Superstep& step(std::size_t i) const;
+
+  /// Total predicted cost on `m`: sum of (w + g*h + l).
+  [[nodiscard]] double cost(const BspMachine& m) const;
+
+  /// Cost decomposition: (compute, communicate, synchronize).
+  struct Breakdown {
+    double compute = 0.0;
+    double communicate = 0.0;
+    double synchronize = 0.0;
+  };
+  [[nodiscard]] Breakdown breakdown(const BspMachine& m) const;
+
+ private:
+  std::vector<Superstep> steps_;
+};
+
+/// Library cost models for the patterns CS41 analyzes.
+
+/// Broadcast of one word from processor 0 to all p processors.
+/// `tree` uses ceil(log2 p) supersteps with h=1 each; flat uses one
+/// superstep with h = p-1.
+[[nodiscard]] BspProgram bsp_broadcast(int p, bool tree);
+
+/// Parallel reduction of n items on p processors: one local superstep of
+/// n/p work, then a tree combine (log p supersteps of h=1 and O(1) work).
+[[nodiscard]] BspProgram bsp_reduce(std::size_t n, int p);
+
+/// BSP parallel sorting by regular sampling (PSRS) cost skeleton on n keys,
+/// p processors: local sort, sample exchange, pivot broadcast, partition
+/// exchange, local merge.
+[[nodiscard]] BspProgram bsp_sample_sort(std::size_t n, int p);
+
+}  // namespace pdc::model

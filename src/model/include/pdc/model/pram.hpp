@@ -1,0 +1,92 @@
+#pragma once
+// Step-synchronous PRAM simulator (CS41 "PRAM" topic). Each step, all
+// processors read the OLD memory image, then all writes are applied —
+// exactly the lock-step semantics of the model. The simulator enforces the
+// access discipline of the chosen variant and throws PramConflictError on
+// violations, making "this algorithm needs CREW" an executable fact.
+//
+// Library algorithms (pointer-jumping-free versions of the classics) run
+// on the simulator and report the number of synchronous steps, so tests
+// can assert O(log n) step counts.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdc::model {
+
+enum class PramMode {
+  kErew,        ///< exclusive read, exclusive write
+  kCrew,        ///< concurrent read, exclusive write
+  kCrcwCommon,  ///< concurrent write allowed iff all write the same value
+  kCrcwArbitrary,  ///< one arbitrary (here: lowest-id) writer wins
+};
+
+[[nodiscard]] std::string_view pram_mode_name(PramMode m);
+
+/// Thrown when a step violates the mode's access discipline.
+class PramConflictError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PramRead {
+  int proc = 0;
+  std::size_t addr = 0;
+};
+
+struct PramWrite {
+  int proc = 0;
+  std::size_t addr = 0;
+  std::int64_t value = 0;
+};
+
+/// Shared memory of `cells` words plus the step-synchronous engine.
+class Pram {
+ public:
+  Pram(std::size_t cells, PramMode mode);
+
+  /// Execute one synchronous step. Returns the read results in the order
+  /// of `reads`. All reads observe memory as of the start of the step.
+  std::vector<std::int64_t> step(std::span<const PramRead> reads,
+                                 std::span<const PramWrite> writes);
+
+  [[nodiscard]] std::int64_t get(std::size_t addr) const;
+  void poke(std::size_t addr, std::int64_t value);  ///< host-side init
+
+  [[nodiscard]] std::size_t cells() const { return memory_.size(); }
+  [[nodiscard]] PramMode mode() const { return mode_; }
+  [[nodiscard]] int steps_executed() const { return steps_; }
+
+ private:
+  void check_addr(std::size_t addr) const;
+
+  std::vector<std::int64_t> memory_;
+  PramMode mode_;
+  int steps_ = 0;
+};
+
+/// O(log n)-step EREW tree reduction (sum) of memory[0..n). Returns the sum
+/// and leaves it in memory[0]. Destroys the input region.
+std::int64_t pram_sum(Pram& pram, std::size_t n);
+
+/// O(log n)-step CREW inclusive prefix-sum (Hillis-Steele) over
+/// memory[0..n) in place. Requires concurrent reads: running it on an EREW
+/// machine throws PramConflictError (a test demonstrates this).
+void pram_prefix_sum(Pram& pram, std::size_t n);
+
+/// O(1)-step CRCW-common maximum of memory[0..n) using n^2 virtual
+/// comparisons: the classic constant-time max. Returns the maximum.
+/// Requires n >= 1; uses scratch space [n, n + n).
+std::int64_t pram_max_crcw(Pram& pram, std::size_t n);
+
+/// O(log n)-step CREW pointer jumping (list ranking): memory[0..n) holds
+/// each node's successor index (tail points to itself); on return,
+/// memory[n..2n) holds each node's distance to the tail. The other PRAM
+/// classic CS41 presents. Uses cells [0, 2n).
+void pram_list_rank(Pram& pram, std::size_t n);
+
+}  // namespace pdc::model

@@ -1,0 +1,77 @@
+#pragma once
+// Task-graph (computation DAG) analysis — the work/span framework CS41
+// teaches from CLRS chapter 27:
+//   work  T1   = total weight of all tasks,
+//   span  T∞   = heaviest path through the DAG,
+//   parallelism = T1 / T∞,
+//   Brent/greedy-scheduler bound: T_P <= T1/P + T∞.
+// A discrete-event greedy (list) scheduler lets students check the bound
+// against an actual schedule.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdc::model {
+
+using NodeId = std::size_t;
+
+/// Weighted DAG of tasks.
+class TaskGraph {
+ public:
+  /// Add a task with the given work (must be > 0).
+  NodeId add_task(double work = 1.0, std::string label = {});
+
+  /// Declare that `pred` must finish before `succ` starts.
+  void add_dependency(NodeId pred, NodeId succ);
+
+  [[nodiscard]] std::size_t size() const { return work_.size(); }
+  [[nodiscard]] double task_work(NodeId id) const;
+  [[nodiscard]] const std::string& label(NodeId id) const;
+
+  /// T1: sum of all task weights.
+  [[nodiscard]] double total_work() const;
+
+  /// T∞: weight of the heaviest path (throws std::runtime_error on cycle).
+  [[nodiscard]] double span() const;
+
+  /// T1 / T∞ (infinite if the span is 0, i.e. the graph is empty).
+  [[nodiscard]] double parallelism() const;
+
+  /// Brent's bound on greedy P-processor makespan: T1/P + T∞.
+  [[nodiscard]] double brent_bound(int p) const;
+
+  /// Simulate a greedy list scheduler on `p` processors: whenever a
+  /// processor is free and a task is ready, it runs. Returns the makespan.
+  /// Guaranteed to satisfy max(T1/P, T∞) <= result <= brent_bound(P).
+  [[nodiscard]] double greedy_schedule_makespan(int p) const;
+
+  /// Topological order (throws std::runtime_error if the graph has a cycle).
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<double> work_;
+  std::vector<std::string> labels_;
+  std::vector<std::vector<NodeId>> succs_;
+  std::vector<std::vector<NodeId>> preds_;
+};
+
+/// Build the DAG of a binary fork-join divide-and-conquer over `n` items
+/// with `leaf_cutoff` (e.g. parallel merge sort): each internal node has a
+/// divide task, two recursive subtrees, and a combine task whose weight is
+/// `combine_weight_per_item * n` (the Θ(n) merge). With sequential merges
+/// the DAG has work Θ(n log n) and span Θ(n), so parallelism is only
+/// Θ(log n) — the classic CS41 observation about parallel merge sort.
+[[nodiscard]] TaskGraph fork_join_sort_dag(std::size_t n,
+                                           std::size_t leaf_cutoff,
+                                           double leaf_weight_per_item = 1.0,
+                                           double combine_weight_per_item = 1.0);
+
+/// Build the reduction-tree DAG over n leaves (tree reduce):
+/// work Θ(n), span Θ(log n).
+[[nodiscard]] TaskGraph reduction_dag(std::size_t n);
+
+}  // namespace pdc::model

@@ -1,0 +1,262 @@
+#include "pdc/model/pram.hpp"
+
+#include <map>
+#include <set>
+
+namespace pdc::model {
+
+std::string_view pram_mode_name(PramMode m) {
+  switch (m) {
+    case PramMode::kErew: return "EREW";
+    case PramMode::kCrew: return "CREW";
+    case PramMode::kCrcwCommon: return "CRCW-common";
+    case PramMode::kCrcwArbitrary: return "CRCW-arbitrary";
+  }
+  return "?";
+}
+
+Pram::Pram(std::size_t cells, PramMode mode) : memory_(cells, 0), mode_(mode) {
+  if (cells == 0) throw std::invalid_argument("cells must be > 0");
+}
+
+void Pram::check_addr(std::size_t addr) const {
+  if (addr >= memory_.size()) throw std::out_of_range("PRAM address");
+}
+
+std::int64_t Pram::get(std::size_t addr) const {
+  check_addr(addr);
+  return memory_[addr];
+}
+
+void Pram::poke(std::size_t addr, std::int64_t value) {
+  check_addr(addr);
+  memory_[addr] = value;
+}
+
+std::vector<std::int64_t> Pram::step(std::span<const PramRead> reads,
+                                     std::span<const PramWrite> writes) {
+  // --- validate the access pattern against the mode ---
+  const bool exclusive_read =
+      mode_ == PramMode::kErew;
+  const bool exclusive_write =
+      mode_ == PramMode::kErew || mode_ == PramMode::kCrew;
+
+  std::map<std::size_t, int> read_count;
+  for (const auto& r : reads) {
+    check_addr(r.addr);
+    ++read_count[r.addr];
+  }
+  if (exclusive_read) {
+    for (const auto& [addr, n] : read_count)
+      if (n > 1)
+        throw PramConflictError("EREW: concurrent read of cell " +
+                                std::to_string(addr));
+  }
+
+  std::map<std::size_t, std::vector<const PramWrite*>> writers;
+  for (const auto& w : writes) {
+    check_addr(w.addr);
+    writers[w.addr].push_back(&w);
+  }
+  for (const auto& [addr, ws] : writers) {
+    if (ws.size() > 1) {
+      if (exclusive_write)
+        throw PramConflictError(std::string(pram_mode_name(mode_)) +
+                                ": concurrent write to cell " +
+                                std::to_string(addr));
+      if (mode_ == PramMode::kCrcwCommon) {
+        for (const auto* w : ws)
+          if (w->value != ws.front()->value)
+            throw PramConflictError(
+                "CRCW-common: conflicting values written to cell " +
+                std::to_string(addr));
+      }
+    }
+    // Note: a PRAM step has separate read and write substeps, so one read
+    // and one write of the same cell within a step is legal even in EREW —
+    // exclusivity is enforced per substep above.
+  }
+
+  // --- execute: reads see pre-step memory, then writes apply ---
+  std::vector<std::int64_t> results;
+  results.reserve(reads.size());
+  for (const auto& r : reads) results.push_back(memory_[r.addr]);
+
+  for (const auto& [addr, ws] : writers) {
+    if (mode_ == PramMode::kCrcwArbitrary && ws.size() > 1) {
+      // Lowest processor id wins (deterministic "arbitrary").
+      const PramWrite* winner = ws.front();
+      for (const auto* w : ws)
+        if (w->proc < winner->proc) winner = w;
+      memory_[addr] = winner->value;
+    } else {
+      memory_[addr] = ws.front()->value;
+    }
+  }
+
+  ++steps_;
+  return results;
+}
+
+std::int64_t pram_sum(Pram& pram, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  if (n > pram.cells()) throw std::out_of_range("n exceeds PRAM memory");
+  // Tree reduction: in round r, proc i adds cell i+stride into cell i.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    std::vector<PramRead> reads;
+    std::vector<PramWrite> writes;
+    int proc = 0;
+    // First gather both operands (exclusive: each cell touched once).
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i + stride < n; i += 2 * stride)
+      pairs.emplace_back(i, i + stride);
+    for (const auto& [a, b] : pairs) {
+      reads.push_back({proc, a});
+      reads.push_back({proc, b});
+      ++proc;
+    }
+    const auto vals = pram.step(reads, {});
+    proc = 0;
+    writes.clear();
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      writes.push_back({static_cast<int>(k), pairs[k].first,
+                        vals[2 * k] + vals[2 * k + 1]});
+    }
+    (void)pram.step({}, writes);
+  }
+  return pram.get(0);
+}
+
+void pram_prefix_sum(Pram& pram, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  if (n > pram.cells()) throw std::out_of_range("n exceeds PRAM memory");
+  // Hillis-Steele: x[i] += x[i - stride]. Cell i-stride is read by proc i
+  // while also being read by proc i-stride... in the classic formulation
+  // each proc reads two cells; concurrent reads occur, so CREW is required.
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    std::vector<PramRead> reads;
+    for (std::size_t i = stride; i < n; ++i) {
+      const int proc = static_cast<int>(i);
+      reads.push_back({proc, i});
+      reads.push_back({proc, i - stride});
+    }
+    const auto vals = pram.step(reads, {});
+    std::vector<PramWrite> writes;
+    std::size_t k = 0;
+    for (std::size_t i = stride; i < n; ++i, k += 2) {
+      writes.push_back(
+          {static_cast<int>(i), i, vals[k] + vals[k + 1]});
+    }
+    (void)pram.step({}, writes);
+  }
+}
+
+std::int64_t pram_max_crcw(Pram& pram, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  if (2 * n > pram.cells())
+    throw std::out_of_range("need 2n cells of PRAM memory");
+  // flags[i] (cells n..2n) start at 1; proc (i,j) clears flags[i] if
+  // x[i] < x[j]. The surviving flag marks the maximum. Constant steps,
+  // n^2 processors, common-CRCW writes (everyone writes 0).
+  {
+    std::vector<PramWrite> init;
+    for (std::size_t i = 0; i < n; ++i)
+      init.push_back({static_cast<int>(i), n + i, 1});
+    (void)pram.step({}, init);
+  }
+  // Read all pairs (concurrent reads!), then clear losing flags.
+  std::vector<PramRead> reads;
+  reads.reserve(2 * n * n);
+  int proc = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      reads.push_back({proc, i});
+      reads.push_back({proc, j});
+      ++proc;
+    }
+  const auto vals = pram.step(reads, {});
+  std::vector<PramWrite> clears;
+  proc = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int64_t xi = vals[2 * static_cast<std::size_t>(proc)];
+      const std::int64_t xj = vals[2 * static_cast<std::size_t>(proc) + 1];
+      if (xi < xj) clears.push_back({proc, n + i, 0});
+      ++proc;
+    }
+  (void)pram.step({}, clears);
+
+  // One more parallel step: the winning index writes x[i] to cell 0
+  // (exactly one flag survives; duplicates of the max all write the same
+  // value, still common).
+  std::vector<PramRead> flag_reads;
+  for (std::size_t i = 0; i < n; ++i)
+    flag_reads.push_back({static_cast<int>(i), n + i});
+  std::vector<PramRead> val_reads;
+  for (std::size_t i = 0; i < n; ++i)
+    val_reads.push_back({static_cast<int>(i), i});
+  const auto flags = pram.step(flag_reads, {});
+  const auto xs = pram.step(val_reads, {});
+  std::vector<PramWrite> result;
+  for (std::size_t i = 0; i < n; ++i)
+    if (flags[i] == 1) result.push_back({static_cast<int>(i), 0, xs[i]});
+  (void)pram.step({}, result);
+  return pram.get(0);
+}
+
+void pram_list_rank(Pram& pram, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  if (2 * n > pram.cells())
+    throw std::out_of_range("need 2n cells of PRAM memory");
+  // rank[i] = 0 if succ[i] == i else 1 (initial step counts one hop).
+  {
+    std::vector<PramRead> reads;
+    for (std::size_t i = 0; i < n; ++i)
+      reads.push_back({static_cast<int>(i), i});
+    const auto succ = pram.step(reads, {});
+    std::vector<PramWrite> writes;
+    for (std::size_t i = 0; i < n; ++i)
+      writes.push_back({static_cast<int>(i), n + i,
+                        succ[i] == static_cast<std::int64_t>(i) ? 0 : 1});
+    (void)pram.step({}, writes);
+  }
+  // Pointer jumping: rank[i] += rank[succ[i]]; succ[i] = succ[succ[i]].
+  // log2(n) rounds suffice. Reads of succ[succ[i]] are concurrent (many
+  // nodes can share a successor near the tail) => CREW.
+  std::size_t rounds = 0;
+  for (std::size_t reach = 1; reach < n; reach *= 2) ++rounds;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Step A: read succ[i] for all i.
+    std::vector<PramRead> succ_reads;
+    for (std::size_t i = 0; i < n; ++i)
+      succ_reads.push_back({static_cast<int>(i), i});
+    const auto succ = pram.step(succ_reads, {});
+
+    // Step B: read rank[succ[i]] and succ[succ[i]] (concurrent reads).
+    std::vector<PramRead> hop_reads;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto s = static_cast<std::size_t>(succ[i]);
+      hop_reads.push_back({static_cast<int>(i), n + s});
+      hop_reads.push_back({static_cast<int>(i), s});
+    }
+    const auto hops = pram.step(hop_reads, {});
+
+    // Step C: read own rank, then write updated rank and jumped pointer.
+    std::vector<PramRead> own_reads;
+    for (std::size_t i = 0; i < n; ++i)
+      own_reads.push_back({static_cast<int>(i), n + i});
+    const auto own = pram.step(own_reads, {});
+
+    std::vector<PramWrite> writes;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto s = static_cast<std::size_t>(succ[i]);
+      const bool at_tail = s == i;
+      if (at_tail) continue;  // already done
+      writes.push_back({static_cast<int>(i), n + i, own[i] + hops[2 * i]});
+      writes.push_back({static_cast<int>(i), i, hops[2 * i + 1]});
+    }
+    (void)pram.step({}, writes);
+  }
+}
+
+}  // namespace pdc::model

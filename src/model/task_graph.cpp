@@ -1,0 +1,195 @@
+#include "pdc/model/task_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace pdc::model {
+
+NodeId TaskGraph::add_task(double work, std::string label) {
+  if (work <= 0.0) throw std::invalid_argument("task work must be > 0");
+  work_.push_back(work);
+  labels_.push_back(std::move(label));
+  succs_.emplace_back();
+  preds_.emplace_back();
+  return work_.size() - 1;
+}
+
+void TaskGraph::check_node(NodeId id) const {
+  if (id >= work_.size()) throw std::out_of_range("unknown task id");
+}
+
+void TaskGraph::add_dependency(NodeId pred, NodeId succ) {
+  check_node(pred);
+  check_node(succ);
+  if (pred == succ) throw std::invalid_argument("self dependency");
+  succs_[pred].push_back(succ);
+  preds_[succ].push_back(pred);
+}
+
+double TaskGraph::task_work(NodeId id) const {
+  check_node(id);
+  return work_[id];
+}
+
+const std::string& TaskGraph::label(NodeId id) const {
+  check_node(id);
+  return labels_[id];
+}
+
+double TaskGraph::total_work() const {
+  double w = 0.0;
+  for (double x : work_) w += x;
+  return w;
+}
+
+std::vector<NodeId> TaskGraph::topological_order() const {
+  std::vector<std::size_t> indegree(size());
+  for (NodeId v = 0; v < size(); ++v) indegree[v] = preds_[v].size();
+  std::vector<NodeId> order;
+  order.reserve(size());
+  std::queue<NodeId> ready;
+  for (NodeId v = 0; v < size(); ++v)
+    if (indegree[v] == 0) ready.push(v);
+  while (!ready.empty()) {
+    const NodeId u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (NodeId v : succs_[u])
+      if (--indegree[v] == 0) ready.push(v);
+  }
+  if (order.size() != size())
+    throw std::runtime_error("task graph contains a cycle");
+  return order;
+}
+
+double TaskGraph::span() const {
+  if (size() == 0) return 0.0;
+  const auto order = topological_order();  // also validates acyclicity
+  std::vector<double> finish(size(), 0.0);
+  double best = 0.0;
+  for (NodeId u : order) {
+    double start = 0.0;
+    for (NodeId p : preds_[u]) start = std::max(start, finish[p]);
+    finish[u] = start + work_[u];
+    best = std::max(best, finish[u]);
+  }
+  return best;
+}
+
+double TaskGraph::parallelism() const {
+  const double s = span();
+  if (s == 0.0) return std::numeric_limits<double>::infinity();
+  return total_work() / s;
+}
+
+double TaskGraph::brent_bound(int p) const {
+  if (p < 1) throw std::invalid_argument("p must be >= 1");
+  return total_work() / static_cast<double>(p) + span();
+}
+
+double TaskGraph::greedy_schedule_makespan(int p) const {
+  if (p < 1) throw std::invalid_argument("p must be >= 1");
+  if (size() == 0) return 0.0;
+  (void)topological_order();  // validate acyclicity
+
+  // Discrete-event simulation: processors pick ready tasks greedily.
+  std::vector<std::size_t> remaining_preds(size());
+  for (NodeId v = 0; v < size(); ++v) remaining_preds[v] = preds_[v].size();
+
+  // Ready tasks, largest work first (a common list-scheduling heuristic;
+  // any greedy order satisfies Brent's bound).
+  auto cmp = [this](NodeId a, NodeId b) { return work_[a] < work_[b]; };
+  std::priority_queue<NodeId, std::vector<NodeId>, decltype(cmp)> ready(cmp);
+  for (NodeId v = 0; v < size(); ++v)
+    if (remaining_preds[v] == 0) ready.push(v);
+
+  // Running tasks as (finish_time, node), min-heap.
+  using Running = std::pair<double, NodeId>;
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+
+  double now = 0.0;
+  int busy = 0;
+  while (!ready.empty() || !running.empty()) {
+    // Start as many ready tasks as we have free processors.
+    while (busy < p && !ready.empty()) {
+      const NodeId u = ready.top();
+      ready.pop();
+      running.emplace(now + work_[u], u);
+      ++busy;
+    }
+    // Advance time to the next completion.
+    const auto [t, u] = running.top();
+    running.pop();
+    now = t;
+    --busy;
+    for (NodeId v : succs_[u])
+      if (--remaining_preds[v] == 0) ready.push(v);
+  }
+  return now;
+}
+
+namespace {
+
+NodeId build_sort_subtree(TaskGraph& g, std::size_t n, std::size_t cutoff,
+                          double leaf_w, double combine_w, NodeId* entry) {
+  // Returns the *exit* node of the subtree (its combine task) and stores
+  // the entry (divide/leaf) node through `entry`.
+  if (n <= cutoff) {
+    const NodeId leaf =
+        g.add_task(std::max(1.0, leaf_w * static_cast<double>(n)), "leaf");
+    *entry = leaf;
+    return leaf;
+  }
+  const NodeId divide = g.add_task(1.0, "divide");
+  *entry = divide;
+  NodeId left_entry = 0, right_entry = 0;
+  const NodeId left_exit =
+      build_sort_subtree(g, n / 2, cutoff, leaf_w, combine_w, &left_entry);
+  const NodeId right_exit = build_sort_subtree(g, n - n / 2, cutoff, leaf_w,
+                                               combine_w, &right_entry);
+  g.add_dependency(divide, left_entry);
+  g.add_dependency(divide, right_entry);
+  const NodeId combine = g.add_task(
+      std::max(1.0, combine_w * static_cast<double>(n)), "merge");
+  g.add_dependency(left_exit, combine);
+  g.add_dependency(right_exit, combine);
+  return combine;
+}
+
+}  // namespace
+
+TaskGraph fork_join_sort_dag(std::size_t n, std::size_t leaf_cutoff,
+                             double leaf_weight_per_item,
+                             double combine_weight_per_item) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  if (leaf_cutoff == 0) throw std::invalid_argument("cutoff must be > 0");
+  TaskGraph g;
+  NodeId entry = 0;
+  (void)build_sort_subtree(g, n, leaf_cutoff, leaf_weight_per_item,
+                           combine_weight_per_item, &entry);
+  return g;
+}
+
+TaskGraph reduction_dag(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("n must be > 0");
+  TaskGraph g;
+  std::vector<NodeId> level;
+  level.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) level.push_back(g.add_task(1.0, "leaf"));
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const NodeId op = g.add_task(1.0, "combine");
+      g.add_dependency(level[i], op);
+      g.add_dependency(level[i + 1], op);
+      next.push_back(op);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return g;
+}
+
+}  // namespace pdc::model

@@ -1,0 +1,386 @@
+#include "pdc/mp/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace pdc::mp {
+
+std::int64_t apply(ReduceOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kProd: return a * b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::int64_t identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return 0;
+    case ReduceOp::kProd: return 1;
+    case ReduceOp::kMin: return std::numeric_limits<std::int64_t>::max();
+    case ReduceOp::kMax: return std::numeric_limits<std::int64_t>::min();
+  }
+  throw std::logic_error("unreachable");
+}
+
+// ------------------------------------------------------------ communicator ---
+
+Communicator::Communicator(int size) : size_(size) {
+  if (size_ < 1) throw std::invalid_argument("communicator size must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void Communicator::deliver(int dest, Message msg) {
+  if (dest < 0 || dest >= size_) throw std::out_of_range("bad destination");
+  {
+    std::lock_guard lk(traffic_m_);
+    ++traffic_.messages;
+    traffic_.payload_words += msg.data.size();
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lk(box.m);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+namespace {
+bool matches(const Message& m, int source, int tag) {
+  return (source == kAnySource || m.source == source) &&
+         (tag == kAnyTag || m.tag == tag);
+}
+}  // namespace
+
+bool Communicator::match_available(int rank, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lk(box.m);
+  for (const auto& m : box.queue)
+    if (matches(m, source, tag)) return true;
+  return false;
+}
+
+Message Communicator::take(int rank, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock lk(box.m);
+  while (true) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        return m;
+      }
+    }
+    box.cv.wait(lk);
+  }
+}
+
+TrafficStats Communicator::traffic() const {
+  std::lock_guard lk(traffic_m_);
+  return traffic_;
+}
+
+void Communicator::reset_traffic() {
+  std::lock_guard lk(traffic_m_);
+  traffic_ = {};
+}
+
+void Communicator::run(const std::function<void(RankContext&)>& body) {
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  if (size_ == 1) {
+    RankContext ctx(this, 0);
+    body(ctx);
+    return;
+  }
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      threads.emplace_back([&, r] {
+        try {
+          RankContext ctx(this, r);
+          body(ctx);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+      });
+    }
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+// ---------------------------------------------------------------- request ---
+
+bool Request::test() { return comm_->match_available(rank_, source_, tag_); }
+
+Message Request::wait() { return comm_->take(rank_, source_, tag_); }
+
+// ------------------------------------------------------------ rank context ---
+
+int RankContext::size() const { return comm_->size(); }
+
+void RankContext::send(int dest, int tag, std::vector<std::int64_t> data) {
+  if (tag < 0) throw std::invalid_argument("user tags must be >= 0");
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.data = std::move(data);
+  comm_->deliver(dest, std::move(m));
+}
+
+void RankContext::send_value(int dest, int tag, std::int64_t value) {
+  send(dest, tag, {value});
+}
+
+Message RankContext::recv(int source, int tag) {
+  return comm_->take(rank_, source, tag);
+}
+
+std::int64_t RankContext::recv_value(int source, int tag) {
+  const Message m = recv(source, tag);
+  if (m.data.size() != 1)
+    throw std::runtime_error("recv_value: message is not a single value");
+  return m.data[0];
+}
+
+bool RankContext::probe(int source, int tag) {
+  return comm_->match_available(rank_, source, tag);
+}
+
+Request RankContext::irecv(int source, int tag) {
+  return Request(comm_, rank_, source, tag);
+}
+
+int RankContext::next_collective_tag() {
+  // Reserved negative tag space; -1 is never produced (kAnyTag).
+  return -2 - (collective_seq_++);
+}
+
+void RankContext::raw_send(int dest, int tag,
+                           std::vector<std::int64_t> data) {
+  Message m;
+  m.source = rank_;
+  m.tag = tag;
+  m.data = std::move(data);
+  comm_->deliver(dest, std::move(m));
+}
+
+void RankContext::barrier() {
+  // Tree reduce of a token, then tree broadcast of the release.
+  const int up_tag = next_collective_tag();
+  const int down_tag = next_collective_tag();
+  const int p = size();
+  if (p == 1) return;
+
+  // Reduce phase toward rank 0 (binomial).
+  int mask = 1;
+  while (mask < p) {
+    if ((rank_ & mask) == 0) {
+      const int partner = rank_ | mask;
+      if (partner < p) (void)comm_->take(rank_, partner, up_tag);
+    } else {
+      raw_send(rank_ & ~mask, up_tag, {});
+      break;
+    }
+    mask <<= 1;
+  }
+  // Broadcast release from rank 0.
+  mask = 1;
+  while (mask < p) {
+    if (rank_ & mask) {
+      (void)comm_->take(rank_, rank_ - mask, down_tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rank_ + mask < p && (rank_ & (mask - 1)) == 0 &&
+        (rank_ & mask) == 0) {
+      raw_send(rank_ + mask, down_tag, {});
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::int64_t> RankContext::broadcast(int root,
+                                                 std::vector<std::int64_t> data,
+                                                 CollectiveAlgo algo) {
+  const int tag = next_collective_tag();
+  const int p = size();
+  if (root < 0 || root >= p) throw std::out_of_range("bad root");
+  if (p == 1) return data;
+
+  if (algo == CollectiveAlgo::kFlat) {
+    if (rank_ == root) {
+      for (int r = 0; r < p; ++r)
+        if (r != root) raw_send(r, tag, data);
+      return data;
+    }
+    return comm_->take(rank_, root, tag).data;
+  }
+
+  // Binomial tree (MPICH-style).
+  const int relative = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      const int src = (rank_ - mask + p) % p;
+      data = comm_->take(rank_, src, tag).data;
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      const int dst = (rank_ + mask) % p;
+      raw_send(dst, tag, data);
+    }
+    mask >>= 1;
+  }
+  return data;
+}
+
+std::int64_t RankContext::broadcast_value(int root, std::int64_t value,
+                                          CollectiveAlgo algo) {
+  const auto v = broadcast(root, {value}, algo);
+  return v.at(0);
+}
+
+std::int64_t RankContext::reduce(int root, std::int64_t value, ReduceOp op,
+                                 CollectiveAlgo algo) {
+  const int tag = next_collective_tag();
+  const int p = size();
+  if (root < 0 || root >= p) throw std::out_of_range("bad root");
+  if (p == 1) return value;
+
+  if (algo == CollectiveAlgo::kFlat) {
+    if (rank_ == root) {
+      std::int64_t acc = value;
+      for (int i = 0; i < p - 1; ++i) {
+        const Message m = comm_->take(rank_, kAnySource, tag);
+        acc = apply(op, acc, m.data.at(0));
+      }
+      return acc;
+    }
+    raw_send(root, tag, {value});
+    return identity(op);
+  }
+
+  // Binomial tree toward root.
+  const int relative = (rank_ - root + p) % p;
+  std::int64_t acc = value;
+  int mask = 1;
+  while (mask < p) {
+    if ((relative & mask) == 0) {
+      const int partner_rel = relative | mask;
+      if (partner_rel < p) {
+        const int src = (partner_rel + root) % p;
+        const Message m = comm_->take(rank_, src, tag);
+        acc = apply(op, acc, m.data.at(0));
+      }
+    } else {
+      const int dst = ((relative & ~mask) + root) % p;
+      raw_send(dst, tag, {acc});
+      return identity(op);
+    }
+    mask <<= 1;
+  }
+  return acc;  // root
+}
+
+std::int64_t RankContext::allreduce(std::int64_t value, ReduceOp op) {
+  const std::int64_t total = reduce(0, value, op);
+  return broadcast_value(0, rank_ == 0 ? total : 0);
+}
+
+std::vector<std::int64_t> RankContext::gather(int root, std::int64_t value) {
+  const int tag = next_collective_tag();
+  const int p = size();
+  if (root < 0 || root >= p) throw std::out_of_range("bad root");
+  if (rank_ != root) {
+    raw_send(root, tag, {value});
+    return {};
+  }
+  std::vector<std::int64_t> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(rank_)] = value;
+  for (int r = 0; r < p; ++r) {
+    if (r == root) continue;
+    out[static_cast<std::size_t>(r)] =
+        comm_->take(rank_, r, tag).data.at(0);
+  }
+  return out;
+}
+
+std::int64_t RankContext::scatter(int root,
+                                  const std::vector<std::int64_t>& values) {
+  const int tag = next_collective_tag();
+  const int p = size();
+  if (root < 0 || root >= p) throw std::out_of_range("bad root");
+  if (rank_ == root) {
+    if (values.size() != static_cast<std::size_t>(p))
+      throw std::invalid_argument("scatter needs exactly P values at root");
+    for (int r = 0; r < p; ++r)
+      if (r != root)
+        raw_send(r, tag,
+                 {values[static_cast<std::size_t>(r)]});
+    return values[static_cast<std::size_t>(rank_)];
+  }
+  return comm_->take(rank_, root, tag).data.at(0);
+}
+
+std::vector<std::int64_t> RankContext::allgather(std::int64_t value) {
+  std::vector<std::int64_t> all = gather(0, value);
+  if (rank_ != 0) all.assign(static_cast<std::size_t>(size()), 0);
+  return broadcast(0, std::move(all));
+}
+
+std::vector<std::vector<std::int64_t>> RankContext::alltoall(
+    std::vector<std::vector<std::int64_t>> outgoing) {
+  const int tag = next_collective_tag();
+  const int p = size();
+  if (outgoing.size() != static_cast<std::size_t>(p))
+    throw std::invalid_argument("alltoall needs exactly P outgoing buffers");
+  // Buffered sends: post everything, then collect per-source.
+  for (int d = 0; d < p; ++d) {
+    if (d == rank_) continue;
+    raw_send(d, tag, std::move(outgoing[static_cast<std::size_t>(d)]));
+  }
+  std::vector<std::vector<std::int64_t>> incoming(
+      static_cast<std::size_t>(p));
+  incoming[static_cast<std::size_t>(rank_)] =
+      std::move(outgoing[static_cast<std::size_t>(rank_)]);
+  for (int s = 0; s < p; ++s) {
+    if (s == rank_) continue;
+    incoming[static_cast<std::size_t>(s)] =
+        comm_->take(rank_, s, tag).data;
+  }
+  return incoming;
+}
+
+std::vector<std::int64_t> RankContext::sendrecv(
+    int dest, std::vector<std::int64_t> data, int source) {
+  const int tag = next_collective_tag();
+  raw_send(dest, tag, std::move(data));
+  return comm_->take(rank_, source, tag).data;
+}
+
+std::int64_t RankContext::exscan(std::int64_t value, ReduceOp op) {
+  const int tag = next_collective_tag();
+  const int p = size();
+  std::int64_t prefix = identity(op);
+  if (rank_ > 0) prefix = comm_->take(rank_, rank_ - 1, tag).data.at(0);
+  if (rank_ + 1 < p)
+    raw_send(rank_ + 1, tag, {apply(op, prefix, value)});
+  return prefix;
+}
+
+}  // namespace pdc::mp

@@ -1,0 +1,94 @@
+#include "pdc/mp/dht.hpp"
+
+#include <functional>
+
+namespace pdc::mp {
+
+int BspHashMap::owner(std::int64_t key) const {
+  return static_cast<int>(std::hash<std::int64_t>{}(key) %
+                          static_cast<std::size_t>(ctx_->size()));
+}
+
+void BspHashMap::queue_put(std::int64_t key, std::int64_t value) {
+  pending_puts_.emplace_back(key, value);
+}
+
+void BspHashMap::queue_get(std::int64_t key) {
+  pending_gets_.push_back(key);
+}
+
+std::vector<BspHashMap::GetResult> BspHashMap::round() {
+  const int p = ctx_->size();
+  const auto up = static_cast<std::size_t>(p);
+
+  // Wire format per destination: [n_puts, k1, v1, ..., n_gets, g1, ...].
+  std::vector<std::vector<std::int64_t>> outgoing(up);
+  {
+    std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> puts(up);
+    std::vector<std::vector<std::int64_t>> gets(up);
+    for (const auto& [k, v] : pending_puts_)
+      puts[static_cast<std::size_t>(owner(k))].emplace_back(k, v);
+    for (const auto k : pending_gets_) {
+      gets[static_cast<std::size_t>(owner(k))].push_back(k);
+    }
+    for (std::size_t d = 0; d < up; ++d) {
+      auto& msg = outgoing[d];
+      msg.push_back(static_cast<std::int64_t>(puts[d].size()));
+      for (const auto& [k, v] : puts[d]) {
+        msg.push_back(k);
+        msg.push_back(v);
+      }
+      msg.push_back(static_cast<std::int64_t>(gets[d].size()));
+      for (const auto k : gets[d]) msg.push_back(k);
+    }
+  }
+  const std::size_t n_gets = pending_gets_.size();
+  std::vector<std::int64_t> get_keys = std::move(pending_gets_);
+  pending_puts_.clear();
+  pending_gets_.clear();
+
+  auto incoming = ctx_->alltoall(std::move(outgoing));
+
+  // Apply puts in source-rank order (deterministic last-writer-wins),
+  // then answer gets: reply format per source: [found1, val1, ...] in the
+  // source's request order.
+  std::vector<std::vector<std::int64_t>> replies(up);
+  for (std::size_t s = 0; s < up; ++s) {
+    const auto& msg = incoming[s];
+    std::size_t i = 0;
+    const auto n_puts = static_cast<std::size_t>(msg.at(i++));
+    for (std::size_t k = 0; k < n_puts; ++k) {
+      const auto key = msg.at(i++);
+      const auto value = msg.at(i++);
+      shard_[key] = value;
+    }
+  }
+  for (std::size_t s = 0; s < up; ++s) {
+    const auto& msg = incoming[s];
+    std::size_t i = 0;
+    const auto n_puts = static_cast<std::size_t>(msg.at(i++));
+    i += 2 * n_puts;
+    const auto n = static_cast<std::size_t>(msg.at(i++));
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto key = msg.at(i++);
+      const auto it = shard_.find(key);
+      replies[s].push_back(it != shard_.end() ? 1 : 0);
+      replies[s].push_back(it != shard_.end() ? it->second : 0);
+    }
+  }
+  auto answers = ctx_->alltoall(std::move(replies));
+
+  // Scatter answers back into queue order.
+  std::vector<GetResult> results(n_gets);
+  std::vector<std::size_t> cursor(up, 0);
+  for (std::size_t slot = 0; slot < n_gets; ++slot) {
+    const auto d = static_cast<std::size_t>(owner(get_keys[slot]));
+    const std::size_t c = cursor[d]++;
+    results[slot].key = get_keys[slot];
+    results[slot].found = answers[d].at(2 * c) == 1;
+    results[slot].value = answers[d].at(2 * c + 1);
+  }
+  return results;
+}
+
+}  // namespace pdc::mp

@@ -1,0 +1,184 @@
+#pragma once
+// In-process message passing with MPI semantics (the CS87 MPI-lab
+// substrate): P ranks run as threads sharing NO data; all communication is
+// explicit tagged messages. Collectives are implemented on top of
+// send/recv — the point of the lab is that broadcast, reduce, scatter,
+// gather and scan are just message *patterns*.
+//
+// The substitution for real MPI on a cluster: wall-clock network cost is
+// replaced by exact traffic accounting (messages and payload words), which
+// is what the course's analysis compares anyway.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pdc::mp {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A received message.
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::int64_t> data;
+};
+
+/// Reduction operators for reduce/allreduce/scan.
+enum class ReduceOp { kSum, kProd, kMin, kMax };
+
+[[nodiscard]] std::int64_t apply(ReduceOp op, std::int64_t a, std::int64_t b);
+[[nodiscard]] std::int64_t identity(ReduceOp op);
+
+/// Collective algorithm selector (the bench compares them).
+enum class CollectiveAlgo {
+  kFlat,  ///< root talks to everyone directly: P-1 messages, P-1 rounds at root
+  kTree,  ///< binomial tree: P-1 messages, ceil(log2 P) rounds
+};
+
+/// Aggregate traffic counters for a communicator run.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t payload_words = 0;  ///< total int64 values moved
+};
+
+class Communicator;
+
+/// Handle for a nonblocking receive.
+class Request {
+ public:
+  /// True once a matching message is available (does not consume it).
+  [[nodiscard]] bool test();
+  /// Block until matched; returns the message (consumes it).
+  Message wait();
+
+ private:
+  friend class RankContext;
+  Request(Communicator* comm, int rank, int source, int tag)
+      : comm_(comm), rank_(rank), source_(source), tag_(tag) {}
+  Communicator* comm_;
+  int rank_;
+  int source_;
+  int tag_;
+};
+
+/// Per-rank API handed to the SPMD function.
+class RankContext {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  // ---- point to point ----
+
+  /// Buffered send: enqueues and returns (like MPI_Send with buffering).
+  /// User tags must be >= 0 (negative tags are reserved for collectives).
+  void send(int dest, int tag, std::vector<std::int64_t> data);
+  void send_value(int dest, int tag, std::int64_t value);
+
+  /// Blocking receive with optional wildcards kAnySource / kAnyTag.
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+  std::int64_t recv_value(int source = kAnySource, int tag = kAnyTag);
+
+  /// Nonblocking probe: is a matching message waiting?
+  [[nodiscard]] bool probe(int source = kAnySource, int tag = kAnyTag);
+
+  /// Nonblocking receive.
+  [[nodiscard]] Request irecv(int source = kAnySource, int tag = kAnyTag);
+
+  // ---- collectives (every rank must call, in the same order) ----
+
+  void barrier();
+
+  /// Root's `data` is distributed to all ranks; everyone returns it.
+  std::vector<std::int64_t> broadcast(int root, std::vector<std::int64_t> data,
+                                      CollectiveAlgo algo = CollectiveAlgo::kTree);
+  std::int64_t broadcast_value(int root, std::int64_t value,
+                               CollectiveAlgo algo = CollectiveAlgo::kTree);
+
+  /// Combine every rank's value at root (others return identity(op)).
+  std::int64_t reduce(int root, std::int64_t value, ReduceOp op,
+                      CollectiveAlgo algo = CollectiveAlgo::kTree);
+
+  /// Reduce + broadcast: every rank returns the combined value.
+  std::int64_t allreduce(std::int64_t value, ReduceOp op);
+
+  /// Root receives [value_0, ..., value_{P-1}]; others get empty.
+  std::vector<std::int64_t> gather(int root, std::int64_t value);
+
+  /// Root supplies P values; every rank returns its own.
+  std::int64_t scatter(int root, const std::vector<std::int64_t>& values);
+
+  /// All ranks receive everyone's value, in rank order.
+  std::vector<std::int64_t> allgather(std::int64_t value);
+
+  /// Exclusive prefix: rank r returns op(value_0, ..., value_{r-1});
+  /// rank 0 returns identity(op).
+  std::int64_t exscan(std::int64_t value, ReduceOp op);
+
+  /// Personalized all-to-all: `outgoing[d]` is sent to rank d (size must
+  /// be P); returns incoming[s] = what rank s sent to this rank.
+  std::vector<std::vector<std::int64_t>> alltoall(
+      std::vector<std::vector<std::int64_t>> outgoing);
+
+  /// Combined send+recv (deadlock-free even unbuffered): sends `data` to
+  /// `dest` and returns the message received from `source`, both under
+  /// `tag` (reserved per call).
+  std::vector<std::int64_t> sendrecv(int dest, std::vector<std::int64_t> data,
+                                     int source);
+
+ private:
+  friend class Communicator;
+  RankContext(Communicator* comm, int rank) : comm_(comm), rank_(rank) {}
+
+  /// Fresh reserved (negative) tag for the next collective. Every rank
+  /// calls collectives in the same order, so local counters agree.
+  [[nodiscard]] int next_collective_tag();
+
+  /// Internal send that bypasses the user-tag check (reserved tags).
+  void raw_send(int dest, int tag, std::vector<std::int64_t> data);
+
+  Communicator* comm_;
+  int rank_;
+  int collective_seq_ = 0;
+};
+
+/// Runs an SPMD function over `size` ranks (one thread per rank).
+class Communicator {
+ public:
+  explicit Communicator(int size);
+
+  /// Launch all ranks, wait for completion. Exceptions from any rank are
+  /// rethrown (first by rank order) after all threads join.
+  void run(const std::function<void(RankContext&)>& body);
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] TrafficStats traffic() const;
+  void reset_traffic();
+
+ private:
+  friend class RankContext;
+  friend class Request;
+
+  struct Mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void deliver(int dest, Message msg);
+  [[nodiscard]] bool match_available(int rank, int source, int tag);
+  Message take(int rank, int source, int tag);  // blocking
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  mutable std::mutex traffic_m_;
+  TrafficStats traffic_;
+};
+
+}  // namespace pdc::mp

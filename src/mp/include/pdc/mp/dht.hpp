@@ -1,0 +1,58 @@
+#pragma once
+// Bulk-synchronous distributed hash table (the paper's CS44 "distributed
+// hash tables" topic): keys are hash-partitioned across ranks; every rank
+// submits a batch of puts/gets per round, batches are routed with one
+// all-to-all, owners apply/answer, and a second all-to-all returns the
+// get results. The BSP batching makes the protocol deadlock-free on top
+// of plain collectives — the same structure as a distributed join's
+// exchange phase.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pdc/mp/comm.hpp"
+
+namespace pdc::mp {
+
+/// Per-rank shard of the table. Construct one inside the SPMD body; all
+/// ranks must call round() collectively (same number of times).
+class BspHashMap {
+ public:
+  explicit BspHashMap(RankContext& ctx) : ctx_(&ctx) {}
+
+  /// Queue a put for the next round (applied at the owner).
+  void queue_put(std::int64_t key, std::int64_t value);
+
+  /// Queue a get for the next round; the result arrives after round().
+  void queue_get(std::int64_t key);
+
+  /// Result of one get, in queue order.
+  struct GetResult {
+    std::int64_t key = 0;
+    bool found = false;
+    std::int64_t value = 0;
+    bool operator==(const GetResult&) const = default;
+  };
+
+  /// Execute one synchronous round: route queued puts and gets to their
+  /// owner ranks, apply puts (last-writer-wins within a round is resolved
+  /// by source rank order), answer gets. Returns this rank's get results
+  /// in the order queue_get was called. COLLECTIVE: every rank must call.
+  std::vector<GetResult> round();
+
+  /// Owner rank of a key.
+  [[nodiscard]] int owner(std::int64_t key) const;
+
+  /// Number of keys stored in this rank's shard.
+  [[nodiscard]] std::size_t local_size() const { return shard_.size(); }
+
+ private:
+  RankContext* ctx_;
+  std::unordered_map<std::int64_t, std::int64_t> shard_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> pending_puts_;
+  std::vector<std::int64_t> pending_gets_;
+};
+
+}  // namespace pdc::mp

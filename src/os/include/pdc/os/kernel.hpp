@@ -1,0 +1,172 @@
+#pragma once
+// The simulated kernel: PCB table, round-robin or priority scheduling,
+// fork/exec/wait/exit with zombies and reparenting to init, signal
+// delivery with default/ignore/handler dispositions, and pipes for shell
+// pipelines. Time advances one tick per `tick()`; everything is
+// deterministic.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pdc/os/process.hpp"
+
+namespace pdc::os {
+
+enum class SchedulerKind {
+  kRoundRobin,
+  kPriority,
+  kMlfq,  ///< multi-level feedback queue: 3 levels, quantum doubles per
+          ///< level, demotion on quantum expiry, boost to top on wake
+};
+
+struct KernelConfig {
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  int quantum = 4;  ///< ticks per time slice (round robin)
+};
+
+/// A console line attributed to the process that printed it.
+struct ConsoleLine {
+  Pid pid = 0;
+  std::string text;
+  bool operator==(const ConsoleLine&) const = default;
+};
+
+/// Inter-process pipe: a queue of lines plus writer bookkeeping so readers
+/// see EOF once all writers have exited.
+using PipeId = int;
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig config = {});
+
+  // ---- process management ----
+
+  /// Create a process (child of init). Returns its pid (2, 3, ...).
+  Pid spawn(Program program, std::string name = {}, int priority = 0);
+
+  /// External signal injection (like typing ^C or running `kill`).
+  void kill(Pid pid, Signal sig);
+
+  // ---- pipes & stdio wiring ----
+
+  /// `capacity` 0 = unbounded; otherwise writers block when the pipe
+  /// holds `capacity` lines until a reader drains it (backpressure).
+  PipeId create_pipe(std::size_t capacity = 0);
+  /// Route a process's stdout to a pipe (default: console). The process
+  /// counts as a writer; EOF is reachable once all writers exited.
+  void connect_stdout(Pid pid, PipeId pipe);
+  /// Route a process's stdin to a pipe (default: an empty console stdin
+  /// that yields EOF).
+  void connect_stdin(Pid pid, PipeId pipe);
+
+  // ---- time ----
+
+  /// Advance one tick: deliver pending signals, schedule, execute one op.
+  /// Returns false if no runnable process exists.
+  bool tick();
+
+  /// Tick until every non-init process is reaped or `max_ticks` elapse.
+  /// Returns ticks consumed. Throws std::runtime_error if the budget is
+  /// exhausted (deadlock / runaway detector).
+  std::size_t run(std::size_t max_ticks = 100'000);
+
+  [[nodiscard]] std::uint64_t now() const { return now_; }
+
+  // ---- inspection ----
+
+  [[nodiscard]] bool alive(Pid pid) const;
+  [[nodiscard]] ProcState state(Pid pid) const;
+  [[nodiscard]] Pid parent(Pid pid) const;
+  [[nodiscard]] std::vector<Pid> children(Pid pid) const;
+  [[nodiscard]] const std::string& name(Pid pid) const;
+  /// Exit status (valid once zombie/reaped).
+  [[nodiscard]] int exit_status(Pid pid) const;
+  /// Values a process's Read() ops consumed, in order.
+  [[nodiscard]] const std::vector<std::string>& reads(Pid pid) const;
+  /// Deliveries recorded by kHandle dispositions: count per signal.
+  [[nodiscard]] int handled_count(Pid pid, Signal sig) const;
+  /// Statuses collected by this process's Wait() calls: (child, status).
+  [[nodiscard]] const std::vector<std::pair<Pid, int>>& waited(Pid pid) const;
+
+  [[nodiscard]] const std::vector<ConsoleLine>& console() const {
+    return console_;
+  }
+  /// Current MLFQ level of a process (0 = highest priority).
+  [[nodiscard]] int mlfq_level(Pid pid) const;
+  /// Pids scheduled at each tick, in order (for scheduler tests).
+  [[nodiscard]] const std::vector<Pid>& schedule_trace() const {
+    return schedule_trace_;
+  }
+  /// Count of live (not reaped) processes, including init.
+  [[nodiscard]] std::size_t process_count() const;
+
+ private:
+  struct Pipe {
+    std::deque<std::string> lines;
+    int writers = 0;          // live processes with stdout connected here
+    std::size_t capacity = 0; // 0 = unbounded
+    [[nodiscard]] bool full() const {
+      return capacity != 0 && lines.size() >= capacity;
+    }
+  };
+
+  struct Pcb {
+    Pid pid = 0;
+    Pid ppid = kInitPid;
+    std::string name;
+    int priority = 0;
+    ProcState state = ProcState::kReady;
+    Program program;
+    std::size_t pc = 0;          // index of next op
+    long compute_left = 0;       // remaining ticks of current kCompute
+    int exit_code = 0;
+    Pid last_child = 0;
+    std::optional<PipeId> stdout_pipe;
+    std::optional<PipeId> stdin_pipe;
+    Disposition disp[kNumSignals] = {};
+    int handled[kNumSignals] = {};
+    std::vector<Signal> pending;
+    std::vector<std::string> read_log;
+    std::vector<std::pair<Pid, int>> wait_log;
+    bool waiting = false;        // blocked in Wait()
+    bool reading = false;        // blocked in Read()
+    bool writing = false;        // blocked on a full pipe
+    std::size_t print_cursor = 0;  // kPrintReads progress
+    int mlfq_level = 0;          // 0 (highest) .. kMlfqLevels-1
+  };
+
+  Pcb& pcb(Pid pid);
+  [[nodiscard]] const Pcb& pcb(Pid pid) const;
+  Pid allocate(Program program, std::string name, Pid ppid, int priority);
+  void deliver_pending(Pcb& p);
+  void terminate(Pcb& p, int code);
+  void reparent_children(Pid dead_parent);
+  void wake_waiting_parent(Pid parent_pid);
+  [[nodiscard]] Pid pick_next();
+  void execute_op(Pcb& p);
+  /// Try to complete a blocking Read; true if it made progress or hit EOF.
+  bool try_read(Pcb& p);
+  /// Try to reap a zombie child; true on success.
+  bool try_reap(Pcb& p);
+
+  static constexpr int kMlfqLevels = 3;
+  [[nodiscard]] int quantum_for(const Pcb& p) const;
+
+  KernelConfig config_;
+  std::map<Pid, Pcb> procs_;
+  std::map<PipeId, Pipe> pipes_;
+  Pid next_pid_ = kInitPid;
+  PipeId next_pipe_ = 1;
+  std::uint64_t now_ = 0;
+  std::vector<ConsoleLine> console_;
+  std::vector<Pid> schedule_trace_;
+  Pid current_ = 0;      // pid holding the CPU (0 = none)
+  int slice_used_ = 0;   // ticks used in the current quantum
+  Pid rr_cursor_ = 0;    // round-robin rotation point
+};
+
+}  // namespace pdc::os

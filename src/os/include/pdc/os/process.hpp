@@ -1,0 +1,95 @@
+#pragma once
+// Process model for the simulated kernel (CS31 "Unix shell" lab substrate):
+// a program is a list of operations the kernel interprets one per tick, so
+// fork/exec/wait/exit, signals, zombies, orphans, pipes and scheduling are
+// all deterministic and unit-testable.
+//
+// Simplification vs. real fork(2): Fork carries the child's program
+// explicitly (fork+exec fused). Everything downstream — process hierarchy,
+// reaping, reparenting, signal delivery — follows real Unix semantics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdc::os {
+
+using Pid = int;
+inline constexpr Pid kInitPid = 1;
+/// Kill-target sentinel: the most recently forked child of the caller.
+inline constexpr Pid kLastChild = -1;
+
+enum class Signal : std::uint8_t {
+  kSigKill,  ///< uncatchable, unignorable
+  kSigTerm,
+  kSigInt,
+  kSigUsr1,
+  kSigChld,
+};
+
+[[nodiscard]] std::string_view signal_name(Signal s);
+inline constexpr int kNumSignals = 5;
+
+/// What a process does with a delivered signal.
+enum class Disposition : std::uint8_t {
+  kDefault,  ///< terminate for KILL/TERM/INT/USR1; ignore for CHLD
+  kIgnore,
+  kHandle,   ///< run the registered handler (records the delivery)
+};
+
+struct ProcOp;
+using Program = std::vector<ProcOp>;
+
+/// One interpreted operation. Each op costs one tick except kCompute,
+/// which costs `amount` ticks.
+struct ProcOp {
+  enum class Kind : std::uint8_t {
+    kCompute,         ///< burn `amount` ticks of CPU
+    kPrint,           ///< write `text` to stdout (console or pipe)
+    kRead,            ///< read one line from stdin into the read log
+    kFork,            ///< spawn `child` as a child process
+    kExec,            ///< replace remaining program with `child`
+    kExit,            ///< terminate with `code`
+    kWait,            ///< block until a child can be reaped
+    kKill,            ///< send `sig` to `target` (kLastChild allowed)
+    kInstallHandler,  ///< set disposition for `sig`
+    kYield,           ///< give up the CPU voluntarily
+    kReadAll,         ///< read lines until EOF (blocks while writers live)
+    kPrintReads,      ///< write every line read so far to stdout (cat)
+  };
+
+  Kind kind = Kind::kYield;
+  long amount = 0;      // kCompute
+  std::string text;     // kPrint
+  Program child;        // kFork / kExec
+  int code = 0;         // kExit
+  Pid target = 0;       // kKill
+  Signal sig = Signal::kSigTerm;        // kKill / kInstallHandler
+  Disposition disp = Disposition::kDefault;  // kInstallHandler
+};
+
+/// Convenience constructors so programs read like code.
+[[nodiscard]] ProcOp Compute(long ticks);
+[[nodiscard]] ProcOp Print(std::string text);
+[[nodiscard]] ProcOp Read();
+[[nodiscard]] ProcOp Fork(Program child);
+[[nodiscard]] ProcOp Exec(Program image);
+[[nodiscard]] ProcOp Exit(int code);
+[[nodiscard]] ProcOp Wait();
+[[nodiscard]] ProcOp Kill(Pid target, Signal sig);
+[[nodiscard]] ProcOp InstallHandler(Signal sig, Disposition disp);
+[[nodiscard]] ProcOp Yield();
+[[nodiscard]] ProcOp ReadAll();
+[[nodiscard]] ProcOp PrintReads();
+
+enum class ProcState : std::uint8_t {
+  kReady,
+  kRunning,
+  kBlocked,   ///< in Wait() or a blocking Read()
+  kZombie,    ///< exited, awaiting reap
+  kReaped,    ///< gone (pid retired)
+};
+
+[[nodiscard]] std::string_view proc_state_name(ProcState s);
+
+}  // namespace pdc::os

@@ -1,0 +1,96 @@
+#pragma once
+// A Unix-style shell over the simulated kernel — the CS31 shell lab:
+// command parsing, fork/exec per command, pipelines, background jobs with
+// `&`, foreground waiting, and a jobs table.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pdc/os/kernel.hpp"
+
+namespace pdc::os {
+
+/// One command with its arguments ("echo hello world").
+struct ParsedCommand {
+  std::string name;
+  std::vector<std::string> args;
+  bool operator==(const ParsedCommand&) const = default;
+};
+
+/// A pipeline of commands, optionally backgrounded ("a | b | c &").
+struct ParsedPipeline {
+  std::vector<ParsedCommand> commands;
+  bool background = false;
+};
+
+/// Parse a command line: pipelines split on '|', multiple jobs split on
+/// ';', a trailing '&' backgrounds its pipeline. Throws
+/// std::invalid_argument on empty pipeline stages ("a | | b").
+[[nodiscard]] std::vector<ParsedPipeline> parse_command_line(
+    const std::string& line);
+
+/// Maps command names to program factories: factory(args) -> Program.
+class CommandRegistry {
+ public:
+  using Factory = std::function<Program(const std::vector<std::string>&)>;
+
+  void add(const std::string& name, Factory factory);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] Program make(const std::string& name,
+                             const std::vector<std::string>& args) const;
+
+  /// Registry preloaded with the standard toy commands:
+  ///   echo WORDS...   print arguments
+  ///   cat             copy stdin to stdout (read-all then print)
+  ///   sleep N         compute for N ticks
+  ///   yes WORD N      print WORD N times
+  ///   false           exit 1
+  ///   true            exit 0
+  [[nodiscard]] static CommandRegistry standard();
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// Job-control record.
+struct Job {
+  int id = 0;
+  std::vector<Pid> pids;
+  std::string line;
+  bool background = false;
+};
+
+/// The shell itself. Not a simulated process: it drives the kernel the
+/// way a user at a terminal would.
+class Shell {
+ public:
+  Shell(Kernel& kernel, CommandRegistry registry);
+
+  /// Parse and launch `line`. Foreground pipelines are run to completion
+  /// (the kernel is ticked until they finish); background pipelines are
+  /// left running and entered in the jobs table. Returns pids spawned.
+  /// Throws std::invalid_argument for unknown commands.
+  std::vector<Pid> execute(const std::string& line);
+
+  /// Tick the kernel until all background jobs finish.
+  void wait_all(std::size_t max_ticks = 100'000);
+
+  /// Background jobs still alive.
+  [[nodiscard]] std::vector<Job> active_jobs() const;
+
+  [[nodiscard]] Kernel& kernel() { return *kernel_; }
+
+ private:
+  void run_to_completion(const std::vector<Pid>& pids,
+                         std::size_t max_ticks);
+  [[nodiscard]] bool all_done(const std::vector<Pid>& pids) const;
+
+  Kernel* kernel_;
+  CommandRegistry registry_;
+  std::vector<Job> jobs_;
+  int next_job_ = 1;
+};
+
+}  // namespace pdc::os

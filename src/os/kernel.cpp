@@ -1,0 +1,605 @@
+#include "pdc/os/kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdc::os {
+
+// ------------------------------------------------------------ process.hpp ---
+
+std::string_view signal_name(Signal s) {
+  switch (s) {
+    case Signal::kSigKill: return "SIGKILL";
+    case Signal::kSigTerm: return "SIGTERM";
+    case Signal::kSigInt: return "SIGINT";
+    case Signal::kSigUsr1: return "SIGUSR1";
+    case Signal::kSigChld: return "SIGCHLD";
+  }
+  return "?";
+}
+
+std::string_view proc_state_name(ProcState s) {
+  switch (s) {
+    case ProcState::kReady: return "ready";
+    case ProcState::kRunning: return "running";
+    case ProcState::kBlocked: return "blocked";
+    case ProcState::kZombie: return "zombie";
+    case ProcState::kReaped: return "reaped";
+  }
+  return "?";
+}
+
+ProcOp Compute(long ticks) {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kCompute;
+  op.amount = ticks;
+  return op;
+}
+
+ProcOp Print(std::string text) {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kPrint;
+  op.text = std::move(text);
+  return op;
+}
+
+ProcOp Read() {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kRead;
+  return op;
+}
+
+ProcOp Fork(Program child) {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kFork;
+  op.child = std::move(child);
+  return op;
+}
+
+ProcOp Exec(Program image) {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kExec;
+  op.child = std::move(image);
+  return op;
+}
+
+ProcOp Exit(int code) {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kExit;
+  op.code = code;
+  return op;
+}
+
+ProcOp Wait() {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kWait;
+  return op;
+}
+
+ProcOp Kill(Pid target, Signal sig) {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kKill;
+  op.target = target;
+  op.sig = sig;
+  return op;
+}
+
+ProcOp InstallHandler(Signal sig, Disposition disp) {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kInstallHandler;
+  op.sig = sig;
+  op.disp = disp;
+  return op;
+}
+
+ProcOp Yield() {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kYield;
+  return op;
+}
+
+ProcOp ReadAll() {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kReadAll;
+  return op;
+}
+
+ProcOp PrintReads() {
+  ProcOp op;
+  op.kind = ProcOp::Kind::kPrintReads;
+  return op;
+}
+
+// ----------------------------------------------------------------- kernel ---
+
+Kernel::Kernel(KernelConfig config) : config_(config) {
+  if (config_.quantum < 1) throw std::invalid_argument("quantum must be >= 1");
+  // init (pid 1): never scheduled, reaps orphans as they die.
+  Pcb init;
+  init.pid = kInitPid;
+  init.ppid = 0;
+  init.name = "init";
+  init.state = ProcState::kBlocked;
+  procs_[kInitPid] = std::move(init);
+  next_pid_ = kInitPid + 1;
+}
+
+Kernel::Pcb& Kernel::pcb(Pid pid) {
+  const auto it = procs_.find(pid);
+  if (it == procs_.end()) throw std::out_of_range("unknown pid");
+  return it->second;
+}
+
+const Kernel::Pcb& Kernel::pcb(Pid pid) const {
+  const auto it = procs_.find(pid);
+  if (it == procs_.end()) throw std::out_of_range("unknown pid");
+  return it->second;
+}
+
+Pid Kernel::allocate(Program program, std::string name, Pid ppid,
+                     int priority) {
+  Pcb p;
+  p.pid = next_pid_++;
+  p.ppid = ppid;
+  p.name = std::move(name);
+  p.priority = priority;
+  p.program = std::move(program);
+  p.state = ProcState::kReady;
+  const Pid pid = p.pid;
+  procs_[pid] = std::move(p);
+  return pid;
+}
+
+Pid Kernel::spawn(Program program, std::string name, int priority) {
+  return allocate(std::move(program), std::move(name), kInitPid, priority);
+}
+
+void Kernel::kill(Pid pid, Signal sig) {
+  Pcb& p = pcb(pid);
+  if (p.state == ProcState::kZombie || p.state == ProcState::kReaped) return;
+  p.pending.push_back(sig);
+}
+
+PipeId Kernel::create_pipe(std::size_t capacity) {
+  const PipeId id = next_pipe_++;
+  Pipe pipe;
+  pipe.capacity = capacity;
+  pipes_[id] = std::move(pipe);
+  return id;
+}
+
+void Kernel::connect_stdout(Pid pid, PipeId pipe) {
+  Pcb& p = pcb(pid);
+  const auto it = pipes_.find(pipe);
+  if (it == pipes_.end()) throw std::out_of_range("unknown pipe");
+  if (p.stdout_pipe) --pipes_[*p.stdout_pipe].writers;
+  p.stdout_pipe = pipe;
+  ++it->second.writers;
+}
+
+void Kernel::connect_stdin(Pid pid, PipeId pipe) {
+  Pcb& p = pcb(pid);
+  if (!pipes_.contains(pipe)) throw std::out_of_range("unknown pipe");
+  p.stdin_pipe = pipe;
+}
+
+void Kernel::reparent_children(Pid dead_parent) {
+  for (auto& [pid, p] : procs_) {
+    if (p.ppid != dead_parent || p.state == ProcState::kReaped) continue;
+    p.ppid = kInitPid;
+    // init reaps zombies immediately.
+    if (p.state == ProcState::kZombie) p.state = ProcState::kReaped;
+  }
+}
+
+void Kernel::wake_waiting_parent(Pid parent_pid) {
+  const auto it = procs_.find(parent_pid);
+  if (it == procs_.end()) return;
+  Pcb& parent = it->second;
+  if (parent.state == ProcState::kBlocked && parent.waiting)
+    parent.state = ProcState::kReady;
+}
+
+void Kernel::terminate(Pcb& p, int code) {
+  p.exit_code = code;
+  p.waiting = false;
+  p.reading = false;
+  p.writing = false;
+  if (p.stdout_pipe) {
+    Pipe& pipe = pipes_[*p.stdout_pipe];
+    if (--pipe.writers == 0) {
+      // EOF: wake any readers blocked on this pipe.
+      for (auto& [pid, q] : procs_) {
+        if (q.state == ProcState::kBlocked && q.reading && q.stdin_pipe &&
+            *q.stdin_pipe == *p.stdout_pipe) {
+          q.state = ProcState::kReady;
+        }
+      }
+    }
+  }
+  reparent_children(p.pid);
+  if (p.ppid == kInitPid || !procs_.contains(p.ppid) ||
+      pcb(p.ppid).state == ProcState::kReaped) {
+    p.state = ProcState::kReaped;  // init auto-reaps
+  } else {
+    p.state = ProcState::kZombie;
+    pcb(p.ppid).pending.push_back(Signal::kSigChld);
+    wake_waiting_parent(p.ppid);
+  }
+  if (current_ == p.pid) current_ = 0;
+}
+
+void Kernel::deliver_pending(Pcb& p) {
+  if (p.pending.empty()) return;
+  if (p.state == ProcState::kZombie || p.state == ProcState::kReaped) {
+    p.pending.clear();
+    return;
+  }
+  std::vector<Signal> pending;
+  pending.swap(p.pending);
+  for (Signal sig : pending) {
+    const auto idx = static_cast<int>(sig);
+    if (sig == Signal::kSigKill) {
+      terminate(p, 128 + idx);
+      return;
+    }
+    switch (p.disp[idx]) {
+      case Disposition::kIgnore:
+        break;
+      case Disposition::kHandle:
+        ++p.handled[idx];
+        break;
+      case Disposition::kDefault:
+        if (sig == Signal::kSigChld) break;  // default: ignore
+        terminate(p, 128 + idx);
+        return;
+    }
+  }
+}
+
+bool Kernel::try_read(Pcb& p) {
+  if (!p.stdin_pipe) {
+    // Console stdin is empty: immediate EOF, read completes with nothing.
+    return true;
+  }
+  Pipe& pipe = pipes_[*p.stdin_pipe];
+  if (!pipe.lines.empty()) {
+    p.read_log.push_back(pipe.lines.front());
+    pipe.lines.pop_front();
+    return true;
+  }
+  return pipe.writers == 0;  // EOF if no writers remain
+}
+
+bool Kernel::try_reap(Pcb& p) {
+  for (auto& [pid, child] : procs_) {
+    if (child.ppid != p.pid) continue;
+    if (child.state == ProcState::kZombie) {
+      child.state = ProcState::kReaped;
+      p.wait_log.emplace_back(pid, child.exit_code);
+      return true;
+    }
+  }
+  return false;
+}
+
+int Kernel::quantum_for(const Pcb& p) const {
+  if (config_.scheduler != SchedulerKind::kMlfq) return config_.quantum;
+  return config_.quantum << p.mlfq_level;  // quantum doubles per level
+}
+
+int Kernel::mlfq_level(Pid pid) const { return pcb(pid).mlfq_level; }
+
+Pid Kernel::pick_next() {
+  auto runnable = [&](const Pcb& p) {
+    return p.pid != kInitPid && (p.state == ProcState::kReady ||
+                                 p.state == ProcState::kRunning);
+  };
+
+  if (config_.scheduler == SchedulerKind::kPriority) {
+    Pid best = 0;
+    for (auto& [pid, p] : procs_) {
+      if (!runnable(p)) continue;
+      if (best == 0 || p.priority > pcb(best).priority) best = pid;
+    }
+    return best;
+  }
+
+  // Round robin / MLFQ: keep the current process until its quantum
+  // expires (MLFQ quantum depends on the process's level).
+  if (current_ != 0 && procs_.contains(current_)) {
+    Pcb& cur = pcb(current_);
+    if (runnable(cur) && slice_used_ < quantum_for(cur)) return current_;
+    // MLFQ: a process that used its whole slice is demoted.
+    if (config_.scheduler == SchedulerKind::kMlfq && runnable(cur) &&
+        slice_used_ >= quantum_for(cur)) {
+      cur.mlfq_level = std::min(cur.mlfq_level + 1, kMlfqLevels - 1);
+    }
+  }
+
+  if (config_.scheduler == SchedulerKind::kMlfq) {
+    // Highest level (lowest number) first; round-robin within the level.
+    int best_level = kMlfqLevels;
+    for (auto& [pid, p] : procs_)
+      if (runnable(p)) best_level = std::min(best_level, p.mlfq_level);
+    if (best_level == kMlfqLevels) return 0;
+    Pid first_runnable = 0;
+    Pid chosen = 0;
+    for (auto& [pid, p] : procs_) {
+      if (!runnable(p) || p.mlfq_level != best_level) continue;
+      if (first_runnable == 0) first_runnable = pid;
+      if (pid > rr_cursor_ && chosen == 0) chosen = pid;
+    }
+    if (chosen == 0) chosen = first_runnable;
+    if (chosen != 0) {
+      rr_cursor_ = chosen;
+      slice_used_ = 0;
+    }
+    return chosen;
+  }
+  // Rotate: first runnable pid after rr_cursor_, wrapping.
+  Pid first_runnable = 0;
+  Pid chosen = 0;
+  for (auto& [pid, p] : procs_) {
+    if (!runnable(p)) continue;
+    if (first_runnable == 0) first_runnable = pid;
+    if (pid > rr_cursor_ && chosen == 0) chosen = pid;
+  }
+  if (chosen == 0) chosen = first_runnable;  // wrap around
+  if (chosen != 0) {
+    rr_cursor_ = chosen;
+    slice_used_ = 0;
+  }
+  return chosen;
+}
+
+void Kernel::execute_op(Pcb& p) {
+  if (p.pc >= p.program.size()) {
+    terminate(p, 0);  // falling off the end is exit(0)
+    return;
+  }
+  const ProcOp& op = p.program[p.pc];
+  switch (op.kind) {
+    case ProcOp::Kind::kCompute:
+      if (p.compute_left == 0) p.compute_left = op.amount;
+      if (--p.compute_left <= 0) {
+        p.compute_left = 0;
+        ++p.pc;
+      }
+      break;
+    case ProcOp::Kind::kPrint:
+      if (p.stdout_pipe) {
+        Pipe& pipe = pipes_[*p.stdout_pipe];
+        if (pipe.full()) {  // backpressure: block until a reader drains
+          p.writing = true;
+          p.state = ProcState::kBlocked;
+          break;
+        }
+        p.writing = false;
+        pipe.lines.push_back(op.text);
+        // Wake readers blocked on this pipe.
+        for (auto& [pid, q] : procs_) {
+          if (q.state == ProcState::kBlocked && q.reading && q.stdin_pipe &&
+              *q.stdin_pipe == *p.stdout_pipe) {
+            q.state = ProcState::kReady;
+          }
+        }
+      } else {
+        console_.push_back({p.pid, op.text});
+      }
+      ++p.pc;
+      break;
+    case ProcOp::Kind::kRead:
+      if (try_read(p)) {
+        p.reading = false;
+        ++p.pc;
+      } else {
+        p.reading = true;
+        p.state = ProcState::kBlocked;
+      }
+      break;
+    case ProcOp::Kind::kFork: {
+      const Pid child =
+          allocate(op.child, p.name + "+", p.pid, p.priority);
+      p.last_child = child;
+      ++p.pc;
+      break;
+    }
+    case ProcOp::Kind::kExec:
+      p.program = op.child;
+      p.pc = 0;
+      p.compute_left = 0;
+      for (auto& d : p.disp) d = Disposition::kDefault;  // exec resets
+      break;
+    case ProcOp::Kind::kExit:
+      terminate(p, op.code);
+      break;
+    case ProcOp::Kind::kWait: {
+      // No children at all? wait returns immediately (ECHILD).
+      bool has_child = false;
+      for (auto& [pid, q] : procs_)
+        if (q.ppid == p.pid && q.state != ProcState::kReaped) has_child = true;
+      if (!has_child) {
+        ++p.pc;
+        break;
+      }
+      if (try_reap(p)) {
+        p.waiting = false;
+        ++p.pc;
+      } else {
+        p.waiting = true;
+        p.state = ProcState::kBlocked;
+      }
+      break;
+    }
+    case ProcOp::Kind::kKill: {
+      Pid target = op.target;
+      if (target == kLastChild) target = p.last_child;
+      if (target != 0 && procs_.contains(target)) kill(target, op.sig);
+      ++p.pc;
+      break;
+    }
+    case ProcOp::Kind::kInstallHandler:
+      if (op.sig != Signal::kSigKill)  // SIGKILL cannot be caught
+        p.disp[static_cast<int>(op.sig)] = op.disp;
+      ++p.pc;
+      break;
+    case ProcOp::Kind::kYield:
+      slice_used_ = config_.quantum;  // give up the rest of the slice
+      ++p.pc;
+      break;
+    case ProcOp::Kind::kReadAll: {
+      if (!p.stdin_pipe) {  // console stdin: immediate EOF
+        ++p.pc;
+        break;
+      }
+      Pipe& pipe = pipes_[*p.stdin_pipe];
+      while (!pipe.lines.empty()) {
+        p.read_log.push_back(pipe.lines.front());
+        pipe.lines.pop_front();
+      }
+      if (pipe.writers == 0) {
+        p.reading = false;
+        ++p.pc;
+      } else {
+        p.reading = true;
+        p.state = ProcState::kBlocked;
+      }
+      break;
+    }
+    case ProcOp::Kind::kPrintReads: {
+      bool blocked = false;
+      while (p.print_cursor < p.read_log.size()) {
+        const auto& line = p.read_log[p.print_cursor];
+        if (p.stdout_pipe) {
+          Pipe& pipe = pipes_[*p.stdout_pipe];
+          if (pipe.full()) {
+            p.writing = true;
+            p.state = ProcState::kBlocked;
+            blocked = true;
+            break;
+          }
+          pipe.lines.push_back(line);
+        } else {
+          console_.push_back({p.pid, line});
+        }
+        ++p.print_cursor;
+      }
+      if (!blocked) {
+        p.writing = false;
+        p.print_cursor = 0;
+        ++p.pc;
+      }
+      break;
+    }
+  }
+}
+
+bool Kernel::tick() {
+  ++now_;
+  // Signal delivery happens for every process, running or blocked.
+  for (auto& [pid, p] : procs_) deliver_pending(p);
+
+  // Re-check blocked processes whose condition may now hold.
+  for (auto& [pid, p] : procs_) {
+    if (p.state != ProcState::kBlocked) continue;
+    if (p.waiting) {
+      for (auto& [cpid, c] : procs_)
+        if (c.ppid == pid && c.state == ProcState::kZombie)
+          p.state = ProcState::kReady;
+    } else if (p.reading && p.stdin_pipe) {
+      const Pipe& pipe = pipes_[*p.stdin_pipe];
+      if (!pipe.lines.empty() || pipe.writers == 0)
+        p.state = ProcState::kReady;
+    } else if (p.writing && p.stdout_pipe) {
+      if (!pipes_[*p.stdout_pipe].full()) p.state = ProcState::kReady;
+    }
+    // MLFQ boost: a process that blocked (interactive behavior) returns
+    // at the top level when it wakes.
+    if (p.state == ProcState::kReady) p.mlfq_level = 0;
+  }
+
+  const Pid next = pick_next();
+  if (next == 0) {
+    current_ = 0;
+    return false;
+  }
+  if (current_ != 0 && current_ != next && procs_.contains(current_)) {
+    Pcb& prev = pcb(current_);
+    if (prev.state == ProcState::kRunning) prev.state = ProcState::kReady;
+  }
+  current_ = next;
+  Pcb& p = pcb(current_);
+  p.state = ProcState::kRunning;
+  schedule_trace_.push_back(current_);
+  ++slice_used_;
+  execute_op(p);
+  if (procs_.contains(current_)) {
+    Pcb& cur = pcb(current_);
+    if (cur.state == ProcState::kBlocked || cur.state == ProcState::kZombie ||
+        cur.state == ProcState::kReaped) {
+      current_ = 0;
+    }
+  }
+  return true;
+}
+
+std::size_t Kernel::run(std::size_t max_ticks) {
+  std::size_t ticks = 0;
+  auto all_done = [&] {
+    for (auto& [pid, p] : procs_)
+      if (pid != kInitPid && p.state != ProcState::kReaped) return false;
+    return true;
+  };
+  while (!all_done()) {
+    if (ticks >= max_ticks)
+      throw std::runtime_error("kernel run budget exceeded (deadlock?)");
+    const bool ran = tick();
+    ++ticks;
+    // A tick with no runnable process can still make progress by
+    // delivering signals (e.g. SIGKILL reaping the last process); only a
+    // tick that neither ran nor completed everything is a real deadlock.
+    if (!ran && !all_done())
+      throw std::runtime_error("no runnable process (processes blocked)");
+  }
+  return ticks;
+}
+
+bool Kernel::alive(Pid pid) const {
+  const auto it = procs_.find(pid);
+  return it != procs_.end() && it->second.state != ProcState::kReaped &&
+         it->second.state != ProcState::kZombie;
+}
+
+ProcState Kernel::state(Pid pid) const { return pcb(pid).state; }
+Pid Kernel::parent(Pid pid) const { return pcb(pid).ppid; }
+const std::string& Kernel::name(Pid pid) const { return pcb(pid).name; }
+int Kernel::exit_status(Pid pid) const { return pcb(pid).exit_code; }
+
+const std::vector<std::string>& Kernel::reads(Pid pid) const {
+  return pcb(pid).read_log;
+}
+
+int Kernel::handled_count(Pid pid, Signal sig) const {
+  return pcb(pid).handled[static_cast<int>(sig)];
+}
+
+const std::vector<std::pair<Pid, int>>& Kernel::waited(Pid pid) const {
+  return pcb(pid).wait_log;
+}
+
+std::vector<Pid> Kernel::children(Pid pid) const {
+  std::vector<Pid> out;
+  for (const auto& [cpid, c] : procs_)
+    if (c.ppid == pid && c.state != ProcState::kReaped) out.push_back(cpid);
+  return out;
+}
+
+std::size_t Kernel::process_count() const {
+  std::size_t n = 0;
+  for (const auto& [pid, p] : procs_)
+    if (p.state != ProcState::kReaped) ++n;
+  return n;
+}
+
+}  // namespace pdc::os

@@ -1,0 +1,187 @@
+#include "pdc/os/shell.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pdc::os {
+
+namespace {
+
+std::string trim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.erase(s.begin());
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.pop_back();
+  return s;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+}  // namespace
+
+std::vector<ParsedPipeline> parse_command_line(const std::string& line) {
+  std::vector<ParsedPipeline> pipelines;
+  for (std::string job_text : split(line, ';')) {
+    job_text = trim(job_text);
+    if (job_text.empty()) continue;
+
+    ParsedPipeline pipeline;
+    if (job_text.back() == '&') {
+      pipeline.background = true;
+      job_text = trim(job_text.substr(0, job_text.size() - 1));
+      if (job_text.empty())
+        throw std::invalid_argument("dangling '&'");
+    }
+
+    for (std::string stage : split(job_text, '|')) {
+      stage = trim(stage);
+      if (stage.empty())
+        throw std::invalid_argument("empty pipeline stage");
+      ParsedCommand cmd;
+      std::istringstream words(stage);
+      std::string word;
+      while (words >> word) {
+        if (cmd.name.empty()) {
+          cmd.name = word;
+        } else {
+          cmd.args.push_back(word);
+        }
+      }
+      pipeline.commands.push_back(std::move(cmd));
+    }
+    if (!pipeline.commands.empty()) pipelines.push_back(std::move(pipeline));
+  }
+  return pipelines;
+}
+
+void CommandRegistry::add(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool CommandRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+Program CommandRegistry::make(const std::string& name,
+                              const std::vector<std::string>& args) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end())
+    throw std::invalid_argument("unknown command: " + name);
+  return it->second(args);
+}
+
+CommandRegistry CommandRegistry::standard() {
+  CommandRegistry reg;
+  reg.add("echo", [](const std::vector<std::string>& args) {
+    std::string text;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) text += ' ';
+      text += args[i];
+    }
+    return Program{Print(text), Exit(0)};
+  });
+  reg.add("cat", [](const std::vector<std::string>&) {
+    return Program{ReadAll(), PrintReads(), Exit(0)};
+  });
+  reg.add("sleep", [](const std::vector<std::string>& args) {
+    const long n = args.empty() ? 1 : std::stol(args[0]);
+    return Program{Compute(n), Exit(0)};
+  });
+  reg.add("yes", [](const std::vector<std::string>& args) {
+    const std::string word = args.empty() ? "y" : args[0];
+    const long n = args.size() > 1 ? std::stol(args[1]) : 3;
+    Program prog;
+    for (long i = 0; i < n; ++i) prog.push_back(Print(word));
+    prog.push_back(Exit(0));
+    return prog;
+  });
+  reg.add("true", [](const std::vector<std::string>&) {
+    return Program{Exit(0)};
+  });
+  reg.add("false", [](const std::vector<std::string>&) {
+    return Program{Exit(1)};
+  });
+  return reg;
+}
+
+Shell::Shell(Kernel& kernel, CommandRegistry registry)
+    : kernel_(&kernel), registry_(std::move(registry)) {}
+
+std::vector<Pid> Shell::execute(const std::string& line) {
+  std::vector<Pid> all_spawned;
+  for (const auto& pipeline : parse_command_line(line)) {
+    // Validate every command before spawning anything.
+    for (const auto& cmd : pipeline.commands)
+      if (!registry_.contains(cmd.name))
+        throw std::invalid_argument("unknown command: " + cmd.name);
+
+    std::vector<Pid> pids;
+    for (const auto& cmd : pipeline.commands)
+      pids.push_back(
+          kernel_->spawn(registry_.make(cmd.name, cmd.args), cmd.name));
+
+    // Wire stage i's stdout to stage i+1's stdin.
+    for (std::size_t i = 0; i + 1 < pids.size(); ++i) {
+      const PipeId pipe = kernel_->create_pipe();
+      kernel_->connect_stdout(pids[i], pipe);
+      kernel_->connect_stdin(pids[i + 1], pipe);
+    }
+
+    Job job;
+    job.id = next_job_++;
+    job.pids = pids;
+    job.background = pipeline.background;
+    jobs_.push_back(job);
+
+    if (!pipeline.background) run_to_completion(pids, 100'000);
+    all_spawned.insert(all_spawned.end(), pids.begin(), pids.end());
+  }
+  return all_spawned;
+}
+
+bool Shell::all_done(const std::vector<Pid>& pids) const {
+  for (Pid pid : pids)
+    if (kernel_->state(pid) != ProcState::kReaped) return false;
+  return true;
+}
+
+void Shell::run_to_completion(const std::vector<Pid>& pids,
+                              std::size_t max_ticks) {
+  std::size_t ticks = 0;
+  while (!all_done(pids)) {
+    if (ticks++ >= max_ticks)
+      throw std::runtime_error("foreground job did not finish");
+    if (!kernel_->tick())
+      throw std::runtime_error("foreground job blocked forever");
+  }
+}
+
+void Shell::wait_all(std::size_t max_ticks) {
+  std::vector<Pid> pending;
+  for (const auto& job : jobs_)
+    for (Pid pid : job.pids)
+      if (kernel_->state(pid) != ProcState::kReaped) pending.push_back(pid);
+  run_to_completion(pending, max_ticks);
+}
+
+std::vector<Job> Shell::active_jobs() const {
+  std::vector<Job> active;
+  for (const auto& job : jobs_)
+    if (!all_done(job.pids)) active.push_back(job);
+  return active;
+}
+
+}  // namespace pdc::os

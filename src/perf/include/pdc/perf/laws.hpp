@@ -1,0 +1,58 @@
+#pragma once
+// Analytic speedup laws from the CS31 / CS41 syllabi: speedup, efficiency,
+// Amdahl's law, Gustafson's law, the Karp–Flatt experimentally-determined
+// serial fraction, and iso-style scalability classification.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pdc::perf {
+
+/// speedup S(p) = T(1) / T(p).
+[[nodiscard]] double speedup(double t_serial, double t_parallel);
+
+/// efficiency E(p) = S(p) / p.
+[[nodiscard]] double efficiency(double t_serial, double t_parallel, int p);
+
+/// Amdahl's law: predicted speedup on `p` processors of a program whose
+/// serial (non-parallelizable) fraction is `serial_fraction` in [0, 1].
+///   S(p) = 1 / (f + (1 - f)/p)
+[[nodiscard]] double amdahl_speedup(double serial_fraction, int p);
+
+/// Amdahl's asymptotic bound: lim_{p->inf} S(p) = 1/f (infinity for f == 0).
+[[nodiscard]] double amdahl_limit(double serial_fraction);
+
+/// Gustafson's (scaled-speedup) law:
+///   S(p) = p - f * (p - 1)
+/// where `serial_fraction` f is measured on the parallel execution.
+[[nodiscard]] double gustafson_speedup(double serial_fraction, int p);
+
+/// Karp–Flatt metric: the experimentally determined serial fraction
+///   e = (1/S - 1/p) / (1 - 1/p)
+/// from a measured speedup S on p > 1 processors. A value that grows with p
+/// diagnoses parallel overhead; a constant value diagnoses limited inherent
+/// parallelism.
+[[nodiscard]] double karp_flatt(double measured_speedup, int p);
+
+/// One row of a strong-scaling experiment.
+struct ScalingPoint {
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+  double karp_flatt = 0.0;  ///< NaN for threads == 1
+};
+
+/// Convert measured (threads, seconds) pairs into scaling rows, using the
+/// entry with threads == 1 as the baseline (first entry if none has 1).
+[[nodiscard]] std::vector<ScalingPoint> scaling_table(
+    std::span<const int> threads, std::span<const double> seconds);
+
+/// Least-squares fit of Amdahl's law to measured scaling points, returning
+/// the serial fraction f in [0,1] minimizing sum_p (1/S_meas - 1/S_amdahl)^2.
+/// This is the "fit your scalability data" step of the CS31 Life lab report.
+[[nodiscard]] double fit_amdahl_serial_fraction(
+    std::span<const ScalingPoint> points);
+
+}  // namespace pdc::perf

@@ -1,0 +1,60 @@
+#pragma once
+// Strong-scaling study runner: the library form of the CS31 Life lab's
+// "designing and carrying out scalability experiments" deliverable.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pdc/perf/laws.hpp"
+
+namespace pdc::perf {
+
+/// Configuration for a strong-scaling study.
+struct StudyConfig {
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  int repetitions = 3;          ///< timings per point; best-of is reported
+  bool warmup = true;           ///< run one untimed warmup per point
+};
+
+/// Result of a strong-scaling study: one ScalingPoint per thread count,
+/// plus the Amdahl serial-fraction fit over those points.
+struct StudyResult {
+  std::vector<ScalingPoint> points;
+  double fitted_serial_fraction = 0.0;
+
+  /// Render the standard lab-report table
+  /// (threads, seconds, speedup, efficiency, karp-flatt).
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// Run `workload(threads)` for every configured thread count, timing each
+/// invocation `config.repetitions` times and keeping the best. The workload
+/// must perform the *same total work* regardless of `threads` (strong
+/// scaling).
+[[nodiscard]] StudyResult run_strong_scaling(
+    const StudyConfig& config, const std::function<void(int)>& workload);
+
+/// One row of a weak-scaling experiment: the problem grows with the
+/// processor count, so the ideal is CONSTANT time and the metric is
+/// scaled (Gustafson) efficiency T(1)/T(p).
+struct WeakScalingPoint {
+  int threads = 1;
+  double seconds = 0.0;
+  double scaled_efficiency = 0.0;  ///< T(1) / T(p); 1.0 is ideal
+};
+
+struct WeakStudyResult {
+  std::vector<WeakScalingPoint> points;
+  /// Render threads / seconds / scaled efficiency rows.
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// Weak scaling: `workload(threads)` must size its problem proportionally
+/// to `threads` (e.g. n = base_n * threads). Ideal scaling keeps the time
+/// flat; the report shows where it starts to climb.
+[[nodiscard]] WeakStudyResult run_weak_scaling(
+    const StudyConfig& config, const std::function<void(int)>& workload);
+
+}  // namespace pdc::perf

@@ -1,0 +1,56 @@
+#pragma once
+// Sample statistics for experiment reports (CS31/CS87 "design and carry out
+// performance experiments, analyze data and explain results").
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pdc::perf {
+
+/// Summary statistics over a set of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  /// Half-width of the 95% confidence interval of the mean
+  /// (normal approximation; 0 for fewer than 2 samples).
+  double ci95_half_width = 0.0;
+};
+
+/// Compute summary statistics of `samples`. Empty input yields a
+/// zero-initialized Summary.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Streaming mean/variance accumulator (Welford's algorithm), suitable for
+/// long runs where storing every sample is undesirable.
+class RunningStats {
+ public:
+  void push(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  void reset();
+
+  friend RunningStats merge(const RunningStats& a, const RunningStats& b);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Merge two independently accumulated RunningStats (parallel reduction of
+/// statistics — Chan et al.'s pairwise update).
+[[nodiscard]] RunningStats merge(const RunningStats& a, const RunningStats& b);
+
+}  // namespace pdc::perf

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal ASCII table printer used by the benches and examples to emit the
+// same style of result rows the course labs ask students to report.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pdc::perf {
+
+/// Column-aligned ASCII table.
+///
+/// Usage:
+///   Table t({"threads", "seconds", "speedup"});
+///   t.add_row({"1", "2.00", "1.00"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same number of cells as there are
+  /// headers (throws std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Render with a header rule, right-padding every column to its widest
+  /// cell.
+  void print(std::ostream& os) const;
+
+  /// Convenience: render to a string.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` significant decimal places.
+[[nodiscard]] std::string fmt(double value, int digits = 3);
+
+/// Format with SI-ish human suffix for counts (1.2K, 3.4M, ...).
+[[nodiscard]] std::string fmt_count(double value);
+
+}  // namespace pdc::perf

@@ -1,0 +1,64 @@
+#pragma once
+// Wall-clock timing utilities for the performance-measurement labs.
+//
+// CS31 ("Game of Life" lab) asks students to "add timing measurement to C
+// code" and design scalability experiments; these helpers are the library
+// form of that exercise.
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+namespace pdc::perf {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// The timer starts running on construction. `elapsed_seconds()` may be
+/// called repeatedly; `restart()` resets the origin.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  /// Reset the origin to now.
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last restart().
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Time a single invocation of `fn`, returning seconds.
+template <std::invocable F>
+double time_seconds(F&& fn) {
+  Timer t;
+  std::forward<F>(fn)();
+  return t.elapsed_seconds();
+}
+
+/// Time `fn` over `reps` repetitions and return the *minimum* per-rep time,
+/// the standard noise-robust estimator for microbenchmarks.
+template <std::invocable F>
+double time_best_of(int reps, F&& fn) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const double s = time_seconds(fn);
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace pdc::perf

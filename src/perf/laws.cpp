@@ -1,0 +1,97 @@
+#include "pdc/perf/laws.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pdc::perf {
+
+double speedup(double t_serial, double t_parallel) {
+  if (t_parallel <= 0.0) throw std::invalid_argument("t_parallel must be > 0");
+  return t_serial / t_parallel;
+}
+
+double efficiency(double t_serial, double t_parallel, int p) {
+  if (p <= 0) throw std::invalid_argument("p must be > 0");
+  return speedup(t_serial, t_parallel) / static_cast<double>(p);
+}
+
+double amdahl_speedup(double serial_fraction, int p) {
+  if (serial_fraction < 0.0 || serial_fraction > 1.0)
+    throw std::invalid_argument("serial_fraction must be in [0,1]");
+  if (p <= 0) throw std::invalid_argument("p must be > 0");
+  const double f = serial_fraction;
+  return 1.0 / (f + (1.0 - f) / static_cast<double>(p));
+}
+
+double amdahl_limit(double serial_fraction) {
+  if (serial_fraction < 0.0 || serial_fraction > 1.0)
+    throw std::invalid_argument("serial_fraction must be in [0,1]");
+  if (serial_fraction == 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / serial_fraction;
+}
+
+double gustafson_speedup(double serial_fraction, int p) {
+  if (serial_fraction < 0.0 || serial_fraction > 1.0)
+    throw std::invalid_argument("serial_fraction must be in [0,1]");
+  if (p <= 0) throw std::invalid_argument("p must be > 0");
+  const double f = serial_fraction;
+  return static_cast<double>(p) - f * static_cast<double>(p - 1);
+}
+
+double karp_flatt(double measured_speedup, int p) {
+  if (p <= 1) throw std::invalid_argument("Karp-Flatt requires p > 1");
+  if (measured_speedup <= 0.0)
+    throw std::invalid_argument("speedup must be > 0");
+  const double inv_s = 1.0 / measured_speedup;
+  const double inv_p = 1.0 / static_cast<double>(p);
+  return (inv_s - inv_p) / (1.0 - inv_p);
+}
+
+std::vector<ScalingPoint> scaling_table(std::span<const int> threads,
+                                        std::span<const double> seconds) {
+  if (threads.size() != seconds.size())
+    throw std::invalid_argument("threads/seconds size mismatch");
+  if (threads.empty()) return {};
+
+  // Baseline: the measurement at 1 thread, else the first one.
+  double t1 = seconds[0];
+  for (std::size_t i = 0; i < threads.size(); ++i)
+    if (threads[i] == 1) t1 = seconds[i];
+
+  std::vector<ScalingPoint> rows;
+  rows.reserve(threads.size());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    ScalingPoint pt;
+    pt.threads = threads[i];
+    pt.seconds = seconds[i];
+    pt.speedup = speedup(t1, seconds[i]);
+    pt.efficiency = pt.speedup / static_cast<double>(pt.threads);
+    pt.karp_flatt = pt.threads > 1
+                        ? karp_flatt(pt.speedup, pt.threads)
+                        : std::numeric_limits<double>::quiet_NaN();
+    rows.push_back(pt);
+  }
+  return rows;
+}
+
+double fit_amdahl_serial_fraction(std::span<const ScalingPoint> points) {
+  // 1/S(p) = f + (1-f)/p  is linear in f:  1/S = f*(1 - 1/p) + 1/p.
+  // Least squares over points with p > 1:
+  //   f = sum_i a_i * (y_i - b_i) / sum_i a_i^2,
+  // with a_i = 1 - 1/p_i, b_i = 1/p_i, y_i = 1/S_i.
+  double num = 0.0, den = 0.0;
+  for (const auto& pt : points) {
+    if (pt.threads <= 1 || pt.speedup <= 0.0) continue;
+    const double a = 1.0 - 1.0 / static_cast<double>(pt.threads);
+    const double b = 1.0 / static_cast<double>(pt.threads);
+    const double y = 1.0 / pt.speedup;
+    num += a * (y - b);
+    den += a * a;
+  }
+  if (den == 0.0) return 0.0;
+  return std::clamp(num / den, 0.0, 1.0);
+}
+
+}  // namespace pdc::perf

@@ -1,0 +1,84 @@
+#include "pdc/perf/scalability.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pdc/perf/table.hpp"
+#include "pdc/perf/timer.hpp"
+
+namespace pdc::perf {
+
+std::string StudyResult::to_table() const {
+  Table t({"threads", "seconds", "speedup", "efficiency", "karp-flatt"});
+  for (const auto& pt : points) {
+    t.add_row({std::to_string(pt.threads), fmt(pt.seconds, 4),
+               fmt(pt.speedup, 2), fmt(pt.efficiency, 2),
+               std::isnan(pt.karp_flatt) ? "-" : fmt(pt.karp_flatt, 3)});
+  }
+  std::string out = t.str();
+  out += "amdahl fit: serial fraction f = " + fmt(fitted_serial_fraction, 4) +
+         " (limit " +
+         (fitted_serial_fraction > 0.0
+              ? fmt(1.0 / fitted_serial_fraction, 1) + "x"
+              : std::string("unbounded")) +
+         ")\n";
+  return out;
+}
+
+std::string WeakStudyResult::to_table() const {
+  Table t({"threads", "seconds", "scaled efficiency"});
+  for (const auto& pt : points) {
+    t.add_row({std::to_string(pt.threads), fmt(pt.seconds, 4),
+               fmt(pt.scaled_efficiency, 2)});
+  }
+  return t.str();
+}
+
+WeakStudyResult run_weak_scaling(const StudyConfig& config,
+                                 const std::function<void(int)>& workload) {
+  if (config.thread_counts.empty())
+    throw std::invalid_argument("need at least one thread count");
+  if (config.repetitions < 1)
+    throw std::invalid_argument("repetitions must be >= 1");
+
+  WeakStudyResult result;
+  double baseline = 0.0;  // time of the first point (callers put p=1 first)
+  for (int p : config.thread_counts) {
+    if (p < 1) throw std::invalid_argument("thread counts must be >= 1");
+    if (config.warmup) workload(p);
+    const double best = time_best_of(config.repetitions, [&] { workload(p); });
+    if (result.points.empty()) baseline = best;
+    WeakScalingPoint pt;
+    pt.threads = p;
+    pt.seconds = best;
+    pt.scaled_efficiency = best > 0.0 ? baseline / best : 0.0;
+    result.points.push_back(pt);
+  }
+  return result;
+}
+
+StudyResult run_strong_scaling(const StudyConfig& config,
+                               const std::function<void(int)>& workload) {
+  if (config.thread_counts.empty())
+    throw std::invalid_argument("need at least one thread count");
+  if (config.repetitions < 1)
+    throw std::invalid_argument("repetitions must be >= 1");
+
+  std::vector<int> threads;
+  std::vector<double> seconds;
+  for (int p : config.thread_counts) {
+    if (p < 1) throw std::invalid_argument("thread counts must be >= 1");
+    if (config.warmup) workload(p);
+    const double best =
+        time_best_of(config.repetitions, [&] { workload(p); });
+    threads.push_back(p);
+    seconds.push_back(best);
+  }
+
+  StudyResult result;
+  result.points = scaling_table(threads, seconds);
+  result.fitted_serial_fraction = fit_amdahl_serial_fraction(result.points);
+  return result;
+}
+
+}  // namespace pdc::perf

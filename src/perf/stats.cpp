@@ -1,0 +1,82 @@
+#include "pdc/perf/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pdc::perf {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (double x : samples) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+    // Normal approximation: 1.96 * s / sqrt(n).
+    s.ci95_half_width = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1)
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+void RunningStats::push(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+RunningStats merge(const RunningStats& a, const RunningStats& b) {
+  if (a.n_ == 0) return b;
+  if (b.n_ == 0) return a;
+  RunningStats r;
+  r.n_ = a.n_ + b.n_;
+  const double delta = b.mean_ - a.mean_;
+  const double na = static_cast<double>(a.n_);
+  const double nb = static_cast<double>(b.n_);
+  const double n = na + nb;
+  r.mean_ = a.mean_ + delta * nb / n;
+  r.m2_ = a.m2_ + b.m2_ + delta * delta * na * nb / n;
+  r.min_ = std::min(a.min_, b.min_);
+  r.max_ = std::max(a.max_, b.max_);
+  return r;
+}
+
+}  // namespace pdc::perf

@@ -1,0 +1,80 @@
+#include "pdc/perf/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pdc::perf {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("table needs >= 1 column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << value;
+  return oss.str();
+}
+
+std::string fmt_count(double value) {
+  const char* suffix = "";
+  double v = value;
+  if (std::abs(v) >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (std::abs(v) >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (std::abs(v) >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  std::ostringstream oss;
+  if (*suffix == '\0' && v == std::floor(v)) {
+    oss << static_cast<long long>(v);
+  } else {
+    oss << std::fixed << std::setprecision(1) << v << suffix;
+  }
+  return oss.str();
+}
+
+}  // namespace pdc::perf

@@ -1,0 +1,82 @@
+#include "pdc/sync/barrier.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace pdc::sync {
+
+CyclicBarrier::CyclicBarrier(std::size_t parties) : parties_(parties) {
+  if (parties_ == 0) throw std::invalid_argument("parties must be > 0");
+}
+
+std::size_t CyclicBarrier::arrive_and_wait() {
+  std::unique_lock lk(m_);
+  const std::size_t my_phase = phase_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++phase_;
+    lk.unlock();
+    cv_.notify_all();
+    return my_phase;
+  }
+  cv_.wait(lk, [&] { return phase_ != my_phase; });
+  return my_phase;
+}
+
+SenseBarrier::SenseBarrier(std::size_t parties)
+    : parties_(parties), count_(parties) {
+  if (parties_ == 0) throw std::invalid_argument("parties must be > 0");
+}
+
+void SenseBarrier::arrive_and_wait() {
+  // Capture the phase's sense before decrementing; the releasing thread
+  // resets the count *before* flipping the sense so early re-entrants are
+  // safe.
+  const bool my_sense = sense_.load(std::memory_order_acquire);
+  if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    count_.store(parties_, std::memory_order_relaxed);
+    sense_.store(!my_sense, std::memory_order_release);
+    return;
+  }
+  int spins = 0;
+  while (sense_.load(std::memory_order_acquire) == my_sense) {
+    if (++spins > 1024) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+DisseminationBarrier::DisseminationBarrier(std::size_t parties)
+    : parties_(parties) {
+  if (parties_ == 0) throw std::invalid_argument("parties must be > 0");
+  rounds_ = 0;
+  for (std::size_t reach = 1; reach < parties_; reach *= 2) ++rounds_;
+  flags_.resize(parties_);
+  for (auto& per_thread : flags_) {
+    per_thread = std::vector<std::atomic<std::uint64_t>>(
+        rounds_ == 0 ? 1 : rounds_);
+    for (auto& f : per_thread) f.store(0, std::memory_order_relaxed);
+  }
+  generation_.assign(parties_, 0);
+}
+
+void DisseminationBarrier::arrive_and_wait(std::size_t my_index) {
+  if (my_index >= parties_) throw std::out_of_range("barrier index");
+  const std::uint64_t gen = ++generation_[my_index];
+  for (std::size_t k = 0; k < rounds_; ++k) {
+    const std::size_t partner = (my_index + (std::size_t{1} << k)) % parties_;
+    // Signal the partner's round-k flag (single writer per flag).
+    flags_[partner][k].store(gen, std::memory_order_release);
+    // Wait for our own round-k flag from (my_index - 2^k) mod P.
+    int spins = 0;
+    while (flags_[my_index][k].load(std::memory_order_acquire) < gen) {
+      if (++spins > 1024) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+}
+
+}  // namespace pdc::sync

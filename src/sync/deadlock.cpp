@@ -1,0 +1,146 @@
+#include "pdc/sync/deadlock.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace pdc::sync {
+
+void WaitForGraph::add_edge(int from, int to) { adj_[from].insert(to); }
+
+void WaitForGraph::remove_edge(int from, int to) {
+  auto it = adj_.find(from);
+  if (it == adj_.end()) return;
+  it->second.erase(to);
+  if (it->second.empty()) adj_.erase(it);
+}
+
+std::size_t WaitForGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, outs] : adj_) n += outs.size();
+  return n;
+}
+
+std::vector<int> WaitForGraph::find_cycle() const {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<int, Color> color;
+  std::map<int, int> parent;
+
+  // Collect all nodes (sources and sinks).
+  std::set<int> nodes;
+  for (const auto& [from, outs] : adj_) {
+    nodes.insert(from);
+    nodes.insert(outs.begin(), outs.end());
+  }
+  for (int n : nodes) color[n] = Color::kWhite;
+
+  std::vector<int> cycle;
+  std::function<bool(int)> dfs = [&](int u) -> bool {
+    color[u] = Color::kGray;
+    auto it = adj_.find(u);
+    if (it != adj_.end()) {
+      for (int v : it->second) {
+        if (color[v] == Color::kGray) {
+          // Reconstruct the cycle v -> ... -> u -> v.
+          cycle.push_back(v);
+          for (int x = u; x != v; x = parent[x]) cycle.push_back(x);
+          cycle.push_back(v);
+          std::reverse(cycle.begin(), cycle.end());
+          return true;
+        }
+        if (color[v] == Color::kWhite) {
+          parent[v] = u;
+          if (dfs(v)) return true;
+        }
+      }
+    }
+    color[u] = Color::kBlack;
+    return false;
+  };
+
+  for (int n : nodes)
+    if (color[n] == Color::kWhite && dfs(n)) return cycle;
+  return {};
+}
+
+bool WaitForGraph::has_cycle() const { return !find_cycle().empty(); }
+
+void ResourceAllocationState::acquire(int thread, int resource) {
+  holder_[resource] = thread;
+  requests_[thread].erase(resource);
+}
+
+void ResourceAllocationState::release(int thread, int resource) {
+  auto it = holder_.find(resource);
+  if (it != holder_.end() && it->second == thread) holder_.erase(it);
+}
+
+void ResourceAllocationState::request(int thread, int resource) {
+  requests_[thread].insert(resource);
+}
+
+void ResourceAllocationState::cancel_request(int thread, int resource) {
+  auto it = requests_.find(thread);
+  if (it != requests_.end()) it->second.erase(resource);
+}
+
+std::vector<int> ResourceAllocationState::deadlocked_threads() const {
+  // Thread T waits for thread U iff T requests a resource U holds.
+  WaitForGraph g;
+  for (const auto& [t, wants] : requests_) {
+    for (int r : wants) {
+      auto h = holder_.find(r);
+      if (h != holder_.end() && h->second != t) g.add_edge(t, h->second);
+    }
+  }
+  std::vector<int> cycle = g.find_cycle();
+  if (cycle.empty()) return {};
+  cycle.pop_back();  // drop the duplicated closing node
+  std::sort(cycle.begin(), cycle.end());
+  cycle.erase(std::unique(cycle.begin(), cycle.end()), cycle.end());
+  return cycle;
+}
+
+void LockOrderRegistry::on_acquire(int thread, const std::string& lock_class) {
+  std::lock_guard lk(m_);
+  auto& held = held_[thread];
+  for (const auto& before : held) {
+    if (before == lock_class) continue;  // recursive same-class: not an edge
+    order_[before].insert(lock_class);
+    // New edge before->lock_class: does the reverse path already exist?
+    // BFS from lock_class looking for `before`.
+    std::vector<std::string> stack{lock_class};
+    std::set<std::string> seen{lock_class};
+    bool found = false;
+    while (!stack.empty() && !found) {
+      std::string u = stack.back();
+      stack.pop_back();
+      auto it = order_.find(u);
+      if (it == order_.end()) continue;
+      for (const auto& v : it->second) {
+        if (v == before) {
+          found = true;
+          break;
+        }
+        if (seen.insert(v).second) stack.push_back(v);
+      }
+    }
+    if (found) {
+      violations_.push_back(before + " -> " + lock_class + " -> " + before);
+    }
+  }
+  held.push_back(lock_class);
+}
+
+void LockOrderRegistry::on_release(int thread, const std::string& lock_class) {
+  std::lock_guard lk(m_);
+  auto& held = held_[thread];
+  auto it = std::find(held.rbegin(), held.rend(), lock_class);
+  if (it != held.rend()) held.erase(std::next(it).base());
+}
+
+std::vector<std::string> LockOrderRegistry::violations() const {
+  std::lock_guard lk(m_);
+  return violations_;
+}
+
+}  // namespace pdc::sync

@@ -1,0 +1,79 @@
+#pragma once
+// Reusable synchronization barriers. The threaded Game of Life engine uses
+// one barrier per generation; CS87 contrasts the centralized (condvar)
+// barrier with the sense-reversing spinning barrier.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace pdc::sync {
+
+/// Centralized reusable barrier on mutex + condition variable.
+///
+/// `arrive_and_wait()` blocks until `parties` threads have arrived; the
+/// barrier then resets for the next phase (generation counter prevents a
+/// fast thread from lapping a slow one).
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties);
+
+  /// Returns the phase number that just completed (0-based), identical for
+  /// every thread released together.
+  std::size_t arrive_and_wait();
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::size_t waiting_ = 0;
+  std::size_t phase_ = 0;
+};
+
+/// Sense-reversing spinning barrier: no syscalls, just atomics — the
+/// low-latency variant for short phases on dedicated cores.
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::size_t parties);
+
+  void arrive_and_wait();
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> count_;
+  std::atomic<bool> sense_{false};
+};
+
+/// Dissemination barrier: ceil(log2 P) rounds; in round k, thread i
+/// signals thread (i + 2^k) mod P and waits for (i - 2^k) mod P. No
+/// central counter — every flag is written by exactly one thread per
+/// phase, so contention is O(1) per location (the scalable textbook
+/// barrier, and the software analog of the mp tree collectives).
+///
+/// Unlike the other barriers, threads must identify themselves:
+/// call arrive_and_wait(my_index) with a stable index in [0, parties).
+class DisseminationBarrier {
+ public:
+  explicit DisseminationBarrier(std::size_t parties);
+
+  void arrive_and_wait(std::size_t my_index);
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+  [[nodiscard]] std::size_t rounds() const { return rounds_; }
+
+ private:
+  const std::size_t parties_;
+  std::size_t rounds_;
+  // flags_[thread][round]: generation counter written by the signaler.
+  std::vector<std::vector<std::atomic<std::uint64_t>>> flags_;
+  std::vector<std::uint64_t> generation_;  // per-thread local phase count
+};
+
+}  // namespace pdc::sync

@@ -1,0 +1,105 @@
+#pragma once
+// Producer-consumer bounded buffer (monitor style): the canonical CS31
+// synchronization problem, solved with one mutex and two condition
+// variables. close() gives clean multi-producer/multi-consumer shutdown.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+namespace pdc::sync {
+
+/// Fixed-capacity FIFO channel for T. Thread-safe for any number of
+/// producers and consumers.
+template <typename T>
+class BoundedBuffer {
+ public:
+  explicit BoundedBuffer(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0)
+      throw std::invalid_argument("capacity must be > 0");
+  }
+
+  /// Block until space is available, then enqueue.
+  /// Returns false (item dropped) if the buffer has been closed.
+  bool push(T item) {
+    std::unique_lock lk(m_);
+    not_full_.wait(lk, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue; false if full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lk(m_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the buffer is closed *and*
+  /// drained; std::nullopt signals end-of-stream.
+  std::optional<T> pop() {
+    std::unique_lock lk(m_);
+    not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking dequeue; std::nullopt if currently empty.
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      std::lock_guard lk(m_);
+      if (q_.empty()) return std::nullopt;
+      item = std::move(q_.front());
+      q_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Mark end-of-stream: producers start failing, consumers drain then see
+  /// nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard lk(m_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lk(m_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lk(m_);
+    return q_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace pdc::sync

@@ -1,0 +1,79 @@
+#pragma once
+// Deadlock analysis (CS31 "Deadlock" topic; OS course theory made
+// executable):
+//  - WaitForGraph: offline detection — build the "thread waits for thread"
+//    graph from resource-allocation state and find cycles.
+//  - LockOrderRegistry: online prevention — record the order in which lock
+//    *classes* are acquired while other locks are held; a cycle in that
+//    order graph means some interleaving can deadlock, even if this run
+//    did not.
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pdc::sync {
+
+/// Directed graph over integer node ids with cycle detection.
+class WaitForGraph {
+ public:
+  /// Add edge: `from` waits for `to`.
+  void add_edge(int from, int to);
+  void remove_edge(int from, int to);
+
+  /// True iff the graph currently contains a directed cycle.
+  [[nodiscard]] bool has_cycle() const;
+
+  /// One cycle (node sequence, first == last) if any, else empty.
+  [[nodiscard]] std::vector<int> find_cycle() const;
+
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  std::map<int, std::set<int>> adj_;
+};
+
+/// Resource-allocation state: which thread holds which lock, who requests
+/// what. `deadlocked_threads()` reduces it to a WaitForGraph and reports
+/// every thread on a cycle.
+class ResourceAllocationState {
+ public:
+  void acquire(int thread, int resource);         ///< grant resource
+  void release(int thread, int resource);
+  void request(int thread, int resource);         ///< thread blocks on it
+  void cancel_request(int thread, int resource);
+
+  [[nodiscard]] std::vector<int> deadlocked_threads() const;
+
+ private:
+  std::map<int, int> holder_;                 // resource -> thread
+  std::map<int, std::set<int>> requests_;     // thread -> resources wanted
+};
+
+/// Online lock-ordering checker.
+///
+/// Instrument acquisitions with `on_acquire(tid, lock_class)` and releases
+/// with `on_release(tid, lock_class)`. Whenever a thread acquires class B
+/// while holding class A, the order edge A->B is recorded; an A->B and
+/// B->A pair (any cycle) is a potential deadlock and is reported.
+class LockOrderRegistry {
+ public:
+  void on_acquire(int thread, const std::string& lock_class);
+  void on_release(int thread, const std::string& lock_class);
+
+  /// Cycles detected so far, rendered as "A -> B -> A" strings.
+  [[nodiscard]] std::vector<std::string> violations() const;
+
+  [[nodiscard]] bool clean() const { return violations().empty(); }
+
+ private:
+  mutable std::mutex m_;
+  std::map<int, std::vector<std::string>> held_;       // per-thread stack
+  std::map<std::string, std::set<std::string>> order_; // A held before B
+  std::vector<std::string> violations_;
+};
+
+}  // namespace pdc::sync

@@ -1,0 +1,44 @@
+#pragma once
+// Readers-writer lock built from a mutex and condition variables, the way
+// the OS course derives it: state = (active readers, active writer,
+// waiting writers), with writer preference to avoid writer starvation.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace pdc::sync {
+
+/// Writer-preferring readers-writer lock.
+///
+/// Meets SharedLockable/Lockable: usable with std::shared_lock (reader
+/// side) and std::unique_lock (writer side).
+class RwLock {
+ public:
+  // --- reader (shared) side ---
+  void lock_shared();
+  bool try_lock_shared();
+  void unlock_shared();
+
+  // --- writer (exclusive) side ---
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  /// Snapshot of internal state, for tests/teaching.
+  struct State {
+    int active_readers = 0;
+    bool active_writer = false;
+    int waiting_writers = 0;
+  };
+  [[nodiscard]] State state() const;
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable readers_cv_;
+  std::condition_variable writers_cv_;
+  int active_readers_ = 0;
+  bool active_writer_ = false;
+  int waiting_writers_ = 0;
+};
+
+}  // namespace pdc::sync

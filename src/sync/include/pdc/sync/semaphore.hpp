@@ -1,0 +1,39 @@
+#pragma once
+// Counting semaphore built from a mutex + condition variable — the CS31
+// synchronization-primitives unit derives exactly this construction before
+// using semaphores to solve producer-consumer.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace pdc::sync {
+
+/// Classic counting semaphore with P (acquire) / V (release).
+class Semaphore {
+ public:
+  /// `initial` must be >= 0 (std::invalid_argument otherwise).
+  explicit Semaphore(long initial);
+
+  /// P: block until the count is positive, then decrement.
+  void acquire();
+
+  /// Non-blocking P: decrement if positive; false otherwise.
+  bool try_acquire();
+
+  /// Timed P: false on timeout.
+  bool try_acquire_for(std::chrono::milliseconds timeout);
+
+  /// V: increment and wake one waiter.
+  void release(long n = 1);
+
+  /// Current count (advisory — may change immediately after returning).
+  [[nodiscard]] long count() const;
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  long count_;
+};
+
+}  // namespace pdc::sync

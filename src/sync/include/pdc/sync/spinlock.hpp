@@ -1,0 +1,96 @@
+#pragma once
+// Spinlock family from the CS31/CS87 synchronization units. Each type
+// meets the C++ Lockable requirements, so std::lock_guard/scoped_lock work
+// (Core Guidelines CP.20: RAII, never plain lock/unlock).
+//
+// The three variants exist to be *compared*: test-and-set hammers the cache
+// line with RMW operations, test-and-test-and-set spins on a read-only copy,
+// and the ticket lock adds FIFO fairness. bench_table2_sync measures the
+// difference under contention.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace pdc::sync {
+
+/// Naive test-and-set spinlock: every spin iteration is an atomic exchange
+/// (a cache-line invalidation broadcast under contention).
+class TasSpinLock {
+ public:
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      // spin
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Test-and-test-and-set: spin with plain loads, attempt the RMW only when
+/// the lock looks free; optional exponential yield backoff.
+class TtasSpinLock {
+ public:
+  explicit TtasSpinLock(bool backoff = true) : backoff_(backoff) {}
+
+  void lock() {
+    int spins = 0;
+    while (true) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (backoff_ && ++spins > kSpinLimit) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinLimit = 1024;
+  std::atomic<bool> flag_{false};
+  bool backoff_;
+};
+
+/// FIFO ticket lock: acquisitions are served strictly in arrival order, so
+/// no thread can starve (contrast with the TAS locks above, which are
+/// unfair under contention).
+class TicketLock {
+ public:
+  void lock() {
+    const std::uint64_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    while (serving_.load(std::memory_order_acquire) != my)
+      std::this_thread::yield();
+  }
+
+  bool try_lock() {
+    std::uint64_t s = serving_.load(std::memory_order_acquire);
+    std::uint64_t expected = s;
+    // Succeed only if no one is queued: next == serving, and we can claim it.
+    return next_.compare_exchange_strong(expected, s + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() { serving_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> serving_{0};
+};
+
+}  // namespace pdc::sync

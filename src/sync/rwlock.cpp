@@ -1,0 +1,54 @@
+#include "pdc/sync/rwlock.hpp"
+
+namespace pdc::sync {
+
+void RwLock::lock_shared() {
+  std::unique_lock lk(m_);
+  // Writer preference: readers also wait while writers are queued.
+  readers_cv_.wait(lk, [&] { return !active_writer_ && waiting_writers_ == 0; });
+  ++active_readers_;
+}
+
+bool RwLock::try_lock_shared() {
+  std::lock_guard lk(m_);
+  if (active_writer_ || waiting_writers_ > 0) return false;
+  ++active_readers_;
+  return true;
+}
+
+void RwLock::unlock_shared() {
+  std::lock_guard lk(m_);
+  if (--active_readers_ == 0) writers_cv_.notify_one();
+}
+
+void RwLock::lock() {
+  std::unique_lock lk(m_);
+  ++waiting_writers_;
+  writers_cv_.wait(lk, [&] { return !active_writer_ && active_readers_ == 0; });
+  --waiting_writers_;
+  active_writer_ = true;
+}
+
+bool RwLock::try_lock() {
+  std::lock_guard lk(m_);
+  if (active_writer_ || active_readers_ > 0) return false;
+  active_writer_ = true;
+  return true;
+}
+
+void RwLock::unlock() {
+  std::lock_guard lk(m_);
+  active_writer_ = false;
+  if (waiting_writers_ > 0) {
+    writers_cv_.notify_one();
+  } else {
+    readers_cv_.notify_all();
+  }
+}
+
+RwLock::State RwLock::state() const {
+  std::lock_guard lk(m_);
+  return {active_readers_, active_writer_, waiting_writers_};
+}
+
+}  // namespace pdc::sync

@@ -1,0 +1,49 @@
+#include "pdc/sync/semaphore.hpp"
+
+#include <stdexcept>
+
+namespace pdc::sync {
+
+Semaphore::Semaphore(long initial) : count_(initial) {
+  if (initial < 0) throw std::invalid_argument("semaphore count must be >= 0");
+}
+
+void Semaphore::acquire() {
+  std::unique_lock lk(m_);
+  cv_.wait(lk, [&] { return count_ > 0; });
+  --count_;
+}
+
+bool Semaphore::try_acquire() {
+  std::lock_guard lk(m_);
+  if (count_ == 0) return false;
+  --count_;
+  return true;
+}
+
+bool Semaphore::try_acquire_for(std::chrono::milliseconds timeout) {
+  std::unique_lock lk(m_);
+  if (!cv_.wait_for(lk, timeout, [&] { return count_ > 0; })) return false;
+  --count_;
+  return true;
+}
+
+void Semaphore::release(long n) {
+  if (n <= 0) throw std::invalid_argument("release count must be > 0");
+  {
+    std::lock_guard lk(m_);
+    count_ += n;
+  }
+  if (n == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+long Semaphore::count() const {
+  std::lock_guard lk(m_);
+  return count_;
+}
+
+}  // namespace pdc::sync

@@ -1,0 +1,239 @@
+// Tests for pdc::clist — the raw-memory list and the layout inspector.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pdc/clist/layout.hpp"
+#include "pdc/clist/rawlist.hpp"
+
+namespace pc = pdc::clist;
+
+// -------------------------------------------------------------- rawlist ---
+
+TEST(RawList, RejectsZeroElemSize) {
+  EXPECT_THROW(pc::RawList(0), std::invalid_argument);
+}
+
+TEST(RawList, RejectsBadGrowthFactor) {
+  pc::GrowthPolicy p;
+  p.factor = 1.0;
+  EXPECT_THROW(pc::RawList(4, p), std::invalid_argument);
+}
+
+TEST(RawList, AppendAndGet) {
+  pc::RawList list(sizeof(int));
+  for (int i = 0; i < 100; ++i) list.append(&i);
+  EXPECT_EQ(list.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    int out = -1;
+    list.get(static_cast<std::size_t>(i), &out);
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(RawList, InsertShiftsTail) {
+  pc::List<int> list;
+  for (int i = 0; i < 5; ++i) list.append(i);  // 0 1 2 3 4
+  list.insert(2, 99);                          // 0 1 99 2 3 4
+  EXPECT_EQ(list.size(), 6u);
+  EXPECT_EQ(list[1], 1);
+  EXPECT_EQ(list[2], 99);
+  EXPECT_EQ(list[3], 2);
+  EXPECT_EQ(list[5], 4);
+}
+
+TEST(RawList, InsertAtEndsAndBounds) {
+  pc::List<int> list;
+  list.insert(0, 1);  // front of empty
+  list.insert(1, 3);  // back
+  list.insert(0, 0);  // front
+  EXPECT_EQ(list[0], 0);
+  EXPECT_EQ(list[1], 1);
+  EXPECT_EQ(list[2], 3);
+  EXPECT_THROW(list.insert(99, 5), std::out_of_range);
+}
+
+TEST(RawList, RemoveShiftsTail) {
+  pc::List<int> list;
+  for (int i = 0; i < 5; ++i) list.append(i);
+  list.remove(1);  // 0 2 3 4
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0], 0);
+  EXPECT_EQ(list[1], 2);
+  EXPECT_EQ(list[3], 4);
+  EXPECT_THROW(list.remove(4), std::out_of_range);
+}
+
+TEST(RawList, SetOverwrites) {
+  pc::List<double> list;
+  list.append(1.0);
+  list.set(0, 2.5);
+  EXPECT_DOUBLE_EQ(list[0], 2.5);
+}
+
+TEST(RawList, CopySemantics) {
+  pc::List<int> a;
+  for (int i = 0; i < 10; ++i) a.append(i);
+  pc::RawList raw(sizeof(int));
+  for (int i = 0; i < 10; ++i) raw.append(&i);
+  pc::RawList copy(raw);
+  // Mutating the copy leaves the original intact.
+  int v = 999;
+  copy.set(0, &v);
+  int orig = -1;
+  raw.get(0, &orig);
+  EXPECT_EQ(orig, 0);
+  int copied = -1;
+  copy.get(0, &copied);
+  EXPECT_EQ(copied, 999);
+}
+
+TEST(RawList, GrowthStatsCountReallocations) {
+  pc::GrowthPolicy p;
+  p.factor = 2.0;
+  p.min_step = 1;
+  pc::List<std::uint64_t> list(p);
+  for (std::uint64_t i = 0; i < 1000; ++i) list.append(i);
+  const auto& st = list.stats();
+  // Doubling from 1: ~log2(1000) ≈ 10 growths, far less than 1000.
+  EXPECT_GE(st.grow_count, 8u);
+  EXPECT_LE(st.grow_count, 16u);
+  EXPECT_GT(st.bytes_copied, 0u);
+}
+
+TEST(RawList, SlowGrowthCopiesMoreBytes) {
+  // Amortized-analysis lab observation: smaller growth factor => more
+  // reallocations and more bytes copied for the same appends.
+  auto bytes_for_factor = [](double factor) {
+    pc::GrowthPolicy p;
+    p.factor = factor;
+    p.min_step = 1;
+    pc::List<int> list(p);
+    for (int i = 0; i < 4000; ++i) list.append(i);
+    return list.stats().bytes_copied;
+  };
+  EXPECT_GT(bytes_for_factor(1.2), bytes_for_factor(3.0));
+}
+
+TEST(RawList, ReserveAvoidsGrowth) {
+  pc::List<int> list;
+  list.reserve(1000);
+  const auto grows_before = list.stats().grow_count;
+  for (int i = 0; i < 1000; ++i) list.append(i);
+  EXPECT_EQ(list.stats().grow_count, grows_before);
+}
+
+TEST(RawList, ClearKeepsCapacity) {
+  pc::List<int> list;
+  for (int i = 0; i < 100; ++i) list.append(i);
+  const auto cap = list.capacity();
+  list.clear();
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.capacity(), cap);
+}
+
+TEST(RawList, WorksWithStructElements) {
+  struct Point {
+    double x, y;
+    int tag;
+  };
+  pc::List<Point> list;
+  list.append({1.0, 2.0, 7});
+  list.append({3.0, 4.0, 8});
+  EXPECT_DOUBLE_EQ(list[0].x, 1.0);
+  EXPECT_EQ(list[1].tag, 8);
+}
+
+// Property: RawList behaves exactly like std::vector under a random op mix.
+TEST(RawList, MatchesVectorOracleUnderRandomOps) {
+  pc::List<int> list;
+  std::vector<int> oracle;
+  std::uint32_t seed = 12345;
+  auto rnd = [&seed] {
+    seed = seed * 1664525u + 1013904223u;
+    return seed >> 8;
+  };
+  for (int step = 0; step < 2000; ++step) {
+    const auto op = rnd() % 4;
+    if (op == 0 || oracle.empty()) {
+      const int v = static_cast<int>(rnd() % 1000);
+      list.append(v);
+      oracle.push_back(v);
+    } else if (op == 1) {
+      const auto i = rnd() % (oracle.size() + 1);
+      const int v = static_cast<int>(rnd() % 1000);
+      list.insert(i, v);
+      oracle.insert(oracle.begin() + static_cast<long>(i), v);
+    } else if (op == 2) {
+      const auto i = rnd() % oracle.size();
+      list.remove(i);
+      oracle.erase(oracle.begin() + static_cast<long>(i));
+    } else {
+      const auto i = rnd() % oracle.size();
+      const int v = static_cast<int>(rnd() % 1000);
+      list.set(i, v);
+      oracle[i] = v;
+    }
+  }
+  ASSERT_EQ(list.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i)
+    EXPECT_EQ(list[i], oracle[i]) << "index " << i;
+}
+
+// --------------------------------------------------------------- layout ---
+
+TEST(Layout, HostEndiannessIsDeterministic) {
+  EXPECT_EQ(pc::host_endianness(), pc::host_endianness());
+}
+
+TEST(Layout, HexdumpFormatsBytes) {
+  const std::uint8_t raw[] = {0x48, 0x69, 0x21, 0x00, 0xFF};
+  const std::string dump = pc::hexdump(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(raw), sizeof(raw)));
+  EXPECT_NE(dump.find("48 69 21 00 ff"), std::string::npos);
+  EXPECT_NE(dump.find("Hi!"), std::string::npos);  // printable ASCII column
+  EXPECT_NE(dump.find("00000000"), std::string::npos);
+}
+
+TEST(Layout, HexdumpMultiLine) {
+  std::vector<std::byte> bytes(40, std::byte{0xAB});
+  const std::string dump = pc::hexdump(bytes);
+  // 40 bytes = 3 lines at 16 bytes/line.
+  EXPECT_NE(dump.find("00000010"), std::string::npos);
+  EXPECT_NE(dump.find("00000020"), std::string::npos);
+}
+
+TEST(Layout, HexdumpObjectShowsLittleEndianInt) {
+  if (pc::host_endianness() != pc::Endian::kLittle) GTEST_SKIP();
+  const std::uint32_t v = 0x01020304;
+  const std::string dump = pc::hexdump_object(v);
+  // Least significant byte first in memory.
+  EXPECT_NE(dump.find("04 03 02 01"), std::string::npos);
+}
+
+TEST(Layout, StructLayoutReportsPadding) {
+  struct Mixed {
+    char c;      // offset 0, size 1
+    // 3 bytes padding
+    int i;       // offset 4, size 4
+    char c2;     // offset 8, size 1
+    // 3 bytes tail padding
+  };
+  pc::StructLayout layout;
+  layout.name = "Mixed";
+  layout.size = sizeof(Mixed);
+  layout.alignment = alignof(Mixed);
+  layout.fields = {
+      {"c", offsetof(Mixed, c), sizeof(char)},
+      {"i", offsetof(Mixed, i), sizeof(int)},
+      {"c2", offsetof(Mixed, c2), sizeof(char)},
+  };
+  EXPECT_EQ(layout.padding_bytes(), sizeof(Mixed) - 6);
+  const std::string report = layout.to_string();
+  EXPECT_NE(report.find("pad"), std::string::npos);
+  EXPECT_NE(report.find("Mixed"), std::string::npos);
+}

@@ -1,0 +1,430 @@
+// Tests for pdc::core — thread pool, SPMD team, parallel_for schedules,
+// reduce/scan, and fork-join helpers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "pdc/core/parallel_for.hpp"
+#include "pdc/core/reduce_scan.hpp"
+#include "pdc/core/task_group.hpp"
+#include "pdc/core/team.hpp"
+#include "pdc/core/thread_pool.hpp"
+
+namespace pc = pdc::core;
+
+// ----------------------------------------------------------- thread pool ---
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  pc::ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  pc::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 500; ++i) pool.post([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 500);
+}
+
+TEST(ThreadPool, PropagatesExceptionThroughFuture) {
+  pc::ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  pc::ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&pc::ThreadPool::global(), &pc::ThreadPool::global());
+  EXPECT_GE(pc::ThreadPool::global().size(), 1u);
+}
+
+// ----------------------------------------------------------------- team ---
+
+TEST(Team, RunsEveryRankExactlyOnce) {
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  pc::Team::run(4, [&](pc::TeamContext& ctx) {
+    EXPECT_EQ(ctx.size(), 4);
+    hits[static_cast<std::size_t>(ctx.rank())].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Team, SingleThreadRunsInline) {
+  pc::Team::run(1, [](pc::TeamContext& ctx) {
+    EXPECT_EQ(ctx.rank(), 0);
+    EXPECT_EQ(ctx.size(), 1);
+    ctx.barrier();  // must not hang with one party
+  });
+}
+
+TEST(Team, RejectsBadSize) {
+  EXPECT_THROW(pc::Team::run(0, [](pc::TeamContext&) {}),
+               std::invalid_argument);
+}
+
+TEST(Team, BarrierSeparatesPhases) {
+  constexpr int kThreads = 3;
+  std::atomic<int> phase1{0};
+  std::atomic<int> violations{0};
+  pc::Team::run(kThreads, [&](pc::TeamContext& ctx) {
+    phase1.fetch_add(1);
+    ctx.barrier();
+    if (phase1.load() != kThreads) violations.fetch_add(1);
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(Team, PropagatesMemberException) {
+  EXPECT_THROW(pc::Team::run(2,
+                             [](pc::TeamContext& ctx) {
+                               if (ctx.rank() == 1)
+                                 throw std::runtime_error("rank1 failed");
+                             }),
+               std::runtime_error);
+}
+
+TEST(Team, BlockRangePartitionIsExactCover) {
+  // Property: block ranges across ranks tile [begin, end) exactly.
+  for (int p = 1; p <= 7; ++p) {
+    for (std::size_t n : {0u, 1u, 5u, 64u, 100u, 101u}) {
+      std::vector<std::pair<std::size_t, std::size_t>> ranges(
+          static_cast<std::size_t>(p));
+      pc::Team::run(p, [&](pc::TeamContext& ctx) {
+        ranges[static_cast<std::size_t>(ctx.rank())] =
+            ctx.block_range(10, 10 + n);
+      });
+      std::size_t expected_lo = 10;
+      std::size_t total = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto [lo, hi] = ranges[static_cast<std::size_t>(r)];
+        EXPECT_EQ(lo, expected_lo) << "p=" << p << " n=" << n << " r=" << r;
+        EXPECT_GE(hi, lo);
+        total += hi - lo;
+        expected_lo = hi;
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_EQ(expected_lo, 10 + n);
+    }
+  }
+}
+
+// ----------------------------------------------------------- parallel_for ---
+
+class ParallelForSweep
+    : public ::testing::TestWithParam<std::tuple<pc::Schedule, int>> {};
+
+TEST_P(ParallelForSweep, TouchesEveryIndexExactlyOnce) {
+  const auto [sched, threads] = GetParam();
+  constexpr std::size_t kN = 10007;  // prime: exercises uneven splits
+  std::vector<std::atomic<int>> touched(kN);
+  for (auto& t : touched) t = 0;
+  pc::ForOptions opt;
+  opt.threads = threads;
+  opt.schedule = sched;
+  opt.chunk = 13;
+  pc::parallel_for(0, kN, opt,
+                   [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesAndThreads, ParallelForSweep,
+    ::testing::Combine(::testing::Values(pc::Schedule::kStatic,
+                                         pc::Schedule::kDynamic,
+                                         pc::Schedule::kGuided),
+                       ::testing::Values(1, 2, 3, 4, 8)));
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  pc::parallel_for(5, 5, 4, [&](std::size_t) { ++calls; });
+  pc::parallel_for(9, 5, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, RejectsBadOptions) {
+  pc::ForOptions opt;
+  opt.threads = 0;
+  EXPECT_THROW(pc::parallel_for(0, 10, opt, [](std::size_t) {}),
+               std::invalid_argument);
+  opt.threads = 2;
+  opt.chunk = 0;
+  EXPECT_THROW(pc::parallel_for(0, 10, opt, [](std::size_t) {}),
+               std::invalid_argument);
+}
+
+TEST(ParallelFor, NonZeroBeginHandled) {
+  std::atomic<long> sum{0};
+  pc::ForOptions opt;
+  opt.threads = 3;
+  opt.schedule = pc::Schedule::kDynamic;
+  opt.chunk = 7;
+  pc::parallel_for(100, 200, opt,
+                   [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  long expect = 0;
+  for (long i = 100; i < 200; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+// ------------------------------------------------------------ reduce/scan ---
+
+TEST(Reduce, SumMatchesSequential) {
+  std::vector<long> xs(100000);
+  std::iota(xs.begin(), xs.end(), 1);
+  const long expect = std::accumulate(xs.begin(), xs.end(), 0L);
+  for (int p : {1, 2, 4, 8}) {
+    EXPECT_EQ(pc::parallel_reduce<long>(xs, 0L, p), expect) << "p=" << p;
+  }
+}
+
+TEST(Reduce, MaxWithCustomOp) {
+  std::mt19937 rng(5);
+  std::vector<int> xs(50000);
+  for (auto& x : xs) x = static_cast<int>(rng() % 1000000);
+  const int expect = *std::max_element(xs.begin(), xs.end());
+  const int got = pc::parallel_reduce<int>(
+      xs, std::numeric_limits<int>::min(), 4,
+      [](int a, int b) { return std::max(a, b); });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Reduce, EmptyReturnsIdentity) {
+  std::vector<int> empty;
+  EXPECT_EQ(pc::parallel_reduce<int>(empty, 42, 4), 42);
+}
+
+TEST(Reduce, TransformReduceDotProduct) {
+  struct Pair {
+    double a, b;
+  };
+  std::vector<Pair> xs(10000);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = {static_cast<double>(i % 10), static_cast<double>((i + 1) % 7)};
+  double expect = 0;
+  for (const auto& p : xs) expect += p.a * p.b;
+  const double got = pc::parallel_transform_reduce<Pair, double>(
+      xs, 0.0, 4, [](const Pair& p) { return p.a * p.b; });
+  EXPECT_DOUBLE_EQ(got, expect);
+}
+
+class ScanSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ScanSweep, InclusiveMatchesSequential) {
+  const auto [threads, size_exp] = GetParam();
+  const std::size_t n = std::size_t{1} << size_exp;
+  std::mt19937 rng(99);
+  std::vector<long> in(n);
+  for (auto& x : in) x = static_cast<long>(rng() % 100) - 50;
+
+  std::vector<long> expect(n);
+  long acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += in[i];
+    expect[i] = acc;
+  }
+
+  std::vector<long> out(n);
+  pc::parallel_inclusive_scan<long>(in, out, 0L, threads);
+  EXPECT_EQ(out, expect);
+}
+
+TEST_P(ScanSweep, ExclusiveMatchesSequential) {
+  const auto [threads, size_exp] = GetParam();
+  const std::size_t n = std::size_t{1} << size_exp;
+  std::mt19937 rng(7);
+  std::vector<long> in(n);
+  for (auto& x : in) x = static_cast<long>(rng() % 100);
+
+  std::vector<long> expect(n);
+  long acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = acc;
+    acc += in[i];
+  }
+
+  std::vector<long> out(n);
+  pc::parallel_exclusive_scan<long>(in, out, 0L, threads);
+  EXPECT_EQ(out, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndSizes, ScanSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(0, 4, 10, 16)));
+
+TEST(Scan, InclusiveInPlaceAllowed) {
+  std::vector<long> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  pc::parallel_inclusive_scan<long>(data, data, 0L, 2);
+  EXPECT_EQ(data, (std::vector<long>{1, 3, 6, 10, 15, 21, 28, 36}));
+}
+
+TEST(Scan, ExclusiveInPlaceRejected) {
+  std::vector<long> data = {1, 2, 3};
+  EXPECT_THROW(pc::parallel_exclusive_scan<long>(data, data, 0L, 2),
+               std::invalid_argument);
+}
+
+TEST(Scan, SizeMismatchThrows) {
+  std::vector<long> in = {1, 2, 3};
+  std::vector<long> out(2);
+  EXPECT_THROW(pc::parallel_inclusive_scan<long>(in, out, 0L, 2),
+               std::invalid_argument);
+}
+
+TEST(Scan, NonCommutativeOpStillCorrect) {
+  // String concatenation is associative but not commutative: a scan that
+  // reorders operands would corrupt the result.
+  std::vector<std::string> in;
+  for (int i = 0; i < 100; ++i) in.push_back(std::string(1, static_cast<char>('a' + i % 26)));
+  std::vector<std::string> out(in.size());
+  pc::parallel_inclusive_scan<std::string>(in, out, std::string{}, 4);
+  std::string acc;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    EXPECT_EQ(out[i], acc);
+  }
+}
+
+// ------------------------------------------------------------ task group ---
+
+TEST(TaskGroup, WaitsForAllSpawnedTasks) {
+  pc::ThreadPool pool(3);
+  pc::TaskGroup group(&pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) group.spawn([&] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(TaskGroup, RethrowsFirstError) {
+  pc::ThreadPool pool(2);
+  pc::TaskGroup group(&pool);
+  group.spawn([] { throw std::runtime_error("task failed"); });
+  group.spawn([] {});
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, ReusableAfterWait) {
+  pc::ThreadPool pool(2);
+  pc::TaskGroup group(&pool);
+  std::atomic<int> done{0};
+  group.spawn([&] { done.fetch_add(1); });
+  group.wait();
+  group.spawn([&] { done.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(done.load(), 2);
+}
+
+// ------------------------------------------------------------- fork-join ---
+
+TEST(ForkJoin, RunsBothBranches) {
+  std::atomic<int> a{0}, b{0};
+  pc::invoke_parallel([&] { a = 1; }, [&] { b = 2; }, 1);
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+}
+
+TEST(ForkJoin, DepthZeroRunsInline) {
+  const auto main_id = std::this_thread::get_id();
+  std::thread::id f_id, g_id;
+  pc::invoke_parallel([&] { f_id = std::this_thread::get_id(); },
+                      [&] { g_id = std::this_thread::get_id(); }, 0);
+  EXPECT_EQ(f_id, main_id);
+  EXPECT_EQ(g_id, main_id);
+}
+
+TEST(ForkJoin, PropagatesForkedException) {
+  EXPECT_THROW(
+      pc::invoke_parallel([] { throw std::logic_error("left"); }, [] {}, 2),
+      std::logic_error);
+}
+
+TEST(ForkJoin, DepthForThreads) {
+  EXPECT_EQ(pc::fork_depth_for_threads(1), 0);
+  EXPECT_EQ(pc::fork_depth_for_threads(2), 1);
+  EXPECT_EQ(pc::fork_depth_for_threads(3), 2);
+  EXPECT_EQ(pc::fork_depth_for_threads(4), 2);
+  EXPECT_EQ(pc::fork_depth_for_threads(8), 3);
+}
+
+// --------------------------------------------------------------- pipeline ---
+
+#include "pdc/core/pipeline.hpp"
+
+TEST(Pipeline, SingleStageIdentityOrder) {
+  pc::Pipeline<int> pipe({[](int x) { return x; }}, 2);
+  std::vector<int> in = {5, 3, 8, 1};
+  EXPECT_EQ(pipe.run(in), in);
+}
+
+TEST(Pipeline, StagesApplyInOrder) {
+  pc::Pipeline<int> pipe(
+      {[](int x) { return x + 1; }, [](int x) { return x * 10; }});
+  EXPECT_EQ(pipe.run({0, 1, 2}), (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Pipeline, TinyBufferStillCompletes) {
+  // Capacity 1 forces full backpressure through every stage.
+  pc::Pipeline<int> pipe(
+      {[](int x) { return x + 1; }, [](int x) { return x + 1; },
+       [](int x) { return x + 1; }},
+      1);
+  std::vector<int> in(200);
+  std::iota(in.begin(), in.end(), 0);
+  const auto out = pipe.run(in);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i) + 3);
+}
+
+TEST(Pipeline, EmptyInputAndReuse) {
+  pc::Pipeline<int> pipe({[](int x) { return x; }});
+  EXPECT_TRUE(pipe.run({}).empty());
+  EXPECT_EQ(pipe.run({42}), (std::vector<int>{42}));  // reusable
+}
+
+TEST(Pipeline, RejectsBadConfig) {
+  EXPECT_THROW(pc::Pipeline<int>({}, 4), std::invalid_argument);
+  EXPECT_THROW(pc::Pipeline<int>({[](int x) { return x; }}, 0),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersStress) {
+  pc::ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  {
+    std::vector<std::jthread> submitters;
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 500; ++i) pool.post([&] { sum.fetch_add(1); });
+      });
+    }
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 2000);
+}
+
+TEST(Team, ManySmallTeamsBackToBack) {
+  // Regression guard for team setup/teardown races.
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> hits{0};
+    pc::Team::run(3, [&](pc::TeamContext& ctx) {
+      ctx.barrier();
+      hits.fetch_add(1 + ctx.rank());
+    });
+    ASSERT_EQ(hits.load(), 6);
+  }
+}

@@ -1,0 +1,437 @@
+// Tests for pdc::isa — assembler round trips, instruction semantics,
+// function-call mechanics on the stack, flags/branches, and trap behavior.
+
+#include <gtest/gtest.h>
+
+#include "pdc/isa/assembler.hpp"
+#include "pdc/isa/instruction.hpp"
+#include "pdc/isa/vm.hpp"
+
+namespace pi = pdc::isa;
+
+namespace {
+
+/// Assemble + run to halt, return the VM for inspection.
+pi::Vm run_program(const std::string& src,
+                   std::vector<std::int64_t> input = {}) {
+  pi::Vm vm(pi::assemble(src));
+  vm.set_input(std::move(input));
+  vm.run();
+  return vm;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- assembler ---
+
+TEST(Assembler, ParsesOperandForms) {
+  const auto prog = pi::assemble(R"(
+    mov r0, $42        ; immediate
+    mov r1, r0         ; register
+    mov [sp-1], r1     ; memory with negative displacement
+    mov r2, [sp-1]     ; memory load
+    halt
+  )");
+  ASSERT_EQ(prog.size(), 5u);
+  EXPECT_EQ(prog[0].dst, pi::Operand::reg_op(pi::Reg::kR0));
+  EXPECT_EQ(prog[0].src, pi::Operand::imm(42));
+  EXPECT_EQ(prog[2].dst, pi::Operand::mem(pi::Reg::kSp, -1));
+}
+
+TEST(Assembler, ResolvesLabelsForwardAndBackward) {
+  const auto prog = pi::assemble(R"(
+    start:
+      jmp fwd
+    back:
+      halt
+    fwd:
+      jmp back
+  )");
+  ASSERT_EQ(prog.size(), 3u);
+  EXPECT_EQ(prog[0].target, 2u);  // fwd
+  EXPECT_EQ(prog[2].target, 1u);  // back
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    (void)pi::assemble("nop\nbogus r0\n");
+    FAIL() << "expected AsmError";
+  } catch (const pi::AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Assembler, RejectsBadInput) {
+  EXPECT_THROW((void)pi::assemble("mov r0"), pi::AsmError);       // arity
+  EXPECT_THROW((void)pi::assemble("mov r9, $1"), pi::AsmError);   // register
+  EXPECT_THROW((void)pi::assemble("jmp nowhere"), pi::AsmError);  // label
+  EXPECT_THROW((void)pi::assemble("x: nop\nx: nop"), pi::AsmError);
+  EXPECT_THROW((void)pi::assemble("mov r0, $zz"), pi::AsmError);
+}
+
+TEST(Assembler, DisassembleRoundTrip) {
+  const std::string src = R"(
+    mov r0, $10
+    loop:
+    sub r0, $1
+    cmp r0, $0
+    jne loop
+    halt
+  )";
+  const auto prog = pi::assemble(src);
+  const std::string dis = pi::disassemble_program(prog);
+  EXPECT_NE(dis.find("mov r0, $10"), std::string::npos);
+  EXPECT_NE(dis.find("jne @1"), std::string::npos);
+  // Reassembling the disassembly is not supported (labels become @n), but
+  // each instruction disassembles deterministically.
+  EXPECT_EQ(pi::disassemble(prog[0]), "mov r0, $10");
+}
+
+// ------------------------------------------------------------- semantics ---
+
+TEST(Vm, ArithmeticAndOutput) {
+  const auto vm = run_program(R"(
+    mov r0, $6
+    mov r1, $7
+    mul r0, r1
+    out r0
+    halt
+  )");
+  ASSERT_EQ(vm.output().size(), 1u);
+  EXPECT_EQ(vm.output()[0], 42);
+}
+
+TEST(Vm, LoopComputesSum) {
+  // sum 1..10 = 55
+  const auto vm = run_program(R"(
+      mov r0, $0       ; acc
+      mov r1, $10      ; i
+    loop:
+      add r0, r1
+      sub r1, $1
+      cmp r1, $0
+      jg loop
+      out r0
+      halt
+  )");
+  EXPECT_EQ(vm.output().back(), 55);
+}
+
+TEST(Vm, ConditionalBranchesSignedComparisons) {
+  const auto vm = run_program(R"(
+      mov r0, $-5
+      cmp r0, $3
+      jl is_less
+      out $0
+      halt
+    is_less:
+      out $1
+      halt
+  )");
+  EXPECT_EQ(vm.output().back(), 1);
+}
+
+TEST(Vm, FunctionCallMechanics) {
+  // square(x) with an explicit stack frame: the CS31 call-convention unit.
+  const auto vm = run_program(R"(
+      mov r0, $9
+      push r0          ; argument
+      call square
+      pop r1           ; discard argument
+      out r0           ; result in r0
+      halt
+    square:
+      push fp          ; prologue
+      mov fp, sp
+      mov r2, [fp+2]   ; argument (above saved fp and return address)
+      mul r2, r2
+      mov r0, r2
+      pop fp           ; epilogue
+      ret
+  )");
+  EXPECT_EQ(vm.output().back(), 81);
+}
+
+TEST(Vm, RecursiveFactorialOnStack) {
+  const auto vm = run_program(R"(
+      mov r0, $5
+      push r0
+      call fact
+      pop r1
+      out r0
+      halt
+    fact:
+      push fp
+      mov fp, sp
+      mov r1, [fp+2]    ; n
+      cmp r1, $1
+      jg recurse
+      mov r0, $1
+      pop fp
+      ret
+    recurse:
+      sub r1, $1
+      push r1
+      call fact
+      pop r1            ; discard arg
+      mov r2, [fp+2]    ; n again
+      mul r0, r2
+      pop fp
+      ret
+  )");
+  EXPECT_EQ(vm.output().back(), 120);
+}
+
+TEST(Vm, InputConsumption) {
+  const auto vm = run_program(R"(
+      in r0
+      in r1
+      add r0, r1
+      out r0
+      halt
+  )",
+                              {30, 12});
+  EXPECT_EQ(vm.output().back(), 42);
+}
+
+TEST(Vm, FlagsAfterSub) {
+  pi::Vm vm(pi::assemble("mov r0, $5\nsub r0, $5\nhalt\n"));
+  vm.run();
+  EXPECT_TRUE(vm.flags().zf);
+  EXPECT_FALSE(vm.flags().sf);
+  EXPECT_EQ(vm.reg(pi::Reg::kR0), 0);
+}
+
+TEST(Vm, BitwiseAndShifts) {
+  const auto vm = run_program(R"(
+      mov r0, $12
+      and r0, $10      ; 8
+      mov r1, $1
+      shl r1, $4       ; 16
+      or r0, r1        ; 24
+      xor r0, $7       ; 31
+      shr r0, $1       ; 15
+      not r0           ; -16
+      neg r0           ; 16
+      out r0
+      halt
+  )");
+  EXPECT_EQ(vm.output().back(), 16);
+}
+
+// ----------------------------------------------------------------- traps ---
+
+TEST(Vm, TrapsOnDivByZero) {
+  pi::Vm vm(pi::assemble("mov r0, $1\nmov r1, $0\ndiv r0, r1\nhalt\n"));
+  EXPECT_THROW(vm.run(), pi::VmTrap);
+}
+
+TEST(Vm, TrapsOnStackUnderflow) {
+  pi::Vm vm(pi::assemble("pop r0\nhalt\n"));
+  EXPECT_THROW(vm.run(), pi::VmTrap);
+}
+
+TEST(Vm, TrapsOnStackOverflow) {
+  // Tiny memory: pushing forever must trap, not scribble.
+  pi::Vm vm(pi::assemble("loop: push $1\njmp loop\n"), /*memory_words=*/8);
+  EXPECT_THROW(vm.run(), pi::VmTrap);
+}
+
+TEST(Vm, TrapsOnMemoryOutOfBounds) {
+  pi::Vm vm(pi::assemble("mov r0, $100000\nmov r1, [r0]\nhalt\n"), 16);
+  EXPECT_THROW(vm.run(), pi::VmTrap);
+}
+
+TEST(Vm, TrapsOnInputExhausted) {
+  pi::Vm vm(pi::assemble("in r0\nhalt\n"));
+  EXPECT_THROW(vm.run(), pi::VmTrap);
+}
+
+TEST(Vm, TrapsOnRunawayProgram) {
+  pi::Vm vm(pi::assemble("loop: jmp loop\n"));
+  EXPECT_THROW(vm.run(1000), pi::VmTrap);
+}
+
+TEST(Vm, FallingOffEndTraps) {
+  pi::Vm vm(pi::assemble("nop\n"));
+  EXPECT_THROW(vm.run(), pi::VmTrap);  // pc out of range (no halt)
+}
+
+// --------------------------------------------------------------- tracing ---
+
+TEST(Vm, TraceRecordsEveryStep) {
+  pi::Vm vm(pi::assemble("mov r0, $1\nadd r0, $2\nhalt\n"));
+  vm.set_tracing(true);
+  vm.run();
+  ASSERT_EQ(vm.trace().size(), 3u);
+  EXPECT_EQ(vm.trace()[0].text, "mov r0, $1");
+  EXPECT_EQ(vm.trace()[1].regs[0], 3);
+  EXPECT_EQ(vm.instructions_executed(), 3u);
+}
+
+TEST(Vm, SingleStepping) {
+  pi::Vm vm(pi::assemble("mov r0, $5\nout r0\nhalt\n"));
+  EXPECT_TRUE(vm.step());
+  EXPECT_EQ(vm.reg(pi::Reg::kR0), 5);
+  EXPECT_TRUE(vm.step());
+  EXPECT_FALSE(vm.step());  // halt
+  EXPECT_TRUE(vm.halted());
+  EXPECT_FALSE(vm.step());  // stays halted
+}
+
+// A "binary bomb": the input must satisfy hidden predicates or the bomb
+// explodes (outputs 666). Tests both defusal and explosion paths — this is
+// the integration test for the bomb example.
+namespace {
+const char* kBombSource = R"(
+    ; phase 1: input must equal 42
+    in r0
+    cmp r0, $42
+    jne explode
+    ; phase 2: input must be the sum of the next two inputs
+    in r0
+    in r1
+    in r2
+    mov r3, r1
+    add r3, r2
+    cmp r0, r3
+    jne explode
+    out $1          ; defused
+    halt
+  explode:
+    out $666
+    halt
+)";
+}
+
+TEST(Vm, BombDefused) {
+  const auto vm = run_program(kBombSource, {42, 10, 4, 6});
+  EXPECT_EQ(vm.output().back(), 1);
+}
+
+TEST(Vm, BombExplodesOnWrongPhase1) {
+  const auto vm = run_program(kBombSource, {41, 10, 4, 6});
+  EXPECT_EQ(vm.output().back(), 666);
+}
+
+TEST(Vm, BombExplodesOnWrongPhase2) {
+  const auto vm = run_program(kBombSource, {42, 10, 4, 7});
+  EXPECT_EQ(vm.output().back(), 666);
+}
+
+// -------------------------------------------------------------- profiler ---
+
+TEST(Profiler, CountsOpcodesAndHotPcs) {
+  pi::Vm vm(pi::assemble(R"(
+      mov r0, $50
+    loop:
+      sub r0, $1
+      cmp r0, $0
+      jg loop
+      halt
+  )"));
+  vm.run();
+  EXPECT_EQ(vm.opcode_count(pi::Opcode::kMov), 1u);
+  EXPECT_EQ(vm.opcode_count(pi::Opcode::kSub), 50u);
+  EXPECT_EQ(vm.opcode_count(pi::Opcode::kCmp), 50u);
+  EXPECT_EQ(vm.opcode_count(pi::Opcode::kJg), 50u);
+  EXPECT_EQ(vm.opcode_count(pi::Opcode::kHalt), 1u);
+  EXPECT_EQ(vm.pc_count(0), 1u);
+  EXPECT_EQ(vm.pc_count(1), 50u);
+  EXPECT_EQ(vm.pc_count(99), 0u);  // out of range: 0, not a throw
+}
+
+TEST(Profiler, HottestInstructionsSorted) {
+  pi::Vm vm(pi::assemble(R"(
+      mov r0, $10
+    loop:
+      sub r0, $1
+      cmp r0, $0
+      jg loop
+      halt
+  )"));
+  vm.run();
+  const auto hot = vm.hottest_instructions(2);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_GE(hot[0].second, hot[1].second);
+  EXPECT_EQ(hot[0].second, 10u);
+}
+
+TEST(Assembler, ToleratesWhitespaceInMemoryOperands) {
+  const auto prog = pi::assemble("mov r0, [ fp + 2 ]\nmov r1, [sp - 3]\nhalt\n");
+  EXPECT_EQ(prog[0].src, pi::Operand::mem(pi::Reg::kFp, 2));
+  EXPECT_EQ(prog[1].src, pi::Operand::mem(pi::Reg::kSp, -3));
+}
+
+TEST(Assembler, MultipleLabelsOnOneLine) {
+  const auto prog = pi::assemble("a: b: nop\njmp a\njmp b\n");
+  EXPECT_EQ(prog[1].target, 0u);
+  EXPECT_EQ(prog[2].target, 0u);
+}
+
+TEST(Assembler, HexImmediates) {
+  const auto prog = pi::assemble("mov r0, $0x2A\nhalt\n");
+  EXPECT_EQ(prog[0].src, pi::Operand::imm(42));
+}
+
+// Property: random straight-line arithmetic programs produce the same
+// register state as a host-side interpreter (the "oracle" differential
+// test used to validate real ISA simulators).
+
+#include <random>
+
+TEST(Vm, RandomProgramsMatchHostOracle) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string src;
+    std::int64_t regs[6] = {};
+    // Seed registers with small values.
+    for (int r = 0; r < 6; ++r) {
+      const auto v = static_cast<std::int64_t>(rng() % 2000) - 1000;
+      regs[r] = v;
+      src += "mov r" + std::to_string(r) + ", $" + std::to_string(v) + "\n";
+    }
+    // Random arithmetic ops (avoid div to dodge divide-by-zero traps).
+    for (int step = 0; step < 30; ++step) {
+      const int dst = static_cast<int>(rng() % 6);
+      const int s = static_cast<int>(rng() % 6);
+      switch (rng() % 5) {
+        case 0:
+          src += "add r" + std::to_string(dst) + ", r" + std::to_string(s) +
+                 "\n";
+          regs[dst] = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(regs[dst]) +
+              static_cast<std::uint64_t>(regs[s]));
+          break;
+        case 1:
+          src += "sub r" + std::to_string(dst) + ", r" + std::to_string(s) +
+                 "\n";
+          regs[dst] = static_cast<std::int64_t>(
+              static_cast<std::uint64_t>(regs[dst]) -
+              static_cast<std::uint64_t>(regs[s]));
+          break;
+        case 2:
+          src += "xor r" + std::to_string(dst) + ", r" + std::to_string(s) +
+                 "\n";
+          regs[dst] ^= regs[s];
+          break;
+        case 3:
+          src += "and r" + std::to_string(dst) + ", r" + std::to_string(s) +
+                 "\n";
+          regs[dst] &= regs[s];
+          break;
+        default:
+          src += "or r" + std::to_string(dst) + ", r" + std::to_string(s) +
+                 "\n";
+          regs[dst] |= regs[s];
+          break;
+      }
+    }
+    src += "halt\n";
+    pi::Vm vm(pi::assemble(src));
+    vm.run();
+    for (int r = 0; r < 6; ++r)
+      ASSERT_EQ(vm.reg(static_cast<pi::Reg>(r)), regs[r])
+          << "trial " << trial << " r" << r << "\n" << src;
+  }
+}

@@ -1,0 +1,170 @@
+// Tests for pdc::life — grid rules, patterns, and the cross-engine
+// equivalence property: sequential, threaded and message-passing engines
+// must produce bit-identical boards.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pdc/life/engine.hpp"
+#include "pdc/life/grid.hpp"
+
+namespace pl = pdc::life;
+
+// ----------------------------------------------------------------- rules ---
+
+TEST(Grid, ConstructionAndBounds) {
+  pl::Grid g(4, 6);
+  EXPECT_EQ(g.rows(), 4u);
+  EXPECT_EQ(g.cols(), 6u);
+  EXPECT_EQ(g.population(), 0u);
+  EXPECT_THROW((void)g.get(4, 0), std::out_of_range);
+  EXPECT_THROW(g.set(0, 6, true), std::out_of_range);
+  EXPECT_THROW(pl::Grid(0, 5), std::invalid_argument);
+}
+
+TEST(Grid, NeighborCountBounded) {
+  pl::Grid g(3, 3, pl::Boundary::kDead);
+  g.set(0, 0, true);
+  g.set(0, 1, true);
+  g.set(1, 0, true);
+  EXPECT_EQ(g.live_neighbors(0, 0), 2);  // corner: no wrap
+  EXPECT_EQ(g.live_neighbors(1, 1), 3);
+  EXPECT_EQ(g.live_neighbors(2, 2), 0);
+}
+
+TEST(Grid, NeighborCountTorus) {
+  pl::Grid g(3, 3, pl::Boundary::kTorus);
+  g.set(0, 0, true);
+  // On a torus, (2,2) is diagonal to (0,0).
+  EXPECT_EQ(g.live_neighbors(2, 2), 1);
+  EXPECT_EQ(g.live_neighbors(1, 1), 1);
+}
+
+TEST(Grid, B3S23Rule) {
+  pl::Grid g(5, 5, pl::Boundary::kDead);
+  // Live cell with 2 or 3 neighbors survives; dead with 3 is born.
+  g.set(2, 1, true);
+  g.set(2, 2, true);
+  g.set(2, 3, true);
+  EXPECT_TRUE(g.next_state(2, 2));   // 2 neighbors: survives
+  EXPECT_FALSE(g.next_state(2, 1));  // 1 neighbor: dies
+  EXPECT_TRUE(g.next_state(1, 2));   // 3 neighbors: born
+  EXPECT_FALSE(g.next_state(0, 0));  // empty space stays dead
+}
+
+TEST(Patterns, BlinkerOscillatesWithPeriod2) {
+  pl::Grid board(5, 5, pl::Boundary::kDead);
+  pl::stamp(board, pl::blinker(), 2, 1);
+  const pl::Grid start = board;
+  pl::run_sequential(board, 1);
+  EXPECT_NE(board, start);  // vertical now
+  pl::run_sequential(board, 1);
+  EXPECT_EQ(board, start);  // back to horizontal
+}
+
+TEST(Patterns, BlockIsStill) {
+  pl::Grid board(6, 6, pl::Boundary::kDead);
+  pl::stamp(board, pl::block(), 2, 2);
+  const pl::Grid start = board;
+  pl::run_sequential(board, 10);
+  EXPECT_EQ(board, start);
+}
+
+TEST(Patterns, GliderTranslatesByOneCellEvery4Generations) {
+  pl::Grid board(16, 16, pl::Boundary::kTorus);
+  pl::stamp(board, pl::glider(), 2, 2);
+  pl::Grid moved(16, 16, pl::Boundary::kTorus);
+  pl::stamp(moved, pl::glider(), 3, 3);  // one down-right
+  pl::run_sequential(board, 4);
+  EXPECT_EQ(board, moved);
+  EXPECT_EQ(board.population(), 5u);  // gliders preserve population
+}
+
+TEST(Patterns, GliderWrapsAroundTorus) {
+  pl::Grid board(8, 8, pl::Boundary::kTorus);
+  pl::stamp(board, pl::glider(), 0, 0);
+  const std::size_t pop = board.population();
+  pl::run_sequential(board, 8 * 4);  // full loop around the torus
+  EXPECT_EQ(board.population(), pop);
+}
+
+TEST(Grid, ParsePlaintextRoundTrip) {
+  const std::string text = ".O.\n..O\nOOO\n";
+  const pl::Grid g = pl::parse_plaintext(text);
+  EXPECT_EQ(g.to_string(), text);
+  EXPECT_EQ(g.population(), 5u);
+  EXPECT_THROW((void)pl::parse_plaintext(""), std::invalid_argument);
+  EXPECT_THROW((void)pl::parse_plaintext("x"), std::invalid_argument);
+}
+
+TEST(Grid, StampBoundsChecked) {
+  pl::Grid board(4, 4);
+  EXPECT_THROW(pl::stamp(board, pl::glider(), 2, 2), std::out_of_range);
+}
+
+TEST(Grid, RandomGridDeterministicDensity) {
+  const auto a = pl::random_grid(50, 50, 0.3, 9);
+  const auto b = pl::random_grid(50, 50, 0.3, 9);
+  EXPECT_EQ(a, b);
+  const double density =
+      static_cast<double>(a.population()) / (50.0 * 50.0);
+  EXPECT_NEAR(density, 0.3, 0.05);
+  EXPECT_THROW((void)pl::random_grid(5, 5, 1.5, 1), std::invalid_argument);
+}
+
+// ----------------------------------------------- engine equivalence sweep ---
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<pl::Boundary, int /*workers*/, int /*gens*/>> {};
+
+TEST_P(EngineEquivalence, ThreadedMatchesSequential) {
+  const auto [boundary, workers, gens] = GetParam();
+  pl::Grid seq = pl::random_grid(33, 29, 0.35, 1234, boundary);
+  pl::Grid thr = seq;
+  pl::run_sequential(seq, gens);
+  pl::run_threaded(thr, gens, workers);
+  EXPECT_EQ(seq, thr) << "boundary=" << static_cast<int>(boundary)
+                      << " workers=" << workers << " gens=" << gens;
+}
+
+TEST_P(EngineEquivalence, MessagePassingMatchesSequential) {
+  const auto [boundary, workers, gens] = GetParam();
+  pl::Grid seq = pl::random_grid(33, 29, 0.35, 1234, boundary);
+  pl::Grid msg = seq;
+  pl::run_sequential(seq, gens);
+  pl::run_message_passing(msg, gens, workers);
+  EXPECT_EQ(seq, msg) << "boundary=" << static_cast<int>(boundary)
+                      << " workers=" << workers << " gens=" << gens;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineEquivalence,
+    ::testing::Combine(::testing::Values(pl::Boundary::kDead,
+                                         pl::Boundary::kTorus),
+                       ::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(0, 1, 7)));
+
+TEST(Engines, ValidateArguments) {
+  pl::Grid g(4, 4);
+  EXPECT_THROW(pl::run_sequential(g, -1), std::invalid_argument);
+  EXPECT_THROW(pl::run_threaded(g, 1, 0), std::invalid_argument);
+  EXPECT_THROW(pl::run_message_passing(g, 1, 0), std::invalid_argument);
+  EXPECT_THROW(pl::run_message_passing(g, 1, 10), std::invalid_argument);
+}
+
+TEST(Engines, MessagePassingTrafficScalesWithRanksAndGenerations) {
+  pl::Grid a = pl::random_grid(32, 32, 0.3, 5);
+  pl::Grid b = a;
+  std::uint64_t msgs2 = 0, msgs4 = 0, words2 = 0, words4 = 0;
+  pl::run_message_passing(a, 10, 2, &msgs2, &words2);
+  pl::run_message_passing(b, 10, 4, &msgs4, &words4);
+  // Torus halo exchange: 2 messages per rank per generation, plus the
+  // final barrier's 2*(p-1) empty messages.
+  EXPECT_EQ(msgs2, 2u * 2u * 10u + 2u);
+  EXPECT_EQ(msgs4, 4u * 2u * 10u + 6u);
+  // Each halo message carries one row of 32 cells (barrier msgs are empty).
+  EXPECT_EQ(words2, 2u * 2u * 10u * 32u);
+  EXPECT_EQ(words4, 4u * 2u * 10u * 32u);
+}

@@ -1,0 +1,410 @@
+// Tests for pdc::machine — data representation, bit vectors, digital logic,
+// and the gate-level ALU checked exhaustively against a software oracle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <tuple>
+
+#include "pdc/machine/alu.hpp"
+#include "pdc/machine/bits.hpp"
+#include "pdc/machine/bitvector.hpp"
+#include "pdc/machine/logic.hpp"
+
+namespace pm = pdc::machine;
+
+// ----------------------------------------------------------------- bits ---
+
+TEST(Bits, BinaryRendering) {
+  EXPECT_EQ(pm::to_binary(10, 8), "00001010");
+  EXPECT_EQ(pm::to_binary(0, 1), "0");
+  EXPECT_EQ(pm::to_binary(1, 1), "1");
+  EXPECT_EQ(pm::to_binary(0xFF, 4), "1111");  // truncates to low bits
+  EXPECT_THROW((void)pm::to_binary(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)pm::to_binary(0, 65), std::invalid_argument);
+}
+
+TEST(Bits, HexRendering) {
+  EXPECT_EQ(pm::to_hex(255, 16), "00ff");
+  EXPECT_EQ(pm::to_hex(0xDEADBEEF, 32), "deadbeef");
+  EXPECT_THROW((void)pm::to_hex(1, 6), std::invalid_argument);
+}
+
+TEST(Bits, ParseBinary) {
+  EXPECT_EQ(pm::parse_binary("1010"), 10u);
+  EXPECT_EQ(pm::parse_binary("0b1010"), 10u);
+  EXPECT_EQ(pm::parse_binary("0"), 0u);
+  EXPECT_THROW((void)pm::parse_binary(""), std::invalid_argument);
+  EXPECT_THROW((void)pm::parse_binary("012"), std::invalid_argument);
+}
+
+TEST(Bits, ParseHex) {
+  EXPECT_EQ(pm::parse_hex("ff"), 255u);
+  EXPECT_EQ(pm::parse_hex("0xFF"), 255u);
+  EXPECT_EQ(pm::parse_hex("DeadBeef"), 0xDEADBEEFu);
+  EXPECT_THROW((void)pm::parse_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW((void)pm::parse_hex(""), std::invalid_argument);
+}
+
+TEST(Bits, ConversionRoundTrip) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng();
+    EXPECT_EQ(pm::parse_binary(pm::to_binary(v, 64)), v);
+    EXPECT_EQ(pm::parse_hex(pm::to_hex(v, 64)), v);
+  }
+}
+
+TEST(Bits, TwosComplementKnownValues) {
+  EXPECT_EQ(pm::decode_twos_complement(0b1111, 4), -1);
+  EXPECT_EQ(pm::decode_twos_complement(0b1000, 4), -8);
+  EXPECT_EQ(pm::decode_twos_complement(0b0111, 4), 7);
+  EXPECT_EQ(pm::encode_twos_complement(-1, 4), 0b1111u);
+  EXPECT_EQ(pm::encode_twos_complement(-8, 4), 0b1000u);
+  EXPECT_THROW((void)pm::encode_twos_complement(8, 4), std::out_of_range);
+  EXPECT_THROW((void)pm::encode_twos_complement(-9, 4), std::out_of_range);
+}
+
+TEST(Bits, SignedRange) {
+  EXPECT_EQ(pm::min_signed(8), -128);
+  EXPECT_EQ(pm::max_signed(8), 127);
+  EXPECT_TRUE(pm::fits_twos_complement(-128, 8));
+  EXPECT_FALSE(pm::fits_twos_complement(128, 8));
+}
+
+// Two's complement encode/decode must round-trip at every width.
+class TwosComplementWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwosComplementWidths, RoundTripsEveryValueOrSample) {
+  const int w = GetParam();
+  if (w <= 12) {
+    for (std::int64_t v = pm::min_signed(w); v <= pm::max_signed(w); ++v) {
+      EXPECT_EQ(pm::decode_twos_complement(pm::encode_twos_complement(v, w), w),
+                v);
+    }
+  } else {
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < 500; ++i) {
+      const auto bits = rng() & pm::low_mask(w);
+      const std::int64_t v = pm::decode_twos_complement(bits, w);
+      EXPECT_EQ(pm::encode_twos_complement(v, w), bits);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TwosComplementWidths,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 32, 63, 64));
+
+TEST(Bits, SignExtension) {
+  EXPECT_EQ(pm::sign_extend(0b1010, 4, 8), 0b11111010u);
+  EXPECT_EQ(pm::sign_extend(0b0101, 4, 8), 0b00000101u);
+  EXPECT_EQ(pm::sign_extend(0xFF, 8, 64), ~std::uint64_t{0});
+  EXPECT_THROW((void)pm::sign_extend(0, 8, 4), std::invalid_argument);
+}
+
+TEST(Bits, SignExtensionPreservesValue) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto bits = rng() & pm::low_mask(16);
+    const std::int64_t v = pm::decode_twos_complement(bits, 16);
+    EXPECT_EQ(pm::decode_twos_complement(pm::sign_extend(bits, 16, 40), 40), v);
+  }
+}
+
+TEST(Bits, AddFlagsUnsignedOverflow) {
+  const auto r = pm::add_with_flags(0xFF, 0x01, 8);
+  EXPECT_EQ(r.bits, 0u);
+  EXPECT_TRUE(r.carry_out);
+  EXPECT_FALSE(r.signed_overflow);  // -1 + 1 = 0: fine in signed terms
+  EXPECT_TRUE(r.zero);
+}
+
+TEST(Bits, AddFlagsSignedOverflow) {
+  const auto r = pm::add_with_flags(0x7F, 0x01, 8);  // 127 + 1
+  EXPECT_EQ(r.bits, 0x80u);
+  EXPECT_FALSE(r.carry_out);
+  EXPECT_TRUE(r.signed_overflow);
+  EXPECT_TRUE(r.negative);
+}
+
+TEST(Bits, SubFlags) {
+  const auto r = pm::sub_with_flags(5, 7, 8);
+  EXPECT_EQ(pm::decode_twos_complement(r.bits, 8), -2);
+  EXPECT_TRUE(r.negative);
+  const auto r2 = pm::sub_with_flags(7, 7, 8);
+  EXPECT_TRUE(r2.zero);
+}
+
+TEST(Bits, AddMatchesNativeArithmetic) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng() & 0xFFFF;
+    const std::uint64_t b = rng() & 0xFFFF;
+    const auto r = pm::add_with_flags(a, b, 16);
+    EXPECT_EQ(r.bits, (a + b) & 0xFFFF);
+    EXPECT_EQ(r.carry_out, (a + b) > 0xFFFF);
+    const std::int64_t sa = pm::decode_twos_complement(a, 16);
+    const std::int64_t sb = pm::decode_twos_complement(b, 16);
+    EXPECT_EQ(r.signed_overflow, !pm::fits_twos_complement(sa + sb, 16));
+  }
+}
+
+// ------------------------------------------------------------ bitvector ---
+
+TEST(BitVector, BasicSetTestReset) {
+  pm::BitVector bv(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_TRUE(bv.none());
+  bv.set(0);
+  bv.set(63);
+  bv.set(64);
+  bv.set(99);
+  EXPECT_EQ(bv.count(), 4u);
+  EXPECT_TRUE(bv.test(63));
+  EXPECT_TRUE(bv.test(64));
+  bv.reset(63);
+  EXPECT_FALSE(bv.test(63));
+  EXPECT_EQ(bv.count(), 3u);
+  EXPECT_THROW((void)bv.test(100), std::out_of_range);
+  EXPECT_THROW(bv.set(100), std::out_of_range);
+}
+
+TEST(BitVector, FlipAndAssign) {
+  pm::BitVector bv(10);
+  bv.flip(3);
+  EXPECT_TRUE(bv.test(3));
+  bv.flip(3);
+  EXPECT_FALSE(bv.test(3));
+  bv.assign(5, true);
+  EXPECT_TRUE(bv.test(5));
+  bv.assign(5, false);
+  EXPECT_FALSE(bv.test(5));
+}
+
+TEST(BitVector, SetAllRespectsPadding) {
+  pm::BitVector bv(70);
+  bv.set_all();
+  EXPECT_EQ(bv.count(), 70u);
+  const pm::BitVector complement = ~bv;
+  EXPECT_EQ(complement.count(), 0u);
+}
+
+TEST(BitVector, SetAlgebraDeMorgan) {
+  pm::BitVector a(130), b(130);
+  for (std::size_t i = 0; i < 130; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 130; i += 5) b.set(i);
+  // De Morgan: ~(a | b) == ~a & ~b.
+  EXPECT_EQ(~(a | b), (~a & ~b));
+  // a ^ b == (a | b) & ~(a & b).
+  EXPECT_EQ(a ^ b, (a | b) & ~(a & b));
+}
+
+TEST(BitVector, SubsetAndIndices) {
+  pm::BitVector a(50), b(50);
+  a.set(10);
+  a.set(20);
+  b.set(10);
+  b.set(20);
+  b.set(30);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_EQ(b.to_indices(), (std::vector<std::size_t>{10, 20, 30}));
+}
+
+TEST(BitVector, FindFirstNext) {
+  pm::BitVector bv(200);
+  EXPECT_EQ(bv.find_first(), 200u);
+  bv.set(5);
+  bv.set(64);
+  bv.set(199);
+  EXPECT_EQ(bv.find_first(), 5u);
+  EXPECT_EQ(bv.find_next(5), 64u);
+  EXPECT_EQ(bv.find_next(64), 199u);
+  EXPECT_EQ(bv.find_next(199), 200u);
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  pm::BitVector a(10), b(11);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW((void)a.is_subset_of(b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- logic ---
+
+TEST(Logic, GateTruthTables) {
+  pm::Circuit c;
+  const auto a = c.input("a");
+  const auto b = c.input("b");
+  const auto w_and = c.and_gate(a, b);
+  const auto w_or = c.or_gate(a, b);
+  const auto w_xor = c.xor_gate(a, b);
+  const auto w_nand = c.nand_gate(a, b);
+  const auto w_nor = c.nor_gate(a, b);
+  const auto w_not = c.not_gate(a);
+
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      const auto vals = c.evaluate({av != 0, bv != 0});
+      EXPECT_EQ(vals[w_and.id], (av && bv));
+      EXPECT_EQ(vals[w_or.id], (av || bv));
+      EXPECT_EQ(vals[w_xor.id], (av != bv));
+      EXPECT_EQ(vals[w_nand.id], !(av && bv));
+      EXPECT_EQ(vals[w_nor.id], !(av || bv));
+      EXPECT_EQ(vals[w_not.id], !av);
+    }
+  }
+}
+
+TEST(Logic, ConstantsAndCounts) {
+  pm::Circuit c;
+  const auto one = c.constant(true);
+  const auto zero = c.constant(false);
+  const auto w = c.or_gate(one, zero);
+  EXPECT_TRUE(c.evaluate_wire(w, {}));
+  EXPECT_EQ(c.gate_count(), 1u);
+  EXPECT_EQ(c.wire_count(), 3u);
+  EXPECT_EQ(c.input_count(), 0u);
+}
+
+TEST(Logic, DepthIsLongestPath) {
+  pm::Circuit c;
+  const auto a = c.input("a");
+  const auto n1 = c.not_gate(a);
+  const auto n2 = c.not_gate(n1);
+  const auto w = c.and_gate(a, n2);  // depth = max(0, 2) + 1 = 3
+  EXPECT_EQ(c.depth(w), 3);
+  EXPECT_EQ(c.depth(a), 0);
+}
+
+TEST(Logic, WrongInputCountThrows) {
+  pm::Circuit c;
+  (void)c.input("a");
+  EXPECT_THROW((void)c.evaluate({}), std::invalid_argument);
+  EXPECT_THROW((void)c.evaluate({true, false}), std::invalid_argument);
+}
+
+TEST(Logic, BusHelpers) {
+  pm::Circuit c;
+  const auto bus = pm::input_bus(c, "x", 8);
+  ASSERT_EQ(bus.size(), 8u);
+  std::vector<bool> in(8, false);
+  in[0] = true;  // bit 0
+  in[3] = true;  // bit 3
+  const auto vals = c.evaluate(in);
+  EXPECT_EQ(pm::read_bus(bus, vals), 0b1001u);
+}
+
+// ------------------------------------------------------------------ alu ---
+
+TEST(Alu, HalfAndFullAdderTruthTables) {
+  pm::Circuit c;
+  const auto a = c.input("a");
+  const auto b = c.input("b");
+  const auto cin = c.input("cin");
+  const auto fa = pm::full_adder(c, a, b, cin);
+  for (int av = 0; av <= 1; ++av)
+    for (int bv = 0; bv <= 1; ++bv)
+      for (int cv = 0; cv <= 1; ++cv) {
+        const auto vals = c.evaluate({av != 0, bv != 0, cv != 0});
+        const int total = av + bv + cv;
+        EXPECT_EQ(vals[fa.sum.id], total % 2 == 1);
+        EXPECT_EQ(vals[fa.carry.id], total >= 2);
+      }
+}
+
+TEST(Alu, RippleCarryAdderExhaustive4Bit) {
+  pm::Circuit c;
+  const auto a = pm::input_bus(c, "a", 4);
+  const auto b = pm::input_bus(c, "b", 4);
+  const auto cin = c.constant(false);
+  const auto r = pm::ripple_carry_adder(c, a, b, cin);
+  for (std::uint64_t av = 0; av < 16; ++av) {
+    for (std::uint64_t bv = 0; bv < 16; ++bv) {
+      std::vector<bool> in;
+      for (int i = 0; i < 4; ++i) in.push_back((av >> i) & 1);
+      for (int i = 0; i < 4; ++i) in.push_back((bv >> i) & 1);
+      const auto vals = c.evaluate(in);
+      EXPECT_EQ(pm::read_bus(r.sum, vals), (av + bv) & 0xF);
+      EXPECT_EQ(vals[r.carry_out.id], (av + bv) > 0xF);
+      const auto oracle = pm::add_with_flags(av, bv, 4);
+      EXPECT_EQ(vals[r.overflow.id], oracle.signed_overflow);
+    }
+  }
+}
+
+// Gate-level ALU vs software oracle, for every op at several widths.
+class AluSweep
+    : public ::testing::TestWithParam<std::tuple<pm::AluOp, int>> {};
+
+TEST_P(AluSweep, MatchesOracle) {
+  const auto [op, width] = GetParam();
+  pm::Circuit c;
+  const auto a = pm::input_bus(c, "a", width);
+  const auto b = pm::input_bus(c, "b", width);
+  const auto opbus = pm::input_bus(c, "op", 3);
+  const auto alu = pm::build_alu(c, a, b, opbus);
+
+  std::mt19937_64 rng(static_cast<unsigned>(width) * 31 +
+                      static_cast<unsigned>(op));
+  const int trials = width <= 4 ? 256 : 64;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t av, bv;
+    if (width <= 4) {  // exhaustive
+      av = static_cast<std::uint64_t>(t) & pm::low_mask(width);
+      bv = (static_cast<std::uint64_t>(t) >> width) & pm::low_mask(width);
+    } else {
+      av = rng() & pm::low_mask(width);
+      bv = rng() & pm::low_mask(width);
+    }
+    std::vector<bool> in;
+    for (int i = 0; i < width; ++i) in.push_back((av >> i) & 1);
+    for (int i = 0; i < width; ++i) in.push_back((bv >> i) & 1);
+    const auto opcode = static_cast<unsigned>(op);
+    for (int i = 0; i < 3; ++i) in.push_back((opcode >> i) & 1);
+
+    const auto vals = c.evaluate(in);
+    const std::uint64_t expect = pm::alu_reference(op, av, bv, width);
+    EXPECT_EQ(pm::read_bus(alu.result, vals), expect)
+        << "op=" << static_cast<int>(op) << " a=" << av << " b=" << bv;
+    EXPECT_EQ(vals[alu.zero.id], expect == 0);
+    EXPECT_EQ(vals[alu.negative.id], (expect >> (width - 1)) & 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndWidths, AluSweep,
+    ::testing::Combine(::testing::Values(pm::AluOp::kAdd, pm::AluOp::kSub,
+                                         pm::AluOp::kAnd, pm::AluOp::kOr,
+                                         pm::AluOp::kXor, pm::AluOp::kNor,
+                                         pm::AluOp::kPassA, pm::AluOp::kLess),
+                       ::testing::Values(4, 8, 16)));
+
+TEST(Alu, GateCountGrowsLinearlyWithWidth) {
+  auto gates_for = [](int w) {
+    pm::Circuit c;
+    const auto a = pm::input_bus(c, "a", w);
+    const auto b = pm::input_bus(c, "b", w);
+    const auto op = pm::input_bus(c, "op", 3);
+    (void)pm::build_alu(c, a, b, op);
+    return c.gate_count();
+  };
+  const auto g4 = gates_for(4);
+  const auto g8 = gates_for(8);
+  const auto g16 = gates_for(16);
+  EXPECT_GT(g8, g4);
+  EXPECT_GT(g16, g8);
+  // Linear-ish growth: doubling width should not quadruple gates.
+  EXPECT_LT(g16, 3 * g8);
+}
+
+TEST(Alu, RejectsBadBuses) {
+  pm::Circuit c;
+  const auto a = pm::input_bus(c, "a", 4);
+  const auto b = pm::input_bus(c, "b", 3);
+  const auto op = pm::input_bus(c, "op", 3);
+  EXPECT_THROW((void)pm::build_alu(c, a, b, op), std::invalid_argument);
+  const auto b4 = pm::input_bus(c, "b4", 4);
+  const auto op2 = pm::input_bus(c, "op2", 2);
+  EXPECT_THROW((void)pm::build_alu(c, a, b4, op2), std::invalid_argument);
+}

@@ -1,0 +1,142 @@
+// Tests for pdc::mapreduce — engine semantics, combiner correctness, and
+// the library jobs against sequential oracles.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pdc/mapreduce/engine.hpp"
+#include "pdc/mapreduce/jobs.hpp"
+
+namespace mr = pdc::mapreduce;
+
+// -------------------------------------------------------------- tokenize ---
+
+TEST(Tokenize, SplitsAndLowercases) {
+  EXPECT_EQ(mr::tokenize("Hello, World! hello"),
+            (std::vector<std::string>{"hello", "world", "hello"}));
+  EXPECT_EQ(mr::tokenize(""), (std::vector<std::string>{}));
+  EXPECT_EQ(mr::tokenize("...!!!"), (std::vector<std::string>{}));
+  EXPECT_EQ(mr::tokenize("a1 b2"), (std::vector<std::string>{"a1", "b2"}));
+}
+
+// ---------------------------------------------------------------- engine ---
+
+TEST(Engine, RejectsBadConfig) {
+  const std::vector<int> inputs = {1};
+  mr::JobConfig cfg;
+  cfg.map_workers = 0;
+  const std::function<void(const int&, const std::function<void(int, int)>&)>
+      mapper = [](const int&, const std::function<void(int, int)>&) {};
+  const std::function<int(const int&, const std::vector<int>&)> reducer =
+      [](const int&, const std::vector<int>&) { return 0; };
+  EXPECT_THROW((mr::run_job<int, int, int>(inputs, mapper, reducer, cfg)),
+               std::invalid_argument);
+}
+
+TEST(Engine, EmptyInputGivesEmptyOutput) {
+  const std::vector<std::string> empty;
+  const auto counts = mr::word_count(empty);
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(Engine, StatsAreConsistent) {
+  const std::vector<std::string> docs = {"a b a", "b c b", "a"};
+  mr::JobStats stats;
+  mr::JobConfig cfg;
+  cfg.use_combiner = false;
+  const auto counts = mr::word_count(docs, cfg, &stats);
+  EXPECT_EQ(stats.inputs, 3u);
+  EXPECT_EQ(stats.map_emitted, 7u);   // 7 words total
+  EXPECT_EQ(stats.shuffled, 7u);      // no combiner: all pairs shuffled
+  EXPECT_EQ(stats.distinct_keys, 3u);
+  EXPECT_EQ(counts.at("a"), 3);
+  EXPECT_EQ(counts.at("b"), 3);
+  EXPECT_EQ(counts.at("c"), 1);
+}
+
+TEST(Engine, CombinerShrinksShuffleWithoutChangingResult) {
+  const auto docs = mr::synthetic_corpus(50, 100);
+  mr::JobConfig with, without;
+  with.use_combiner = true;
+  without.use_combiner = false;
+  mr::JobStats s_with, s_without;
+  const auto r_with = mr::word_count(docs, with, &s_with);
+  const auto r_without = mr::word_count(docs, without, &s_without);
+  EXPECT_EQ(r_with, r_without);                  // same answer
+  EXPECT_LT(s_with.shuffled, s_without.shuffled);  // less shuffle traffic
+  EXPECT_EQ(s_with.map_emitted, s_without.map_emitted);
+}
+
+// Worker/partition sweep: result must be identical regardless of
+// parallelism knobs.
+class MapReduceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MapReduceSweep, WordCountInvariantUnderConfig) {
+  const auto [map_w, reduce_w, parts] = GetParam();
+  const auto docs = mr::synthetic_corpus(40, 50, /*seed=*/7);
+
+  // Sequential oracle.
+  std::map<std::string, std::int64_t> oracle;
+  for (const auto& d : docs)
+    for (auto& w : mr::tokenize(d)) ++oracle[w];
+
+  mr::JobConfig cfg;
+  cfg.map_workers = map_w;
+  cfg.reduce_workers = reduce_w;
+  cfg.partitions = parts;
+  EXPECT_EQ(mr::word_count(docs, cfg), oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, MapReduceSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3),
+                                            ::testing::Values(1, 4, 16)));
+
+// ------------------------------------------------------------------ jobs ---
+
+TEST(WordCount, KnownText) {
+  const std::vector<std::string> docs = {
+      "the quick brown fox", "the lazy dog", "the fox"};
+  const auto counts = mr::word_count(docs);
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("fox"), 2);
+  EXPECT_EQ(counts.at("dog"), 1);
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(InvertedIndex, MapsWordsToSortedDocIds) {
+  const std::vector<std::string> docs = {
+      "alpha beta", "beta gamma", "alpha beta alpha"};
+  const auto index = mr::inverted_index(docs);
+  EXPECT_EQ(index.at("alpha"), (std::vector<std::int64_t>{0, 2}));
+  EXPECT_EQ(index.at("beta"), (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_EQ(index.at("gamma"), (std::vector<std::int64_t>{1}));
+}
+
+TEST(InvertedIndex, DedupsRepeatsWithinDoc) {
+  const std::vector<std::string> docs = {"x x x x"};
+  const auto index = mr::inverted_index(docs);
+  EXPECT_EQ(index.at("x"), (std::vector<std::int64_t>{0}));
+}
+
+TEST(SyntheticCorpus, DeterministicAndSized) {
+  const auto a = mr::synthetic_corpus(10, 20, 5);
+  const auto b = mr::synthetic_corpus(10, 20, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(mr::tokenize(a[0]).size(), 20u);
+  const auto c = mr::synthetic_corpus(10, 20, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(SyntheticCorpus, IsZipfish) {
+  // The most common word should be much more frequent than the median.
+  const auto docs = mr::synthetic_corpus(100, 100);
+  const auto counts = mr::word_count(docs);
+  std::vector<std::int64_t> freqs;
+  for (const auto& [w, c] : counts) freqs.push_back(c);
+  std::sort(freqs.begin(), freqs.end());
+  EXPECT_GT(freqs.back(), 3 * freqs[freqs.size() / 2]);
+}

@@ -1,0 +1,566 @@
+// Tests for pdc::memsim — cache model, traces, coherence protocols, and
+// paging. Miss counts are exact model quantities, so the assertions are
+// exact too (the lab asks students to predict these numbers by hand).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pdc/memsim/cache.hpp"
+#include "pdc/memsim/coherence.hpp"
+#include "pdc/memsim/paging.hpp"
+#include "pdc/memsim/trace.hpp"
+
+namespace pm = pdc::memsim;
+
+// ----------------------------------------------------------- cache basics ---
+
+TEST(CacheConfig, ValidatesGeometry) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 1000;  // not a power of two
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.total_size = 1024;
+  cfg.line_size = 48;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.line_size = 2048;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.line_size = 64;
+  cfg.associativity = 3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.associativity = 32;  // 1024/64 = 16 lines < 32 ways
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.associativity = 4;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.num_lines(), 16u);
+  EXPECT_EQ(cfg.num_sets(), 4u);
+}
+
+TEST(Cache, AddressDecomposition) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 1024;
+  cfg.line_size = 64;       // 6 offset bits
+  cfg.associativity = 1;    // 16 sets -> 4 set bits
+  const auto p = pm::split_address(0b1010'1101'0110'1011, cfg);
+  EXPECT_EQ(p.offset, 0b10'1011u);
+  EXPECT_EQ(p.set, 0b0101u);
+  EXPECT_EQ(p.tag, 0b1010'11u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 2;
+  pm::Cache cache(cfg);
+  EXPECT_FALSE(cache.access(0x100, false));  // compulsory miss
+  EXPECT_TRUE(cache.access(0x100, false));   // hit
+  EXPECT_TRUE(cache.access(0x13F, false));   // same line (0x100..0x13F)
+  EXPECT_FALSE(cache.access(0x140, false));  // next line: miss
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, DirectMappedConflictMisses) {
+  // Two addresses mapping to the same set thrash a direct-mapped cache but
+  // coexist in a 2-way cache — the classic associativity lesson.
+  pm::CacheConfig dm;
+  dm.total_size = 1024;
+  dm.line_size = 64;
+  dm.associativity = 1;
+  pm::Cache direct(dm);
+
+  pm::CacheConfig two = dm;
+  two.associativity = 2;
+  pm::Cache assoc(two);
+
+  // 0x0 and 0x400 map to set 0 in both configs (0x400 = 1024).
+  for (int i = 0; i < 10; ++i) {
+    direct.access(0x0, false);
+    direct.access(0x400, false);
+    assoc.access(0x0, false);
+    assoc.access(0x400, false);
+  }
+  EXPECT_EQ(direct.stats().misses, 20u);  // every access misses
+  EXPECT_EQ(assoc.stats().misses, 2u);    // only the two cold misses
+}
+
+TEST(Cache, LruEvictsLeastRecent) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 256;
+  cfg.line_size = 64;
+  cfg.associativity = 4;  // one set of 4 ways
+  pm::Cache cache(cfg);
+  // Fill 4 ways: lines 0,1,2,3.
+  for (pm::Address a : {0x0, 0x40, 0x80, 0xC0}) cache.access(a, false);
+  cache.access(0x0, false);    // touch line 0 -> LRU is line 1
+  cache.access(0x100, false);  // new line evicts 0x40
+  EXPECT_TRUE(cache.contains(0x0));
+  EXPECT_FALSE(cache.contains(0x40));
+  EXPECT_TRUE(cache.contains(0x80));
+  EXPECT_TRUE(cache.contains(0x100));
+}
+
+TEST(Cache, FifoEvictsOldestRegardlessOfUse) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 256;
+  cfg.line_size = 64;
+  cfg.associativity = 4;
+  cfg.replacement = pm::Replacement::kFifo;
+  pm::Cache cache(cfg);
+  for (pm::Address a : {0x0, 0x40, 0x80, 0xC0}) cache.access(a, false);
+  cache.access(0x0, false);    // touching does NOT refresh FIFO age
+  cache.access(0x100, false);  // evicts 0x0 (oldest fill)
+  EXPECT_FALSE(cache.contains(0x0));
+  EXPECT_TRUE(cache.contains(0x40));
+}
+
+TEST(Cache, WritebackCountsDirtyEvictions) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 128;
+  cfg.line_size = 64;
+  cfg.associativity = 1;  // 2 sets
+  pm::Cache cache(cfg);
+  cache.access(0x0, true);    // dirty line in set 0
+  cache.access(0x80, false);  // set 0 conflict: evicts dirty line
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  cache.access(0x0, false);   // clean refill, evicts clean 0x80
+  cache.access(0x80, false);  // evicts clean 0x0: no writeback either
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteNoAllocateSkipsFill) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 256;
+  cfg.line_size = 64;
+  cfg.associativity = 1;
+  cfg.write_allocate = false;
+  pm::Cache cache(cfg);
+  EXPECT_FALSE(cache.access(0x0, true));   // write miss, no allocate
+  EXPECT_FALSE(cache.contains(0x0));
+  EXPECT_FALSE(cache.access(0x0, false));  // still a miss
+}
+
+TEST(Cache, InvalidateReportsDirty) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 256;
+  cfg.line_size = 64;
+  cfg.associativity = 2;
+  pm::Cache cache(cfg);
+  cache.access(0x0, true);
+  cache.access(0x40, false);
+  EXPECT_TRUE(cache.invalidate(0x0));    // was dirty
+  EXPECT_FALSE(cache.invalidate(0x40));  // clean
+  EXPECT_FALSE(cache.invalidate(0x0));   // already gone
+  EXPECT_FALSE(cache.contains(0x0));
+}
+
+// -------------------------------------------------------------- traces ---
+
+TEST(Trace, RowVsColumnMajorMissRates) {
+  // 64x64 matrix of 8-byte doubles, 64-byte lines: row-major touches each
+  // line 8 times (1 miss + 7 hits); column-major misses on (almost) every
+  // access once the working set exceeds the cache.
+  pm::CacheConfig cfg;
+  cfg.total_size = 4 * 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 1;
+  pm::Cache row_cache(cfg), col_cache(cfg);
+
+  const auto row = pm::matrix_row_major(64, 64, 8);
+  const auto col = pm::matrix_col_major(64, 64, 8);
+  const auto row_stats = pm::run_trace(row_cache, row);
+  const auto col_stats = pm::run_trace(col_cache, col);
+
+  // Row-major: exactly one miss per 64-byte line = 64*64/8 = 512.
+  EXPECT_EQ(row_stats.misses, 512u);
+  // Column-major: a 64x64 row-major matrix strides 512B between accesses;
+  // each column walk touches 64 distinct lines and the matrix (32KB)
+  // overflows the 4KB cache => every access misses.
+  EXPECT_EQ(col_stats.misses, 4096u);
+  EXPECT_GT(col_stats.miss_rate(), 4 * row_stats.miss_rate());
+}
+
+TEST(Trace, RepeatedSweepHitsWhenWorkingSetFits) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 8 * 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 4;
+  // Working set 4KB < 8KB cache: second pass all hits.
+  pm::Cache fits(cfg);
+  pm::run_trace(fits, pm::repeated_sweep(4 * 1024, 64, 2));
+  EXPECT_EQ(fits.stats().misses, 64u);  // 4096/64 cold misses only
+
+  // Working set 32KB > 8KB LRU cache swept sequentially: always misses.
+  pm::Cache thrash(cfg);
+  pm::run_trace(thrash, pm::repeated_sweep(32 * 1024, 64, 2));
+  EXPECT_EQ(thrash.stats().hits, 0u);
+}
+
+TEST(Trace, StridedAccessMissesEveryLineOnceAtLineStride) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 64 * 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 8;
+  pm::Cache cache(cfg);
+  pm::run_trace(cache, pm::strided(256, 64));
+  EXPECT_EQ(cache.stats().misses, 256u);
+
+  pm::Cache cache8(cfg);
+  pm::run_trace(cache8, pm::strided(256, 8));  // 8 accesses per line
+  EXPECT_EQ(cache8.stats().misses, 32u);
+}
+
+TEST(Trace, GeneratorsValidateArgs) {
+  EXPECT_THROW((void)pm::matrix_row_major(4, 4, 0), std::invalid_argument);
+  EXPECT_THROW((void)pm::strided(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)pm::repeated_sweep(64, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)pm::repeated_sweep(64, 8, 0), std::invalid_argument);
+  EXPECT_THROW((void)pm::uniform_random(4, 0, 1), std::invalid_argument);
+}
+
+TEST(Trace, RandomTraceIsDeterministicPerSeed) {
+  const auto a = pm::uniform_random(100, 4096, 42);
+  const auto b = pm::uniform_random(100, 4096, 42);
+  const auto c = pm::uniform_random(100, 4096, 43);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].addr != b[i].addr) all_equal = false;
+  EXPECT_TRUE(all_equal);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].addr != c[i].addr) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+// Property sweep: larger caches never miss more on an LRU sweep workload
+// (inclusion property of LRU).
+class LruMonotoneSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LruMonotoneSweep, BiggerCacheNeverWorse) {
+  const std::size_t small_size = GetParam();
+  pm::CacheConfig small_cfg;
+  small_cfg.total_size = small_size;
+  small_cfg.line_size = 64;
+  small_cfg.associativity = small_cfg.num_lines();  // fully associative
+  pm::CacheConfig big_cfg = small_cfg;
+  big_cfg.total_size = small_size * 2;
+  big_cfg.associativity = big_cfg.num_lines();
+
+  const auto trace = pm::uniform_random(20000, 64 * 1024, 7);
+  pm::Cache small_cache(small_cfg), big_cache(big_cfg);
+  pm::run_trace(small_cache, trace);
+  pm::run_trace(big_cache, trace);
+  EXPECT_LE(big_cache.stats().misses, small_cache.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LruMonotoneSweep,
+                         ::testing::Values(1024, 2048, 4096, 8192));
+
+// ------------------------------------------------------------ hierarchy ---
+
+TEST(Hierarchy, L2CatchesL1Misses) {
+  pm::CacheConfig l1;
+  l1.total_size = 1024;
+  l1.line_size = 64;
+  l1.associativity = 2;
+  pm::CacheConfig l2;
+  l2.total_size = 16 * 1024;
+  l2.line_size = 64;
+  l2.associativity = 8;
+  pm::Hierarchy h({{l1, {4}}, {l2, {12}}}, 100);
+
+  // Sweep an 8KB working set twice: overflows L1, fits L2.
+  pm::run_trace(h, pm::repeated_sweep(8 * 1024, 64, 2));
+  const auto& s1 = h.level_stats(0);
+  const auto& s2 = h.level_stats(1);
+  EXPECT_GT(s1.misses, 0u);
+  EXPECT_EQ(s2.accesses, s1.misses);  // L2 sees only L1 misses
+  // Second pass hits in L2: L2 misses only the cold 128 lines.
+  EXPECT_EQ(s2.misses, 128u);
+  const double amat = h.amat();
+  EXPECT_GT(amat, 4.0);
+  EXPECT_LT(amat, 116.0);
+}
+
+TEST(Hierarchy, AmatFormula) {
+  pm::CacheConfig l1;
+  l1.total_size = 1024;
+  l1.line_size = 64;
+  l1.associativity = 1;
+  pm::Hierarchy h({{l1, {4}}}, 100);
+  // No accesses: miss rates are 0, AMAT = hit time.
+  EXPECT_DOUBLE_EQ(h.amat(), 4.0);
+  EXPECT_THROW((void)h.level_stats(1), std::out_of_range);
+}
+
+// ------------------------------------------------------------ coherence ---
+
+class CoherenceProtocols : public ::testing::TestWithParam<pm::Protocol> {};
+
+TEST_P(CoherenceProtocols, ReadSharingThenWriteInvalidates) {
+  pm::SnoopBus bus(3, GetParam(), 64);
+  bus.read(0, 0x100);
+  bus.read(1, 0x100);
+  bus.read(2, 0x100);
+  EXPECT_EQ(bus.state(1, 0x100), pm::LineState::kShared);
+
+  bus.write(0, 0x100);
+  EXPECT_EQ(bus.state(0, 0x100), pm::LineState::kModified);
+  EXPECT_EQ(bus.state(1, 0x100), pm::LineState::kInvalid);
+  EXPECT_EQ(bus.state(2, 0x100), pm::LineState::kInvalid);
+  EXPECT_EQ(bus.stats().invalidations, 2u);
+}
+
+TEST_P(CoherenceProtocols, ModifiedFlushedOnPeerRead) {
+  pm::SnoopBus bus(2, GetParam(), 64);
+  bus.write(0, 0x200);
+  EXPECT_EQ(bus.state(0, 0x200), pm::LineState::kModified);
+  bus.read(1, 0x200);
+  EXPECT_EQ(bus.stats().writebacks, 1u);
+  EXPECT_EQ(bus.state(0, 0x200), pm::LineState::kShared);
+  EXPECT_EQ(bus.state(1, 0x200), pm::LineState::kShared);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, CoherenceProtocols,
+                         ::testing::Values(pm::Protocol::kMsi,
+                                           pm::Protocol::kMesi));
+
+TEST(Coherence, MesiExclusiveOnSoleReader) {
+  pm::SnoopBus mesi(2, pm::Protocol::kMesi, 64);
+  mesi.read(0, 0x100);
+  EXPECT_EQ(mesi.state(0, 0x100), pm::LineState::kExclusive);
+  // Writing an Exclusive line is silent (no bus transaction).
+  const auto before = mesi.stats().bus_transactions();
+  mesi.write(0, 0x100);
+  EXPECT_EQ(mesi.stats().bus_transactions(), before);
+  EXPECT_EQ(mesi.stats().silent_upgrades, 1u);
+  EXPECT_EQ(mesi.state(0, 0x100), pm::LineState::kModified);
+}
+
+TEST(Coherence, MsiSoleReaderStillPaysUpgrade) {
+  pm::SnoopBus msi(2, pm::Protocol::kMsi, 64);
+  msi.read(0, 0x100);
+  EXPECT_EQ(msi.state(0, 0x100), pm::LineState::kShared);  // no E state
+  const auto before = msi.stats().bus_transactions();
+  msi.write(0, 0x100);
+  EXPECT_EQ(msi.stats().bus_transactions(), before + 1);  // BusUpgr
+}
+
+TEST(Coherence, MesiReducesTrafficForPrivateData) {
+  // The read-then-write private pattern: MESI saves one bus transaction
+  // per line vs MSI — the textbook justification for the E state.
+  auto traffic = [](pm::Protocol p) {
+    pm::SnoopBus bus(4, p, 64);
+    for (int c = 0; c < 4; ++c) {
+      const pm::Address base = static_cast<pm::Address>(c) * 4096;
+      for (int i = 0; i < 16; ++i) {
+        bus.read(c, base + static_cast<pm::Address>(i) * 64);
+        bus.write(c, base + static_cast<pm::Address>(i) * 64);
+      }
+    }
+    return bus.stats().bus_transactions();
+  };
+  EXPECT_LT(traffic(pm::Protocol::kMesi), traffic(pm::Protocol::kMsi));
+}
+
+TEST(Coherence, FalseSharingCausesInvalidationStorm) {
+  // 4 cores incrementing their own counter: packed counters share a line,
+  // padded counters do not.
+  const auto packed = pm::interleaved_counter_trace(4, 100, 8);    // 8B apart
+  const auto padded = pm::interleaved_counter_trace(4, 100, 64);   // 64B apart
+
+  pm::SnoopBus packed_bus(4, pm::Protocol::kMesi, 64);
+  pm::SnoopBus padded_bus(4, pm::Protocol::kMesi, 64);
+  pm::run_trace(packed_bus, packed);
+  pm::run_trace(padded_bus, padded);
+
+  // Padded: each core faults its line once, then runs silently.
+  EXPECT_EQ(padded_bus.stats().invalidations, 0u);
+  // Packed: every write invalidates peers' copies, every read refetches.
+  EXPECT_GT(packed_bus.stats().invalidations, 100u);
+  EXPECT_GT(packed_bus.stats().bus_transactions(),
+            50 * padded_bus.stats().bus_transactions());
+}
+
+TEST(Coherence, ValidatesArguments) {
+  EXPECT_THROW(pm::SnoopBus(0, pm::Protocol::kMsi), std::invalid_argument);
+  pm::SnoopBus bus(2, pm::Protocol::kMsi);
+  EXPECT_THROW(bus.read(5, 0), std::out_of_range);
+  EXPECT_THROW(bus.write(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)pm::interleaved_counter_trace(0, 1, 8),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- paging ---
+
+TEST(Paging, LruOnKnownString) {
+  // CLRS/OS-textbook example: 1,2,3,4,1,2,5,1,2,3,4,5 with 3 frames.
+  const auto refs = pm::belady_reference_string();
+  const auto lru = pm::simulate_paging(refs, 3, pm::PageReplacement::kLru);
+  EXPECT_EQ(lru.faults, 10u);
+  const auto fifo = pm::simulate_paging(refs, 3, pm::PageReplacement::kFifo);
+  EXPECT_EQ(fifo.faults, 9u);
+  const auto opt =
+      pm::simulate_paging(refs, 3, pm::PageReplacement::kOptimal);
+  EXPECT_EQ(opt.faults, 7u);
+}
+
+TEST(Paging, BeladyAnomalyUnderFifo) {
+  const auto refs = pm::belady_reference_string();
+  const auto f3 = pm::simulate_paging(refs, 3, pm::PageReplacement::kFifo);
+  const auto f4 = pm::simulate_paging(refs, 4, pm::PageReplacement::kFifo);
+  // The anomaly: MORE frames, MORE faults (9 -> 10).
+  EXPECT_EQ(f3.faults, 9u);
+  EXPECT_EQ(f4.faults, 10u);
+  EXPECT_GT(f4.faults, f3.faults);
+}
+
+TEST(Paging, LruIsAnomalyFree) {
+  // LRU is a stack algorithm: faults are monotone non-increasing in frames.
+  const auto refs = pm::uniform_random(2000, 64 * 4096, 13);
+  std::vector<std::uint64_t> pages;
+  for (const auto& r : refs) pages.push_back(r.addr / 4096);
+  std::uint64_t prev = ~0ull;
+  for (std::size_t frames = 1; frames <= 32; frames *= 2) {
+    const auto r = pm::simulate_paging(pages, frames,
+                                       pm::PageReplacement::kLru);
+    EXPECT_LE(r.faults, prev);
+    prev = r.faults;
+  }
+}
+
+TEST(Paging, OptimalIsLowerBound) {
+  const auto refs = pm::uniform_random(3000, 32 * 4096, 99);
+  std::vector<std::uint64_t> pages;
+  for (const auto& r : refs) pages.push_back(r.addr / 4096);
+  for (std::size_t frames : {4u, 8u, 16u}) {
+    const auto opt =
+        pm::simulate_paging(pages, frames, pm::PageReplacement::kOptimal);
+    for (auto policy : {pm::PageReplacement::kFifo, pm::PageReplacement::kLru,
+                        pm::PageReplacement::kClock}) {
+      const auto r = pm::simulate_paging(pages, frames, policy);
+      EXPECT_GE(r.faults, opt.faults)
+          << pm::page_replacement_name(policy) << " frames=" << frames;
+    }
+  }
+}
+
+TEST(Paging, ClockApproximatesLru) {
+  const auto refs = pm::uniform_random(5000, 64 * 4096, 3);
+  std::vector<std::uint64_t> pages;
+  for (const auto& r : refs) pages.push_back(r.addr / 4096);
+  const auto lru = pm::simulate_paging(pages, 16, pm::PageReplacement::kLru);
+  const auto clock =
+      pm::simulate_paging(pages, 16, pm::PageReplacement::kClock);
+  // Clock should be within 15% of LRU on a random trace.
+  EXPECT_NEAR(static_cast<double>(clock.faults),
+              static_cast<double>(lru.faults),
+              0.15 * static_cast<double>(lru.faults));
+}
+
+TEST(Paging, ZeroFramesRejected) {
+  const auto refs = pm::belady_reference_string();
+  EXPECT_THROW(
+      (void)pm::simulate_paging(refs, 0, pm::PageReplacement::kLru),
+      std::invalid_argument);
+}
+
+TEST(Tlb, HitsOnLocality) {
+  pm::Tlb tlb(4, 4096);
+  EXPECT_FALSE(tlb.lookup(0x1000));  // cold
+  EXPECT_TRUE(tlb.lookup(0x1004));   // same page
+  EXPECT_TRUE(tlb.lookup(0x1FFF));
+  EXPECT_FALSE(tlb.lookup(0x2000));  // next page
+  EXPECT_EQ(tlb.hits(), 2u);
+  EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LruEvictionAndFlush) {
+  pm::Tlb tlb(2, 4096);
+  (void)tlb.lookup(0x0000);  // page 0
+  (void)tlb.lookup(0x1000);  // page 1
+  (void)tlb.lookup(0x0000);  // touch page 0
+  (void)tlb.lookup(0x2000);  // page 2 evicts page 1 (LRU)
+  EXPECT_TRUE(tlb.lookup(0x0000));
+  EXPECT_FALSE(tlb.lookup(0x1000));  // was evicted
+  tlb.flush();
+  EXPECT_FALSE(tlb.lookup(0x0000));  // all gone after flush
+}
+
+TEST(Coherence, InvariantsHoldOnDirectedWorkloads) {
+  for (auto proto : {pm::Protocol::kMsi, pm::Protocol::kMesi}) {
+    pm::SnoopBus bus(3, proto, 64);
+    bus.read(0, 0x100);
+    bus.read(1, 0x100);
+    EXPECT_TRUE(bus.invariants_hold());
+    bus.write(2, 0x100);
+    EXPECT_TRUE(bus.invariants_hold());
+    bus.read(0, 0x100);
+    bus.write(0, 0x140);
+    bus.write(1, 0x180);
+    EXPECT_TRUE(bus.invariants_hold());
+  }
+}
+
+TEST(Prefetch, HalvesSequentialMisses) {
+  pm::CacheConfig base;
+  base.total_size = 8 * 1024;
+  base.line_size = 64;
+  base.associativity = 4;
+  pm::CacheConfig pf = base;
+  pf.next_line_prefetch = true;
+
+  // Sequential stream much larger than the cache.
+  const auto trace = pm::strided(4096, 64);
+  pm::Cache plain(base), prefetching(pf);
+  pm::run_trace(plain, trace);
+  pm::run_trace(prefetching, trace);
+  // Next-line prefetch turns every second demand miss into a hit.
+  EXPECT_EQ(plain.stats().misses, 4096u);
+  EXPECT_EQ(prefetching.stats().misses, 2048u);
+  EXPECT_GT(prefetching.stats().prefetch_useful, 2000u);
+}
+
+TEST(Prefetch, PollutesOnRandomAccess) {
+  pm::CacheConfig base;
+  base.total_size = 4 * 1024;
+  base.line_size = 64;
+  base.associativity = 4;
+  pm::CacheConfig pf = base;
+  pf.next_line_prefetch = true;
+
+  const auto trace = pm::uniform_random(20000, 1 << 20, 3);
+  pm::Cache plain(base), prefetching(pf);
+  pm::run_trace(plain, trace);
+  pm::run_trace(prefetching, trace);
+  // Random access: prefetches are rarely useful and evict live lines, so
+  // the prefetching cache cannot beat the plain one by much — and most
+  // prefetch fills go unused.
+  EXPECT_GE(static_cast<double>(prefetching.stats().misses),
+            0.95 * static_cast<double>(plain.stats().misses));
+  EXPECT_LT(prefetching.stats().prefetch_useful,
+            prefetching.stats().prefetch_fills / 2);
+}
+
+// Property: hit/miss behavior is invariant under any whole-number-of-
+// "cache-image" translation (shifting every address by a multiple of
+// total_size maps tags but preserves sets/offsets).
+TEST(Cache, TranslationInvariance) {
+  pm::CacheConfig cfg;
+  cfg.total_size = 4 * 1024;
+  cfg.line_size = 64;
+  cfg.associativity = 2;
+  const auto base_trace = pm::uniform_random(5000, 64 * 1024, 21);
+  pm::Cache a(cfg), b(cfg);
+  pm::run_trace(a, base_trace);
+  pm::Trace shifted = base_trace;
+  for (auto& ref : shifted) ref.addr += 16 * cfg.total_size;
+  pm::run_trace(b, shifted);
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().misses, b.stats().misses);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+}

@@ -1,0 +1,356 @@
+// Tests for pdc::model — task-graph work/span analysis, the PRAM
+// simulator and its access-discipline enforcement, and the BSP cost model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "pdc/model/bsp.hpp"
+#include "pdc/model/pram.hpp"
+#include "pdc/model/task_graph.hpp"
+
+namespace md = pdc::model;
+
+// ------------------------------------------------------------ task graph ---
+
+TEST(TaskGraph, WorkAndSpanOfChain) {
+  md::TaskGraph g;
+  const auto a = g.add_task(2.0);
+  const auto b = g.add_task(3.0);
+  const auto c = g.add_task(5.0);
+  g.add_dependency(a, b);
+  g.add_dependency(b, c);
+  EXPECT_DOUBLE_EQ(g.total_work(), 10.0);
+  EXPECT_DOUBLE_EQ(g.span(), 10.0);  // a chain has no parallelism
+  EXPECT_DOUBLE_EQ(g.parallelism(), 1.0);
+}
+
+TEST(TaskGraph, WorkAndSpanOfDiamond) {
+  md::TaskGraph g;
+  const auto src = g.add_task(1.0);
+  const auto left = g.add_task(10.0);
+  const auto right = g.add_task(4.0);
+  const auto sink = g.add_task(1.0);
+  g.add_dependency(src, left);
+  g.add_dependency(src, right);
+  g.add_dependency(left, sink);
+  g.add_dependency(right, sink);
+  EXPECT_DOUBLE_EQ(g.total_work(), 16.0);
+  EXPECT_DOUBLE_EQ(g.span(), 12.0);  // 1 + 10 + 1 (heavier branch)
+  EXPECT_NEAR(g.parallelism(), 16.0 / 12.0, 1e-12);
+}
+
+TEST(TaskGraph, RejectsBadInput) {
+  md::TaskGraph g;
+  EXPECT_THROW((void)g.add_task(0.0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_task(-1.0), std::invalid_argument);
+  const auto a = g.add_task(1.0);
+  EXPECT_THROW(g.add_dependency(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_dependency(a, 99), std::out_of_range);
+}
+
+TEST(TaskGraph, DetectsCycle) {
+  md::TaskGraph g;
+  const auto a = g.add_task(1.0);
+  const auto b = g.add_task(1.0);
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  EXPECT_THROW((void)g.span(), std::runtime_error);
+  EXPECT_THROW((void)g.topological_order(), std::runtime_error);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsDeps) {
+  md::TaskGraph g;
+  std::vector<md::NodeId> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(g.add_task(1.0));
+  // Chain 0->1->...->9 plus some skip edges.
+  for (int i = 0; i + 1 < 10; ++i) g.add_dependency(nodes[i], nodes[i + 1]);
+  g.add_dependency(nodes[0], nodes[5]);
+  g.add_dependency(nodes[2], nodes[9]);
+  const auto order = g.topological_order();
+  std::vector<std::size_t> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (int i = 0; i + 1 < 10; ++i) EXPECT_LT(pos[nodes[i]], pos[nodes[i + 1]]);
+}
+
+TEST(TaskGraph, GreedyScheduleSatisfiesBrentBound) {
+  // Random DAGs: greedy makespan within [max(T1/P, Tinf), T1/P + Tinf].
+  std::mt19937 rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    md::TaskGraph g;
+    const int n = 30;
+    std::vector<md::NodeId> nodes;
+    for (int i = 0; i < n; ++i)
+      nodes.push_back(g.add_task(1.0 + static_cast<double>(rng() % 10)));
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        if (rng() % 5 == 0) g.add_dependency(nodes[i], nodes[j]);
+
+    const double t1 = g.total_work();
+    const double tinf = g.span();
+    for (int p : {1, 2, 4, 8}) {
+      const double tp = g.greedy_schedule_makespan(p);
+      EXPECT_GE(tp + 1e-9, std::max(t1 / p, tinf)) << "p=" << p;
+      EXPECT_LE(tp, g.brent_bound(p) + 1e-9) << "p=" << p;
+    }
+    // One processor executes all the work serially.
+    EXPECT_NEAR(g.greedy_schedule_makespan(1), t1, 1e-9);
+  }
+}
+
+TEST(TaskGraph, ReductionDagHasLogSpan) {
+  for (std::size_t n : {2u, 8u, 64u, 1024u}) {
+    const auto g = md::reduction_dag(n);
+    // Work: n leaves + n-1 combines.
+    EXPECT_DOUBLE_EQ(g.total_work(), static_cast<double>(2 * n - 1));
+    // Span: leaf + ceil(log2 n) combines.
+    const double expected_span = 1.0 + std::ceil(std::log2(n));
+    EXPECT_DOUBLE_EQ(g.span(), expected_span);
+  }
+}
+
+TEST(TaskGraph, ForkJoinSortDagParallelismIsLogarithmic) {
+  // Parallel merge sort with sequential merges: work Θ(n log n),
+  // span Θ(n) => parallelism Θ(log n). Doubling n should grow parallelism
+  // by roughly a constant, not double it.
+  const auto g1 = md::fork_join_sort_dag(1 << 10, 1);
+  const auto g2 = md::fork_join_sort_dag(1 << 14, 1);
+  EXPECT_GT(g2.parallelism(), g1.parallelism());
+  EXPECT_LT(g2.parallelism(), 2.5 * g1.parallelism());
+  // Span is dominated by the top merge: close to 2n for n >> 1.
+  EXPECT_GT(g2.span(), static_cast<double>(1 << 14));
+}
+
+// ----------------------------------------------------------------- pram ---
+
+TEST(Pram, StepReadsOldMemory) {
+  md::Pram pram(4, md::PramMode::kErew);
+  pram.poke(0, 10);
+  pram.poke(1, 20);
+  // Swap cells 0 and 1 in ONE synchronous step — only possible because
+  // reads see the pre-step image.
+  std::vector<md::PramRead> reads = {{0, 0}, {1, 1}};
+  std::vector<md::PramWrite> writes = {{0, 1, 10}, {1, 0, 20}};
+  const auto vals = pram.step(reads, writes);
+  EXPECT_EQ(vals[0], 10);
+  EXPECT_EQ(vals[1], 20);
+  EXPECT_EQ(pram.get(0), 20);
+  EXPECT_EQ(pram.get(1), 10);
+  EXPECT_EQ(pram.steps_executed(), 1);
+}
+
+TEST(Pram, ErewRejectsConcurrentReads) {
+  md::Pram pram(4, md::PramMode::kErew);
+  std::vector<md::PramRead> reads = {{0, 2}, {1, 2}};
+  EXPECT_THROW((void)pram.step(reads, {}), md::PramConflictError);
+}
+
+TEST(Pram, CrewAllowsConcurrentReadsRejectsConcurrentWrites) {
+  md::Pram pram(4, md::PramMode::kCrew);
+  std::vector<md::PramRead> reads = {{0, 2}, {1, 2}, {2, 2}};
+  EXPECT_NO_THROW((void)pram.step(reads, {}));
+  std::vector<md::PramWrite> writes = {{0, 3, 1}, {1, 3, 1}};
+  EXPECT_THROW((void)pram.step({}, writes), md::PramConflictError);
+}
+
+TEST(Pram, CrcwCommonRequiresAgreement) {
+  md::Pram pram(4, md::PramMode::kCrcwCommon);
+  std::vector<md::PramWrite> agree = {{0, 0, 7}, {1, 0, 7}};
+  EXPECT_NO_THROW((void)pram.step({}, agree));
+  EXPECT_EQ(pram.get(0), 7);
+  std::vector<md::PramWrite> disagree = {{0, 1, 7}, {1, 1, 8}};
+  EXPECT_THROW((void)pram.step({}, disagree), md::PramConflictError);
+}
+
+TEST(Pram, CrcwArbitraryLowestProcWins) {
+  md::Pram pram(4, md::PramMode::kCrcwArbitrary);
+  std::vector<md::PramWrite> writes = {{3, 0, 30}, {1, 0, 10}, {2, 0, 20}};
+  (void)pram.step({}, writes);
+  EXPECT_EQ(pram.get(0), 10);
+}
+
+TEST(Pram, SumReductionCorrectAndLogSteps) {
+  for (std::size_t n : {1u, 2u, 7u, 16u, 33u, 128u}) {
+    md::Pram pram(n, md::PramMode::kErew);
+    std::int64_t expect = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pram.poke(i, static_cast<std::int64_t>(i * 3 + 1));
+      expect += static_cast<std::int64_t>(i * 3 + 1);
+    }
+    EXPECT_EQ(md::pram_sum(pram, n), expect) << "n=" << n;
+    // Two synchronous steps per doubling round.
+    const int rounds =
+        n <= 1 ? 0 : static_cast<int>(std::ceil(std::log2(n)));
+    EXPECT_LE(pram.steps_executed(), 2 * rounds + 1) << "n=" << n;
+  }
+}
+
+TEST(Pram, PrefixSumCorrectOnCrew) {
+  const std::size_t n = 64;
+  md::Pram pram(n, md::PramMode::kCrew);
+  for (std::size_t i = 0; i < n; ++i)
+    pram.poke(i, static_cast<std::int64_t>(i + 1));
+  md::pram_prefix_sum(pram, n);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int64_t>(i + 1);
+    EXPECT_EQ(pram.get(i), acc) << "i=" << i;
+  }
+}
+
+TEST(Pram, PrefixSumNeedsConcurrentReads) {
+  // The same algorithm on an EREW machine must be rejected — an executable
+  // proof that Hillis-Steele is a CREW algorithm.
+  md::Pram pram(8, md::PramMode::kErew);
+  for (std::size_t i = 0; i < 8; ++i) pram.poke(i, 1);
+  EXPECT_THROW(md::pram_prefix_sum(pram, 8), md::PramConflictError);
+}
+
+TEST(Pram, CrcwMaxConstantSteps) {
+  for (std::size_t n : {1u, 4u, 9u, 32u}) {
+    md::Pram pram(2 * n, md::PramMode::kCrcwCommon);
+    std::int64_t expect = std::numeric_limits<std::int64_t>::min();
+    std::mt19937 rng(static_cast<unsigned>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v = static_cast<std::int64_t>(rng() % 1000);
+      pram.poke(i, v);
+      expect = std::max(expect, v);
+    }
+    EXPECT_EQ(md::pram_max_crcw(pram, n), expect) << "n=" << n;
+    // Constant number of synchronous steps, independent of n.
+    EXPECT_LE(pram.steps_executed(), 6) << "n=" << n;
+  }
+}
+
+TEST(Pram, MaxWithDuplicateMaximaStillCommon) {
+  md::Pram pram(8, md::PramMode::kCrcwCommon);
+  for (std::size_t i = 0; i < 4; ++i) pram.poke(i, 42);  // all equal
+  EXPECT_EQ(md::pram_max_crcw(pram, 4), 42);
+}
+
+TEST(Pram, BoundsChecking) {
+  md::Pram pram(4, md::PramMode::kCrew);
+  EXPECT_THROW((void)pram.get(10), std::out_of_range);
+  EXPECT_THROW(pram.poke(4, 1), std::out_of_range);
+  std::vector<md::PramRead> bad = {{0, 99}};
+  EXPECT_THROW((void)pram.step(bad, {}), std::out_of_range);
+  EXPECT_THROW(md::Pram(0, md::PramMode::kCrew), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ bsp ---
+
+TEST(Bsp, CostFormula) {
+  md::BspMachine m{4, 2.0, 50.0};
+  md::BspProgram prog;
+  prog.add_superstep(100.0, 10, "compute");
+  prog.add_superstep(20.0, 5, "exchange");
+  // cost = (100 + 2*10 + 50) + (20 + 2*5 + 50) = 170 + 80.
+  EXPECT_DOUBLE_EQ(prog.cost(m), 250.0);
+  const auto b = prog.breakdown(m);
+  EXPECT_DOUBLE_EQ(b.compute, 120.0);
+  EXPECT_DOUBLE_EQ(b.communicate, 30.0);
+  EXPECT_DOUBLE_EQ(b.synchronize, 100.0);
+}
+
+TEST(Bsp, TreeBroadcastBeatsFlatWhenGIsLarge) {
+  // Expensive communication, cheap barriers: the tree's h=1 supersteps win.
+  md::BspMachine expensive_comm{64, 100.0, 1.0};
+  const auto tree = md::bsp_broadcast(64, /*tree=*/true);
+  const auto flat = md::bsp_broadcast(64, /*tree=*/false);
+  EXPECT_LT(tree.cost(expensive_comm), flat.cost(expensive_comm));
+
+  // Cheap communication, very expensive barriers: flat's single superstep
+  // wins — the crossover CS41 asks students to find.
+  md::BspMachine expensive_sync{64, 1.0, 10000.0};
+  EXPECT_LT(flat.cost(expensive_sync), tree.cost(expensive_sync));
+}
+
+TEST(Bsp, BroadcastStructure) {
+  EXPECT_EQ(md::bsp_broadcast(8, true).supersteps(), 3u);   // log2(8)
+  EXPECT_EQ(md::bsp_broadcast(9, true).supersteps(), 4u);   // ceil(log2 9)
+  EXPECT_EQ(md::bsp_broadcast(8, false).supersteps(), 1u);
+  EXPECT_EQ(md::bsp_broadcast(1, false).step(0).h_relation, 0u);
+}
+
+TEST(Bsp, ReduceLocalWorkShrinksWithP) {
+  const auto r4 = md::bsp_reduce(1 << 20, 4);
+  const auto r16 = md::bsp_reduce(1 << 20, 16);
+  // More processors: less local work per superstep...
+  EXPECT_LT(r16.step(0).max_local_work, r4.step(0).max_local_work);
+  // ...but more combine supersteps.
+  EXPECT_GT(r16.supersteps(), r4.supersteps());
+}
+
+TEST(Bsp, SampleSortHasFivePhases) {
+  const auto prog = md::bsp_sample_sort(1 << 16, 8);
+  EXPECT_EQ(prog.supersteps(), 5u);
+  md::BspMachine m{8, 1.0, 100.0};
+  EXPECT_GT(prog.cost(m), 0.0);
+  // Local sort dominates for large n / small p.
+  EXPECT_GT(prog.step(0).max_local_work, prog.step(2).max_local_work);
+}
+
+TEST(Bsp, Validation) {
+  md::BspProgram prog;
+  EXPECT_THROW(prog.add_superstep(-1.0, 0), std::invalid_argument);
+  prog.add_superstep(1.0, 1);
+  EXPECT_THROW((void)prog.step(5), std::out_of_range);
+  EXPECT_THROW((void)md::bsp_broadcast(0, true), std::invalid_argument);
+  md::BspMachine bad{0, 1.0, 1.0};
+  EXPECT_THROW((void)prog.cost(bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- list ranking ---
+
+TEST(Pram, ListRankingOnChain) {
+  // A simple chain 0 -> 1 -> 2 -> ... -> n-1 (tail points to itself):
+  // rank of node i is n-1-i.
+  const std::size_t n = 16;
+  md::Pram pram(2 * n, md::PramMode::kCrew);
+  for (std::size_t i = 0; i < n; ++i)
+    pram.poke(i, static_cast<std::int64_t>(i + 1 < n ? i + 1 : i));
+  md::pram_list_rank(pram, n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(pram.get(n + i), static_cast<std::int64_t>(n - 1 - i))
+        << "node " << i;
+}
+
+TEST(Pram, ListRankingOnScrambledList) {
+  // A permuted linked list: build successor pointers from a random
+  // ordering and check ranks against the list walk.
+  const std::size_t n = 32;
+  std::mt19937 rng(8);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  md::Pram pram(2 * n, md::PramMode::kCrew);
+  for (std::size_t k = 0; k + 1 < n; ++k)
+    pram.poke(order[k], static_cast<std::int64_t>(order[k + 1]));
+  pram.poke(order[n - 1], static_cast<std::int64_t>(order[n - 1]));  // tail
+
+  md::pram_list_rank(pram, n);
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_EQ(pram.get(n + order[k]),
+              static_cast<std::int64_t>(n - 1 - k))
+        << "position " << k;
+}
+
+TEST(Pram, ListRankingLogarithmicSteps) {
+  const std::size_t n = 64;
+  md::Pram pram(2 * n, md::PramMode::kCrew);
+  for (std::size_t i = 0; i < n; ++i)
+    pram.poke(i, static_cast<std::int64_t>(i + 1 < n ? i + 1 : i));
+  md::pram_list_rank(pram, n);
+  // 4 synchronous steps per jumping round + 2 init steps; rounds = log2 n.
+  EXPECT_LE(pram.steps_executed(), 4 * 6 + 2);
+}
+
+TEST(Pram, ListRankingNeedsCrew) {
+  md::Pram pram(16, md::PramMode::kErew);
+  for (std::size_t i = 0; i < 8; ++i)
+    pram.poke(i, static_cast<std::int64_t>(i + 1 < 8 ? i + 1 : i));
+  // Near the tail many nodes share a successor: concurrent reads.
+  EXPECT_THROW(md::pram_list_rank(pram, 8), md::PramConflictError);
+}

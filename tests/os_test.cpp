@@ -1,0 +1,582 @@
+// Tests for pdc::os — process lifecycle (fork/exec/wait/exit, zombies,
+// orphans), signals, schedulers, pipes, and the shell.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pdc/os/kernel.hpp"
+#include "pdc/os/shell.hpp"
+
+namespace po = pdc::os;
+
+// ------------------------------------------------------------- lifecycle ---
+
+TEST(Kernel, SpawnRunExit) {
+  po::Kernel k;
+  const po::Pid pid = k.spawn({po::Print("hello"), po::Exit(7)}, "hello");
+  EXPECT_EQ(k.state(pid), po::ProcState::kReady);
+  k.run();
+  EXPECT_EQ(k.state(pid), po::ProcState::kReaped);  // init reaped it
+  EXPECT_EQ(k.exit_status(pid), 7);
+  ASSERT_EQ(k.console().size(), 1u);
+  EXPECT_EQ(k.console()[0], (po::ConsoleLine{pid, "hello"}));
+}
+
+TEST(Kernel, FallingOffEndIsExitZero) {
+  po::Kernel k;
+  const po::Pid pid = k.spawn({po::Print("x")});
+  k.run();
+  EXPECT_EQ(k.exit_status(pid), 0);
+}
+
+TEST(Kernel, ForkCreatesChildWithCorrectParent) {
+  po::Kernel k;
+  const po::Pid parent = k.spawn({
+      po::Fork({po::Exit(3)}),
+      po::Wait(),
+      po::Exit(0),
+  });
+  k.run();
+  // Parent reaped exactly one child with status 3.
+  ASSERT_EQ(k.waited(parent).size(), 1u);
+  EXPECT_EQ(k.waited(parent)[0].second, 3);
+  const po::Pid child = k.waited(parent)[0].first;
+  EXPECT_EQ(k.parent(child), parent);
+}
+
+TEST(Kernel, ChildIsZombieUntilParentWaits) {
+  po::Kernel k;
+  // Parent computes for a long time before waiting.
+  const po::Pid parent = k.spawn({
+      po::Fork({po::Exit(9)}),
+      po::Compute(50),
+      po::Wait(),
+      po::Exit(0),
+  });
+  // Tick until the child has exited but the parent hasn't waited yet.
+  po::Pid child = 0;
+  for (int i = 0; i < 20; ++i) {
+    k.tick();
+    const auto kids = k.children(parent);
+    if (!kids.empty() && k.state(kids[0]) == po::ProcState::kZombie) {
+      child = kids[0];
+      break;
+    }
+  }
+  ASSERT_NE(child, 0) << "child never became a zombie";
+  EXPECT_EQ(k.state(child), po::ProcState::kZombie);
+  k.run();
+  EXPECT_EQ(k.state(child), po::ProcState::kReaped);
+  ASSERT_EQ(k.waited(parent).size(), 1u);
+  EXPECT_EQ(k.waited(parent)[0], (std::pair<po::Pid, int>{child, 9}));
+}
+
+TEST(Kernel, OrphanReparentedToInitAndAutoReaped) {
+  po::Kernel k;
+  // Parent forks a slow child then exits immediately without waiting.
+  const po::Pid parent = k.spawn({
+      po::Fork({po::Compute(30), po::Exit(5)}),
+      po::Exit(0),
+  });
+  k.tick();  // fork
+  const auto kids = k.children(parent);
+  ASSERT_EQ(kids.size(), 1u);
+  const po::Pid child = kids[0];
+  k.run();
+  // Child was reparented to init and auto-reaped on exit.
+  EXPECT_EQ(k.parent(child), po::kInitPid);
+  EXPECT_EQ(k.state(child), po::ProcState::kReaped);
+  EXPECT_EQ(k.exit_status(child), 5);
+}
+
+TEST(Kernel, WaitWithNoChildrenReturnsImmediately) {
+  po::Kernel k;
+  const po::Pid pid = k.spawn({po::Wait(), po::Print("after"), po::Exit(0)});
+  k.run();
+  EXPECT_EQ(k.exit_status(pid), 0);
+  ASSERT_EQ(k.console().size(), 1u);
+  EXPECT_EQ(k.console()[0].text, "after");
+}
+
+TEST(Kernel, WaitBlocksUntilChildExits) {
+  po::Kernel k;
+  const po::Pid parent = k.spawn({
+      po::Fork({po::Compute(20), po::Exit(1)}),
+      po::Wait(),
+      po::Print("reaped"),
+      po::Exit(0),
+  });
+  k.tick();  // fork executes
+  k.tick();  // parent hits Wait and blocks
+  k.tick();
+  EXPECT_EQ(k.state(parent), po::ProcState::kBlocked);
+  k.run();
+  EXPECT_EQ(k.console().back().text, "reaped");
+}
+
+TEST(Kernel, ExecReplacesProgram) {
+  po::Kernel k;
+  const po::Pid pid = k.spawn({
+      po::Print("before"),
+      po::Exec({po::Print("after"), po::Exit(2)}),
+      po::Print("never"),  // unreachable: exec replaced the image
+  });
+  k.run();
+  ASSERT_EQ(k.console().size(), 2u);
+  EXPECT_EQ(k.console()[0].text, "before");
+  EXPECT_EQ(k.console()[1].text, "after");
+  EXPECT_EQ(k.exit_status(pid), 2);
+}
+
+TEST(Kernel, NestedForkTree) {
+  po::Kernel k;
+  // Parent forks a child which forks a grandchild; both wait.
+  const po::Pid root = k.spawn({
+      po::Fork({
+          po::Fork({po::Exit(30)}),
+          po::Wait(),
+          po::Exit(20),
+      }),
+      po::Wait(),
+      po::Exit(10),
+  });
+  k.run();
+  EXPECT_EQ(k.exit_status(root), 10);
+  ASSERT_EQ(k.waited(root).size(), 1u);
+  EXPECT_EQ(k.waited(root)[0].second, 20);
+}
+
+// --------------------------------------------------------------- signals ---
+
+TEST(Signals, SigKillTerminates) {
+  po::Kernel k;
+  const po::Pid pid = k.spawn({po::Compute(1000), po::Exit(0)});
+  k.tick();
+  k.kill(pid, po::Signal::kSigKill);
+  k.run();
+  EXPECT_EQ(k.state(pid), po::ProcState::kReaped);
+  EXPECT_EQ(k.exit_status(pid),
+            128 + static_cast<int>(po::Signal::kSigKill));
+}
+
+TEST(Signals, DefaultTermKillsIgnoreDoesNot) {
+  po::Kernel k;
+  const po::Pid victim = k.spawn({po::Compute(100), po::Exit(0)}, "victim");
+  const po::Pid tough = k.spawn(
+      {po::InstallHandler(po::Signal::kSigTerm, po::Disposition::kIgnore),
+       po::Compute(100), po::Exit(42)},
+      "tough");
+  // Let both processes run past their first op (quantum interleaving), so
+  // "tough" has installed its handler before the signal arrives.
+  for (int i = 0; i < 6; ++i) k.tick();
+  k.kill(victim, po::Signal::kSigTerm);
+  k.kill(tough, po::Signal::kSigTerm);
+  k.run();
+  EXPECT_EQ(k.exit_status(victim),
+            128 + static_cast<int>(po::Signal::kSigTerm));
+  EXPECT_EQ(k.exit_status(tough), 42);  // ignored the signal
+}
+
+TEST(Signals, HandlerRecordsDelivery) {
+  po::Kernel k;
+  const po::Pid pid = k.spawn({
+      po::InstallHandler(po::Signal::kSigUsr1, po::Disposition::kHandle),
+      po::Compute(50),
+      po::Exit(0),
+  });
+  k.tick();  // install
+  k.kill(pid, po::Signal::kSigUsr1);
+  k.kill(pid, po::Signal::kSigUsr1);
+  k.run();
+  EXPECT_EQ(k.handled_count(pid, po::Signal::kSigUsr1), 2);
+  EXPECT_EQ(k.exit_status(pid), 0);  // survived
+}
+
+TEST(Signals, SigKillCannotBeCaughtOrIgnored) {
+  po::Kernel k;
+  const po::Pid pid = k.spawn({
+      po::InstallHandler(po::Signal::kSigKill, po::Disposition::kIgnore),
+      po::Compute(100),
+      po::Exit(0),
+  });
+  k.tick();
+  k.kill(pid, po::Signal::kSigKill);
+  k.run();
+  EXPECT_EQ(k.exit_status(pid),
+            128 + static_cast<int>(po::Signal::kSigKill));
+}
+
+TEST(Signals, ParentGetsSigchldOnChildExit) {
+  po::Kernel k;
+  const po::Pid parent = k.spawn({
+      po::InstallHandler(po::Signal::kSigChld, po::Disposition::kHandle),
+      po::Fork({po::Exit(0)}),
+      po::Compute(20),
+      po::Wait(),
+      po::Exit(0),
+  });
+  k.run();
+  EXPECT_EQ(k.handled_count(parent, po::Signal::kSigChld), 1);
+}
+
+TEST(Signals, KillLastChildFromParent) {
+  po::Kernel k;
+  const po::Pid parent = k.spawn({
+      po::Fork({po::Compute(1000), po::Exit(0)}),  // runs "forever"
+      po::Kill(po::kLastChild, po::Signal::kSigKill),
+      po::Wait(),
+      po::Exit(0),
+  });
+  k.run(5000);
+  ASSERT_EQ(k.waited(parent).size(), 1u);
+  EXPECT_EQ(k.waited(parent)[0].second,
+            128 + static_cast<int>(po::Signal::kSigKill));
+}
+
+TEST(Signals, SignalUnblocksWaitingProcessByKillingIt) {
+  po::Kernel k;
+  // Process waits on a child that never exits; SIGTERM ends the wait.
+  const po::Pid pid = k.spawn({
+      po::Fork({po::Compute(100000), po::Exit(0)}),
+      po::Wait(),
+      po::Exit(0),
+  });
+  k.tick();
+  k.tick();
+  EXPECT_EQ(k.state(pid), po::ProcState::kBlocked);
+  k.kill(pid, po::Signal::kSigTerm);
+  k.tick();
+  EXPECT_TRUE(k.state(pid) == po::ProcState::kZombie ||
+              k.state(pid) == po::ProcState::kReaped);
+  // Clean up the runaway child.
+  for (po::Pid c : k.children(po::kInitPid)) k.kill(c, po::Signal::kSigKill);
+  k.run();
+}
+
+// ------------------------------------------------------------- scheduling ---
+
+TEST(Scheduler, RoundRobinInterleavesByQuantum) {
+  po::KernelConfig cfg;
+  cfg.quantum = 2;
+  po::Kernel k(cfg);
+  const po::Pid a = k.spawn({po::Compute(4), po::Exit(0)}, "a");
+  const po::Pid b = k.spawn({po::Compute(4), po::Exit(0)}, "b");
+  k.run();
+  // Trace: a a b b a a b b (then exits).
+  const auto& trace = k.schedule_trace();
+  ASSERT_GE(trace.size(), 8u);
+  EXPECT_EQ(trace[0], a);
+  EXPECT_EQ(trace[1], a);
+  EXPECT_EQ(trace[2], b);
+  EXPECT_EQ(trace[3], b);
+  EXPECT_EQ(trace[4], a);
+}
+
+TEST(Scheduler, PriorityRunsHighFirst) {
+  po::KernelConfig cfg;
+  cfg.scheduler = po::SchedulerKind::kPriority;
+  po::Kernel k(cfg);
+  const po::Pid low = k.spawn({po::Compute(3), po::Exit(0)}, "low", 1);
+  const po::Pid high = k.spawn({po::Compute(3), po::Exit(0)}, "high", 5);
+  k.run();
+  const auto& trace = k.schedule_trace();
+  // High-priority process runs to completion before low ever runs.
+  const auto first_low = std::find(trace.begin(), trace.end(), low);
+  const auto last_high =
+      std::find(trace.rbegin(), trace.rend(), high).base();
+  ASSERT_NE(first_low, trace.end());
+  EXPECT_GE(first_low, last_high - 1);
+}
+
+TEST(Scheduler, YieldGivesUpSlice) {
+  po::KernelConfig cfg;
+  cfg.quantum = 10;
+  po::Kernel k(cfg);
+  const po::Pid a = k.spawn({po::Yield(), po::Compute(2), po::Exit(0)}, "a");
+  const po::Pid b = k.spawn({po::Compute(2), po::Exit(0)}, "b");
+  k.run();
+  const auto& trace = k.schedule_trace();
+  // a runs once (the yield), then b gets the CPU despite a's big quantum.
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_EQ(trace[0], a);
+  EXPECT_EQ(trace[1], b);
+}
+
+// ----------------------------------------------------------------- pipes ---
+
+TEST(Pipes, WriterToReaderDeliversLines) {
+  po::Kernel k;
+  const po::Pid writer = k.spawn({
+      po::Print("one"),
+      po::Print("two"),
+      po::Exit(0),
+  });
+  const po::Pid reader = k.spawn({po::Read(), po::Read(), po::Exit(0)});
+  const po::PipeId pipe = k.create_pipe();
+  k.connect_stdout(writer, pipe);
+  k.connect_stdin(reader, pipe);
+  k.run();
+  ASSERT_EQ(k.reads(reader).size(), 2u);
+  EXPECT_EQ(k.reads(reader)[0], "one");
+  EXPECT_EQ(k.reads(reader)[1], "two");
+  EXPECT_TRUE(k.console().empty());  // nothing reached the console
+}
+
+TEST(Pipes, ReaderBlocksThenWakes) {
+  po::Kernel k;
+  const po::Pid reader = k.spawn({po::Read(), po::Exit(0)});
+  const po::Pid writer = k.spawn({po::Compute(10), po::Print("late"),
+                                  po::Exit(0)});
+  const po::PipeId pipe = k.create_pipe();
+  k.connect_stdout(writer, pipe);
+  k.connect_stdin(reader, pipe);
+  // Reader blocks first.
+  k.tick();
+  k.tick();
+  EXPECT_EQ(k.state(reader), po::ProcState::kBlocked);
+  k.run();
+  ASSERT_EQ(k.reads(reader).size(), 1u);
+  EXPECT_EQ(k.reads(reader)[0], "late");
+}
+
+TEST(Pipes, ReadAllStopsAtEof) {
+  po::Kernel k;
+  const po::Pid writer = k.spawn({
+      po::Print("a"),
+      po::Print("b"),
+      po::Print("c"),
+      po::Exit(0),
+  });
+  const po::Pid reader = k.spawn({po::ReadAll(), po::Exit(0)});
+  const po::PipeId pipe = k.create_pipe();
+  k.connect_stdout(writer, pipe);
+  k.connect_stdin(reader, pipe);
+  k.run();
+  EXPECT_EQ(k.reads(reader).size(), 3u);
+}
+
+TEST(Pipes, ReadFromConsoleStdinIsEof) {
+  po::Kernel k;
+  const po::Pid pid = k.spawn({po::Read(), po::Print("done"), po::Exit(0)});
+  k.run();
+  EXPECT_TRUE(k.reads(pid).empty());
+  EXPECT_EQ(k.console().back().text, "done");
+}
+
+// ----------------------------------------------------------------- shell ---
+
+TEST(ShellParse, SimpleCommand) {
+  const auto jobs = po::parse_command_line("echo hello world");
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_EQ(jobs[0].commands.size(), 1u);
+  EXPECT_EQ(jobs[0].commands[0].name, "echo");
+  EXPECT_EQ(jobs[0].commands[0].args,
+            (std::vector<std::string>{"hello", "world"}));
+  EXPECT_FALSE(jobs[0].background);
+}
+
+TEST(ShellParse, PipelineAndBackground) {
+  const auto jobs = po::parse_command_line("yes y 5 | cat &");
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_EQ(jobs[0].commands.size(), 2u);
+  EXPECT_EQ(jobs[0].commands[0].name, "yes");
+  EXPECT_EQ(jobs[0].commands[1].name, "cat");
+  EXPECT_TRUE(jobs[0].background);
+}
+
+TEST(ShellParse, MultipleJobsAndErrors) {
+  const auto jobs = po::parse_command_line("true; false; echo hi");
+  EXPECT_EQ(jobs.size(), 3u);
+  EXPECT_THROW((void)po::parse_command_line("a | | b"),
+               std::invalid_argument);
+  EXPECT_THROW((void)po::parse_command_line("&"), std::invalid_argument);
+  EXPECT_TRUE(po::parse_command_line("   ").empty());
+}
+
+TEST(Shell, EchoToConsole) {
+  po::Kernel k;
+  po::Shell shell(k, po::CommandRegistry::standard());
+  shell.execute("echo hello shell");
+  ASSERT_EQ(k.console().size(), 1u);
+  EXPECT_EQ(k.console()[0].text, "hello shell");
+}
+
+TEST(Shell, PipelineEchoIntoCat) {
+  po::Kernel k;
+  po::Shell shell(k, po::CommandRegistry::standard());
+  shell.execute("yes hi 3 | cat");
+  ASSERT_EQ(k.console().size(), 3u);
+  for (const auto& line : k.console()) EXPECT_EQ(line.text, "hi");
+}
+
+TEST(Shell, ThreeStagePipeline) {
+  po::Kernel k;
+  po::Shell shell(k, po::CommandRegistry::standard());
+  shell.execute("yes x 2 | cat | cat");
+  ASSERT_EQ(k.console().size(), 2u);
+  EXPECT_EQ(k.console()[0].text, "x");
+}
+
+TEST(Shell, BackgroundJobRunsConcurrently) {
+  po::Kernel k;
+  po::Shell shell(k, po::CommandRegistry::standard());
+  shell.execute("sleep 50 &");
+  EXPECT_EQ(shell.active_jobs().size(), 1u);  // still running
+  shell.execute("echo fg");                   // foreground completes first
+  EXPECT_EQ(k.console().back().text, "fg");
+  EXPECT_EQ(shell.active_jobs().size(), 1u);
+  shell.wait_all();
+  EXPECT_TRUE(shell.active_jobs().empty());
+}
+
+TEST(Shell, UnknownCommandThrowsBeforeSpawning) {
+  po::Kernel k;
+  po::Shell shell(k, po::CommandRegistry::standard());
+  const auto before = k.process_count();
+  EXPECT_THROW(shell.execute("echo ok | no-such-cmd"),
+               std::invalid_argument);
+  EXPECT_EQ(k.process_count(), before);  // nothing was spawned
+}
+
+TEST(Shell, ExitStatusVisible) {
+  po::Kernel k;
+  po::Shell shell(k, po::CommandRegistry::standard());
+  const auto pids = shell.execute("false");
+  ASSERT_EQ(pids.size(), 1u);
+  EXPECT_EQ(k.exit_status(pids[0]), 1);
+}
+
+// ------------------------------------------------------------------ mlfq ---
+
+TEST(Mlfq, CpuHogIsDemotedInteractiveStaysHigh) {
+  po::KernelConfig cfg;
+  cfg.scheduler = po::SchedulerKind::kMlfq;
+  cfg.quantum = 2;
+  po::Kernel k(cfg);
+  const po::Pid hog = k.spawn({po::Compute(100), po::Exit(0)}, "hog");
+  // Run long enough for the hog to burn several quanta.
+  for (int i = 0; i < 20; ++i) k.tick();
+  EXPECT_GT(k.mlfq_level(hog), 0);  // demoted
+  k.kill(hog, po::Signal::kSigKill);
+  k.run();
+}
+
+TEST(Mlfq, BlockedProcessBoostsToTopOnWake) {
+  po::KernelConfig cfg;
+  cfg.scheduler = po::SchedulerKind::kMlfq;
+  cfg.quantum = 1;
+  po::Kernel k(cfg);
+  // Reader blocks on an empty pipe; a slow writer eventually feeds it.
+  const po::Pid reader =
+      k.spawn({po::Compute(6),  // get demoted first
+               po::Read(), po::Exit(0)},
+              "reader");
+  const po::Pid writer = k.spawn(
+      {po::Compute(10), po::Print("data"), po::Exit(0)}, "writer");
+  const po::PipeId pipe = k.create_pipe();
+  k.connect_stdout(writer, pipe);
+  k.connect_stdin(reader, pipe);
+  // Run until the reader has blocked at a demoted level.
+  int guard = 0;
+  while (k.state(reader) != po::ProcState::kBlocked && guard++ < 50)
+    k.tick();
+  ASSERT_EQ(k.state(reader), po::ProcState::kBlocked);
+  EXPECT_GT(k.mlfq_level(reader), 0);
+  k.run();
+  EXPECT_EQ(k.exit_status(reader), 0);
+  ASSERT_EQ(k.reads(reader).size(), 1u);
+}
+
+TEST(Mlfq, InteractiveBeatsCpuHogAfterWake) {
+  // Classic MLFQ property: once the interactive process wakes, it
+  // preempts the demoted CPU hog at the next scheduling decision.
+  po::KernelConfig cfg;
+  cfg.scheduler = po::SchedulerKind::kMlfq;
+  cfg.quantum = 2;
+  po::Kernel k(cfg);
+  const po::Pid hog = k.spawn({po::Compute(1000), po::Exit(0)}, "hog");
+  const po::Pid io = k.spawn({po::Read(), po::Print("hi"), po::Exit(0)},
+                             "io");
+  const po::PipeId pipe = k.create_pipe();
+  const po::Pid feeder =
+      k.spawn({po::Compute(8), po::Print("x"), po::Exit(0)}, "feeder");
+  k.connect_stdout(feeder, pipe);
+  k.connect_stdin(io, pipe);
+  // Run until io exits; it should finish long before the hog.
+  int guard = 0;
+  while (k.state(io) != po::ProcState::kReaped && guard++ < 200) k.tick();
+  EXPECT_EQ(k.state(io), po::ProcState::kReaped);
+  EXPECT_NE(k.state(hog), po::ProcState::kReaped);  // hog still grinding
+  k.kill(hog, po::Signal::kSigKill);
+  k.run();
+}
+
+// --------------------------------------------------------- bounded pipes ---
+
+TEST(Pipes, BoundedPipeBlocksWriterUntilDrained) {
+  po::Kernel k;
+  const po::Pid writer = k.spawn({
+      po::Print("1"), po::Print("2"), po::Print("3"), po::Print("4"),
+      po::Exit(0),
+  });
+  const po::Pid reader = k.spawn({
+      po::Compute(20),  // let the writer fill the pipe and block
+      po::Read(), po::Read(), po::Read(), po::Read(),
+      po::Exit(0),
+  });
+  const po::PipeId pipe = k.create_pipe(/*capacity=*/2);
+  k.connect_stdout(writer, pipe);
+  k.connect_stdin(reader, pipe);
+
+  // Run a few ticks: writer must be blocked with exactly 2 lines queued.
+  bool saw_blocked_writer = false;
+  for (int i = 0; i < 15 && !saw_blocked_writer; ++i) {
+    k.tick();
+    saw_blocked_writer = k.state(writer) == po::ProcState::kBlocked;
+  }
+  EXPECT_TRUE(saw_blocked_writer);
+  k.run();
+  ASSERT_EQ(k.reads(reader).size(), 4u);
+  EXPECT_EQ(k.reads(reader)[3], "4");
+}
+
+TEST(Pipes, BoundedCatPipelineCompletes) {
+  // cat (ReadAll + PrintReads) through a capacity-1 pipe: PrintReads must
+  // block and resume mid-output without duplicating lines.
+  po::Kernel k;
+  const po::Pid producer = k.spawn({
+      po::Print("a"), po::Print("b"), po::Print("c"), po::Print("d"),
+      po::Exit(0),
+  });
+  const po::Pid cat = k.spawn({po::ReadAll(), po::PrintReads(), po::Exit(0)});
+  const po::Pid sink = k.spawn({
+      po::Read(), po::Compute(10), po::Read(), po::Read(), po::Read(),
+      po::Exit(0),
+  });
+  const po::PipeId front = k.create_pipe(2);
+  const po::PipeId back = k.create_pipe(1);
+  k.connect_stdout(producer, front);
+  k.connect_stdin(cat, front);
+  k.connect_stdout(cat, back);
+  k.connect_stdin(sink, back);
+  k.run();
+  ASSERT_EQ(k.reads(sink).size(), 4u);
+  EXPECT_EQ(k.reads(sink)[0], "a");
+  EXPECT_EQ(k.reads(sink)[3], "d");
+}
+
+// ---------------------------------------------------------- weak scaling ---
+
+TEST(Shell, MultipleBackgroundJobsTrackedIndependently) {
+  po::Kernel k;
+  po::Shell shell(k, po::CommandRegistry::standard());
+  shell.execute("sleep 40 &");
+  shell.execute("sleep 5 &");
+  EXPECT_EQ(shell.active_jobs().size(), 2u);
+  // Drive the kernel until the short job finishes.
+  for (int i = 0; i < 30 && shell.active_jobs().size() > 1; ++i) k.tick();
+  EXPECT_EQ(shell.active_jobs().size(), 1u);
+  shell.wait_all();
+  EXPECT_TRUE(shell.active_jobs().empty());
+}

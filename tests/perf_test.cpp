@@ -1,0 +1,298 @@
+// Unit and property tests for pdc::perf — statistics, speedup laws,
+// scaling tables, and the strong-scaling study runner.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "pdc/perf/laws.hpp"
+#include "pdc/perf/scalability.hpp"
+#include "pdc/perf/stats.hpp"
+#include "pdc/perf/table.hpp"
+#include "pdc/perf/timer.hpp"
+
+namespace pp = pdc::perf;
+
+// ---------------------------------------------------------------- stats ---
+
+TEST(Stats, EmptyInputGivesZeroSummary) {
+  const pp::Summary s = pp::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const std::vector<double> xs = {42.0};
+  const pp::Summary s = pp::summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const pp::Summary s = pp::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev with n-1: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Stats, MedianOddCount) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(pp::summarize(xs).median, 2.0);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  const std::vector<double> xs = {1.5, -2.0, 8.25, 0.0, 3.75, 3.75};
+  pp::RunningStats rs;
+  for (double x : xs) rs.push(x);
+  const pp::Summary s = pp::summarize(xs);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  pp::RunningStats a, b, all;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 4 ? a : b).push(xs[i]);
+    all.push(xs[i]);
+  }
+  const pp::RunningStats m = pp::merge(a, b);
+  EXPECT_EQ(m.count(), all.count());
+  EXPECT_NEAR(m.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(m.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), all.min());
+  EXPECT_DOUBLE_EQ(m.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  pp::RunningStats a, empty;
+  a.push(3.0);
+  a.push(5.0);
+  const pp::RunningStats m = pp::merge(a, empty);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.mean(), 4.0);
+}
+
+// ----------------------------------------------------------------- laws ---
+
+TEST(Laws, SpeedupAndEfficiency) {
+  EXPECT_DOUBLE_EQ(pp::speedup(10.0, 2.5), 4.0);
+  EXPECT_DOUBLE_EQ(pp::efficiency(10.0, 2.5, 8), 0.5);
+  EXPECT_THROW((void)pp::speedup(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Laws, AmdahlKnownPoints) {
+  // f=0: perfect speedup.
+  EXPECT_DOUBLE_EQ(pp::amdahl_speedup(0.0, 16), 16.0);
+  // f=1: no speedup.
+  EXPECT_DOUBLE_EQ(pp::amdahl_speedup(1.0, 16), 1.0);
+  // f=0.5, p=2 -> 1/(0.5+0.25) = 4/3.
+  EXPECT_NEAR(pp::amdahl_speedup(0.5, 2), 4.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)pp::amdahl_speedup(-0.1, 2), std::invalid_argument);
+  EXPECT_THROW((void)pp::amdahl_speedup(0.5, 0), std::invalid_argument);
+}
+
+TEST(Laws, AmdahlMonotoneInPAndBounded) {
+  const double f = 0.1;
+  double prev = 0.0;
+  for (int p = 1; p <= 1024; p *= 2) {
+    const double s = pp::amdahl_speedup(f, p);
+    EXPECT_GT(s, prev);
+    EXPECT_LE(s, pp::amdahl_limit(f) + 1e-9);
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(pp::amdahl_limit(0.1), 10.0);
+  EXPECT_TRUE(std::isinf(pp::amdahl_limit(0.0)));
+}
+
+TEST(Laws, GustafsonKnownPoints) {
+  EXPECT_DOUBLE_EQ(pp::gustafson_speedup(0.0, 8), 8.0);
+  EXPECT_DOUBLE_EQ(pp::gustafson_speedup(1.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(pp::gustafson_speedup(0.5, 3), 2.0);
+}
+
+TEST(Laws, GustafsonExceedsAmdahlForSameFraction) {
+  // Scaled speedup is always at least as optimistic.
+  for (int p = 2; p <= 64; p *= 2)
+    EXPECT_GE(pp::gustafson_speedup(0.2, p), pp::amdahl_speedup(0.2, p));
+}
+
+TEST(Laws, KarpFlattRecoversAmdahlFraction) {
+  // If measured speedup follows Amdahl exactly, Karp-Flatt returns f.
+  const double f = 0.07;
+  for (int p : {2, 4, 8, 16}) {
+    const double s = pp::amdahl_speedup(f, p);
+    EXPECT_NEAR(pp::karp_flatt(s, p), f, 1e-12);
+  }
+  EXPECT_THROW((void)pp::karp_flatt(1.0, 1), std::invalid_argument);
+}
+
+TEST(Laws, ScalingTableUsesOneThreadBaseline) {
+  const std::vector<int> threads = {1, 2, 4};
+  const std::vector<double> secs = {8.0, 4.0, 2.5};
+  const auto rows = pp::scaling_table(threads, secs);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].speedup, 2.0);
+  EXPECT_DOUBLE_EQ(rows[1].efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(rows[2].speedup, 3.2);
+  EXPECT_TRUE(std::isnan(rows[0].karp_flatt));
+  EXPECT_FALSE(std::isnan(rows[2].karp_flatt));
+}
+
+TEST(Laws, ScalingTableSizeMismatchThrows) {
+  const std::vector<int> threads = {1, 2};
+  const std::vector<double> secs = {1.0};
+  EXPECT_THROW((void)pp::scaling_table(threads, secs), std::invalid_argument);
+}
+
+TEST(Laws, AmdahlFitRecoversFraction) {
+  // Generate perfect Amdahl data and check the fit recovers f.
+  const double f = 0.15;
+  std::vector<int> threads = {1, 2, 4, 8, 16};
+  std::vector<double> secs;
+  for (int p : threads) secs.push_back(100.0 / pp::amdahl_speedup(f, p));
+  const auto rows = pp::scaling_table(threads, secs);
+  EXPECT_NEAR(pp::fit_amdahl_serial_fraction(rows), f, 1e-9);
+}
+
+// Parameterized sweep: the fit must recover any serial fraction.
+class AmdahlFitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AmdahlFitSweep, RoundTrips) {
+  const double f = GetParam();
+  std::vector<int> threads = {1, 2, 3, 4, 6, 8, 12, 16};
+  std::vector<double> secs;
+  for (int p : threads) secs.push_back(3.5 / pp::amdahl_speedup(f, p));
+  const auto rows = pp::scaling_table(threads, secs);
+  EXPECT_NEAR(pp::fit_amdahl_serial_fraction(rows), f, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialFractions, AmdahlFitSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.1, 0.25, 0.5,
+                                           0.75, 1.0));
+
+// ---------------------------------------------------------------- table ---
+
+TEST(Table, AlignsAndCounts) {
+  pp::Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide-cell", "x", "y"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("wide-cell"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsBadRow) {
+  pp::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(pp::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(pp::fmt_count(1500.0), "1.5K");
+  EXPECT_EQ(pp::fmt_count(2500000.0), "2.5M");
+  EXPECT_EQ(pp::fmt_count(7.0), "7");
+}
+
+// ---------------------------------------------------------------- timer ---
+
+TEST(Timer, MeasuresSleep) {
+  pp::Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.elapsed_seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Timer, RestartResets) {
+  pp::Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.restart();
+  EXPECT_LT(t.elapsed_seconds(), 0.010);
+}
+
+TEST(Timer, BestOfIsMinimum) {
+  int calls = 0;
+  const double best = pp::time_best_of(3, [&] {
+    ++calls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 * calls));
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_LT(best, 0.010);  // the 2ms first call should be the min
+}
+
+// ----------------------------------------------------------- scalability ---
+
+TEST(Scalability, StudyProducesOnePointPerThreadCount) {
+  pp::StudyConfig cfg;
+  cfg.thread_counts = {1, 2};
+  cfg.repetitions = 1;
+  cfg.warmup = false;
+  const auto result = pp::run_strong_scaling(cfg, [](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].threads, 1);
+  EXPECT_EQ(result.points[1].threads, 2);
+  EXPECT_GT(result.points[0].seconds, 0.0);
+  const std::string table = result.to_table();
+  EXPECT_NE(table.find("threads"), std::string::npos);
+  EXPECT_NE(table.find("amdahl fit"), std::string::npos);
+}
+
+TEST(Scalability, RejectsBadConfig) {
+  pp::StudyConfig cfg;
+  cfg.thread_counts = {};
+  EXPECT_THROW((void)pp::run_strong_scaling(cfg, [](int) {}),
+               std::invalid_argument);
+  cfg.thread_counts = {0};
+  EXPECT_THROW((void)pp::run_strong_scaling(cfg, [](int) {}),
+               std::invalid_argument);
+  cfg.thread_counts = {1};
+  cfg.repetitions = 0;
+  EXPECT_THROW((void)pp::run_strong_scaling(cfg, [](int) {}),
+               std::invalid_argument);
+}
+
+TEST(Scalability, WeakScalingReportsScaledEfficiency) {
+  pp::StudyConfig cfg;
+  cfg.thread_counts = {1, 2};
+  cfg.repetitions = 1;
+  cfg.warmup = false;
+  // Perfectly flat workload: efficiency ~1 at every point.
+  const auto result = pp::run_weak_scaling(cfg, [](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_EQ(result.points[0].threads, 1);
+  EXPECT_NEAR(result.points[0].scaled_efficiency, 1.0, 1e-9);
+  EXPECT_GT(result.points[1].scaled_efficiency, 0.5);
+  EXPECT_NE(result.to_table().find("scaled efficiency"), std::string::npos);
+}
+
+TEST(Scalability, WeakScalingRejectsBadConfig) {
+  pp::StudyConfig cfg;
+  cfg.thread_counts = {};
+  EXPECT_THROW((void)pp::run_weak_scaling(cfg, [](int) {}),
+               std::invalid_argument);
+}
