@@ -3,7 +3,10 @@
 // schedules (static / dynamic / guided) the CS87 programming unit compares.
 //
 // Semantics mirror `#pragma omp parallel for schedule(...)`: a team of
-// `threads` workers is forked for the loop and joined at the end.
+// `threads` workers executes the loop and joins at the end. Regions run on
+// the persistent TeamPool by default (the OpenMP-runtime model: parked
+// workers released per region); set `ForOptions::reuse_pool = false` for
+// the original fork-one-thread-per-region behavior.
 
 #include <algorithm>
 #include <atomic>
@@ -25,6 +28,8 @@ struct ForOptions {
   Schedule schedule = Schedule::kStatic;
   /// Chunk size for dynamic/guided (and the minimum chunk for guided).
   std::size_t chunk = 64;
+  /// Execute on the persistent TeamPool (default) or fork per region.
+  bool reuse_pool = true;
 };
 
 /// Apply `body(i)` for every i in [begin, end). `body` must be safe to call
@@ -41,9 +46,10 @@ void parallel_for(std::size_t begin, std::size_t end, const ForOptions& opt,
     return;
   }
 
+  const TeamOptions team_opt{.reuse_pool = opt.reuse_pool};
   switch (opt.schedule) {
     case Schedule::kStatic: {
-      Team::run(opt.threads, [&](TeamContext& ctx) {
+      Team::run(opt.threads, team_opt, [&](TeamContext& ctx) {
         const auto [lo, hi] = ctx.block_range(begin, end);
         for (std::size_t i = lo; i < hi; ++i) body(i);
       });
@@ -51,7 +57,7 @@ void parallel_for(std::size_t begin, std::size_t end, const ForOptions& opt,
     }
     case Schedule::kDynamic: {
       std::atomic<std::size_t> next{begin};
-      Team::run(opt.threads, [&](TeamContext&) {
+      Team::run(opt.threads, team_opt, [&](TeamContext&) {
         while (true) {
           const std::size_t lo =
               next.fetch_add(opt.chunk, std::memory_order_relaxed);
@@ -65,7 +71,7 @@ void parallel_for(std::size_t begin, std::size_t end, const ForOptions& opt,
     case Schedule::kGuided: {
       std::atomic<std::size_t> next{begin};
       const std::size_t two_p = 2 * static_cast<std::size_t>(opt.threads);
-      Team::run(opt.threads, [&](TeamContext&) {
+      Team::run(opt.threads, team_opt, [&](TeamContext&) {
         while (true) {
           // Claim a chunk proportional to the remaining work.
           std::size_t lo = next.load(std::memory_order_relaxed);

@@ -6,6 +6,9 @@
 // reduce: per-thread partial fold + sequential combine of P partials.
 // scan:   the classic three-phase block scan (local sum, exclusive scan of
 //         block sums, local rescan with offset) — work O(n), span O(n/P + P).
+//
+// Both execute their team on the persistent TeamPool (no thread creation
+// per call), with the scan reusing one barrier across its three phases.
 
 #include <cstddef>
 #include <functional>

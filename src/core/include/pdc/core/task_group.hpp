@@ -3,14 +3,19 @@
 //
 //  - TaskGroup: spawn independent tasks onto a ThreadPool and wait for all
 //    of them; exceptions are collected and the first is rethrown at wait().
-//  - invoke_parallel: structured two-way fork-join for divide-and-conquer
-//    (each fork runs one branch on a fresh thread and the other inline),
-//    with a depth budget so recursion spawns O(2^depth) threads at most.
+//  - invoke_parallel: structured two-way fork-join for divide-and-conquer.
+//    One branch is offered to the persistent global ThreadPool and the
+//    other runs inline; if no pool worker has picked the offered branch up
+//    by the time the inline one finishes, the caller claims and runs it
+//    itself (help-first), so recursion never creates threads and never
+//    deadlocks on a saturated pool. The depth budget bounds how deep the
+//    recursion keeps offering work to the pool.
 
 #include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -49,8 +54,9 @@ class TaskGroup {
 };
 
 /// Run `f` and `g` potentially in parallel and return when both are done.
-/// `depth_budget` > 0 forks a real thread for `f`; 0 runs both inline.
-/// Exceptions propagate (if both throw, `f`'s wins).
+/// `depth_budget` > 0 offers `f` to the global pool (running it inline if
+/// no worker claims it); 0 runs both inline. Both branches complete before
+/// the call returns. Exceptions propagate (if both throw, `f`'s wins).
 template <typename F, typename G>
 void invoke_parallel(F&& f, G&& g, int depth_budget) {
   if (depth_budget <= 0) {
@@ -58,18 +64,60 @@ void invoke_parallel(F&& f, G&& g, int depth_budget) {
     g();
     return;
   }
-  std::exception_ptr f_error;
-  {
-    std::jthread left([&] {
+  // Claim token: exactly one of {pool worker, caller} runs f. The posted
+  // closure touches `f` only when it wins the claim, which the caller then
+  // waits out — so capturing f by pointer is safe.
+  struct Offer {
+    std::atomic<bool> claimed{false};
+    bool done = false;
+    std::exception_ptr error;
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto offer = std::make_shared<Offer>();
+  auto* fp = std::addressof(f);
+  try {
+    ThreadPool::global().post([offer, fp] {
+      if (offer->claimed.exchange(true)) return;  // caller already ran f
+      std::exception_ptr err;
       try {
-        f();
+        (*fp)();
       } catch (...) {
-        f_error = std::current_exception();
+        err = std::current_exception();
       }
+      std::lock_guard lk(offer->m);
+      offer->error = err;
+      offer->done = true;
+      offer->cv.notify_all();
     });
-    g();  // g's exception unwinds after the jthread joins
+  } catch (...) {
+    // Pool shutting down: degrade to sequential.
+    f();
+    g();
+    return;
+  }
+
+  std::exception_ptr g_error;
+  try {
+    g();
+  } catch (...) {
+    g_error = std::current_exception();
+  }
+
+  std::exception_ptr f_error;
+  if (!offer->claimed.exchange(true)) {
+    try {
+      f();  // help-first: nobody started f, run it here
+    } catch (...) {
+      f_error = std::current_exception();
+    }
+  } else {
+    std::unique_lock lk(offer->m);
+    offer->cv.wait(lk, [&] { return offer->done; });
+    f_error = offer->error;
   }
   if (f_error) std::rethrow_exception(f_error);
+  if (g_error) std::rethrow_exception(g_error);
 }
 
 /// Depth budget that bounds forked threads to about `threads`:

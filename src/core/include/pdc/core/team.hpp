@@ -1,10 +1,17 @@
 #pragma once
-// SPMD team: the Pthreads programming model taught in CS31 — spawn P
-// threads running the same function on different ranks, with a per-team
-// reusable barrier. The threaded Game of Life engine and the OpenMP-style
-// loop constructs are built on this.
+// SPMD team: the Pthreads programming model taught in CS31 — run P
+// logical threads executing the same function on different ranks, with a
+// per-team reusable barrier. The threaded Game of Life engine and the
+// OpenMP-style loop constructs are built on this.
+//
+// Regions execute on the process-wide persistent TeamPool by default
+// (parked workers released per region — no thread creation on the hot
+// path); `TeamOptions{.reuse_pool = false}` keeps the original
+// fork-one-jthread-per-rank path selectable for the CS31 teaching
+// comparison (and bench_team_launch measures the gap).
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 
 #include "pdc/sync/barrier.hpp"
@@ -12,6 +19,20 @@
 namespace pdc::core {
 
 class Team;
+class TeamPool;
+class TeamContext;
+
+namespace detail {
+/// Run one member: construct its context, invoke `body`, and on failure
+/// record the exception in `error` and break the team barrier so that
+/// teammates blocked in ctx.barrier() unwind instead of deadlocking.
+/// A sync::BrokenBarrierError raised *by* the barrier (a teammate failed
+/// first) is the unwind signal, not this member's own error, and is not
+/// recorded. Shared by the pooled, forked, and caller-as-rank-0 paths.
+void run_team_member(int rank, int size, sync::CyclicBarrier* barrier,
+                     const std::function<void(TeamContext&)>& body,
+                     std::exception_ptr& error) noexcept;
+}  // namespace detail
 
 /// Per-thread view handed to the SPMD body.
 class TeamContext {
@@ -19,7 +40,9 @@ class TeamContext {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return size_; }
 
-  /// Synchronize all team members (reusable across phases).
+  /// Synchronize all team members (reusable across phases). Throws
+  /// sync::BrokenBarrierError if a teammate failed and will never arrive;
+  /// let it propagate — Team::run uses it to unwind the region cleanly.
   void barrier();
 
   /// Split [begin, end) into `size()` near-equal contiguous blocks and
@@ -29,6 +52,10 @@ class TeamContext {
 
  private:
   friend class Team;
+  friend void detail::run_team_member(
+      int rank, int size, sync::CyclicBarrier* barrier,
+      const std::function<void(TeamContext&)>& body,
+      std::exception_ptr& error) noexcept;
   TeamContext(int rank, int size, sync::CyclicBarrier* barrier)
       : rank_(rank), size_(size), barrier_(barrier) {}
 
@@ -37,12 +64,24 @@ class TeamContext {
   sync::CyclicBarrier* barrier_;
 };
 
-/// Fork-join SPMD execution: `Team::run(p, body)` spawns p threads, runs
-/// `body(ctx)` on each, and joins them all before returning. Exceptions
-/// thrown by any member are rethrown (first one wins) after the join.
+/// How a Team region is launched.
+struct TeamOptions {
+  /// true (default): release parked TeamPool workers for the region.
+  /// false: fork one fresh jthread per rank and join them — the original
+  /// CS31 model, kept for the fork-vs-pool teaching comparison.
+  bool reuse_pool = true;
+};
+
+/// SPMD execution: `Team::run(p, body)` runs `body(ctx)` on p ranks and
+/// returns when all of them are done. Exceptions thrown by any member are
+/// rethrown (lowest failing rank wins) after the region completes; members
+/// blocked in ctx.barrier() when a teammate throws are released via the
+/// broken-barrier protocol rather than deadlocking.
 class Team {
  public:
   static void run(int threads, const std::function<void(TeamContext&)>& body);
+  static void run(int threads, const TeamOptions& options,
+                  const std::function<void(TeamContext&)>& body);
 };
 
 }  // namespace pdc::core

@@ -1,0 +1,95 @@
+#pragma once
+// Persistent pooled SPMD executor: a process-lifetime set of parked worker
+// threads that run Team regions without per-region thread creation.
+//
+// Protocol (release/join, sense-reversing on a packed epoch word):
+//  - The launcher publishes the region (body, barrier, error slots, size),
+//    then release-stores a new generation into `region_word_` and wakes the
+//    parked workers. Worker i serves rank i+1; the launcher itself runs
+//    rank 0 inline, so a P-rank region needs only P-1 pool workers.
+//  - Each participating worker runs its member, then decrements
+//    `remaining_`; the last decrement wakes the launcher (join).
+//  - Workers whose rank >= region size observe only the packed word and
+//    re-park, so the launcher may safely publish the next region the
+//    moment `remaining_` hits zero.
+//
+// Workers are started lazily, growing to the largest team size ever
+// requested minus one (teams larger than the hardware thread count are
+// allowed — the scalability labs deliberately oversubscribe). Nested or
+// concurrent regions fall back to Team's fork-per-region path, so the
+// pool never self-deadlocks.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pdc/core/team.hpp"
+#include "pdc/sync/barrier.hpp"
+
+namespace pdc::core {
+
+/// Process-wide pool of parked SPMD workers (see file comment).
+class TeamPool {
+ public:
+  static TeamPool& instance();
+
+  TeamPool(const TeamPool&) = delete;
+  TeamPool& operator=(const TeamPool&) = delete;
+
+  /// Execute one region: the caller runs rank 0, parked workers run ranks
+  /// 1..threads-1. Returns false without running anything when the pool
+  /// cannot serve the region (nested inside another region, a concurrent
+  /// launch holds the pool, or the team is too large for the packed
+  /// protocol word) — the caller must fork instead.
+  ///
+  /// `errors` must have `threads` slots; member exceptions land at their
+  /// rank's index exactly as on the forked path.
+  bool try_run(int threads, const std::function<void(TeamContext&)>& body,
+               sync::CyclicBarrier& barrier,
+               std::vector<std::exception_ptr>& errors);
+
+  /// Workers started so far (grows lazily with demand).
+  [[nodiscard]] std::size_t workers_started() const;
+
+  /// True while the calling thread is inside any Team region (pooled or
+  /// forked member, or the launcher running rank 0).
+  [[nodiscard]] static bool in_region();
+
+ private:
+  TeamPool() = default;
+  ~TeamPool();
+
+  // region_word_ layout: [generation : 48 | team size : 16].
+  static constexpr std::uint64_t kSizeBits = 16;
+  static constexpr std::uint64_t kSizeMask = (1u << kSizeBits) - 1;
+  static constexpr int kMaxTeam = static_cast<int>(kSizeMask);
+
+  void ensure_workers(std::size_t needed);
+  void worker_loop(std::size_t index, std::uint64_t gen_at_spawn);
+
+  // Serializes launches; try_lock failure = pool busy -> caller forks.
+  std::mutex launch_m_;
+
+  // Region descriptor, written by the launcher before the generation bump
+  // and read only by participating workers of that generation.
+  const std::function<void(TeamContext&)>* region_body_ = nullptr;
+  sync::CyclicBarrier* region_barrier_ = nullptr;
+  std::vector<std::exception_ptr>* region_errors_ = nullptr;
+
+  std::atomic<std::uint64_t> region_word_{0};
+  std::atomic<int> remaining_{0};
+
+  mutable std::mutex m_;            // guards cv sleeps, stop_, workers_
+  std::condition_variable release_cv_;  // workers park here
+  std::condition_variable done_cv_;     // launcher joins here
+  bool stop_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace pdc::core

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
@@ -40,10 +41,13 @@ class ThreadPool {
     return fut;
   }
 
-  /// Enqueue fire-and-forget work (no future overhead).
+  /// Enqueue fire-and-forget work (no future overhead). If `fn` throws,
+  /// the exception is captured in the pool (first one wins) and rethrown
+  /// by the next wait_idle() — it never escapes into the worker thread.
   void post(std::function<void()> fn);
 
-  /// Block until the queue is empty and every worker is idle.
+  /// Block until the queue is empty and every worker is idle; rethrows
+  /// the first exception any post()ed task raised since the last call.
   void wait_idle();
 
   /// Process-wide shared pool sized to hardware concurrency.
@@ -58,6 +62,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // first throw from a post()ed task
   std::vector<std::jthread> workers_;
 };
 

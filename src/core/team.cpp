@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "pdc/core/team_pool.hpp"
+
 namespace pdc::core {
 
 void TeamContext::barrier() { barrier_->arrive_and_wait(); }
@@ -22,11 +24,36 @@ std::pair<std::size_t, std::size_t> TeamContext::block_range(
   return {lo, hi};
 }
 
+namespace detail {
+
+void run_team_member(int rank, int size, sync::CyclicBarrier* barrier,
+                     const std::function<void(TeamContext&)>& body,
+                     std::exception_ptr& error) noexcept {
+  try {
+    TeamContext ctx(rank, size, barrier);
+    body(ctx);
+  } catch (const sync::BrokenBarrierError&) {
+    // A teammate failed first and broke the barrier out from under our
+    // ctx.barrier(); we unwound cleanly and have no error of our own.
+  } catch (...) {
+    error = std::current_exception();
+    // Release teammates blocked (or about to block) in ctx.barrier():
+    // this member will never arrive.
+    barrier->break_barrier();
+  }
+}
+
+}  // namespace detail
+
 void Team::run(int threads, const std::function<void(TeamContext&)>& body) {
+  run(threads, TeamOptions{}, body);
+}
+
+void Team::run(int threads, const TeamOptions& options,
+               const std::function<void(TeamContext&)>& body) {
   if (threads < 1) throw std::invalid_argument("team size must be >= 1");
 
   sync::CyclicBarrier barrier(static_cast<std::size_t>(threads));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
 
   if (threads == 1) {
     TeamContext ctx(0, 1, &barrier);
@@ -34,17 +61,24 @@ void Team::run(int threads, const std::function<void(TeamContext&)>& body) {
     return;
   }
 
-  {
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(threads));
+
+  bool ran_pooled = false;
+  if (options.reuse_pool) {
+    ran_pooled =
+        TeamPool::instance().try_run(threads, body, barrier, errors);
+  }
+
+  if (!ran_pooled) {
+    // Fork-per-region path: one fresh jthread per rank, joined on scope
+    // exit — the CS31 teaching model, and the fallback for nested or
+    // concurrent regions.
     std::vector<std::jthread> members;
     members.reserve(static_cast<std::size_t>(threads));
     for (int r = 0; r < threads; ++r) {
       members.emplace_back([&, r] {
-        try {
-          TeamContext ctx(r, threads, &barrier);
-          body(ctx);
-        } catch (...) {
-          errors[static_cast<std::size_t>(r)] = std::current_exception();
-        }
+        detail::run_team_member(r, threads, &barrier, body,
+                                errors[static_cast<std::size_t>(r)]);
       });
     }
   }  // join all

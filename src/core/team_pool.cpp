@@ -1,0 +1,140 @@
+#include "pdc/core/team_pool.hpp"
+
+namespace pdc::core {
+
+namespace {
+
+// Set while a thread runs any Team region member (see TeamPool::in_region).
+thread_local bool tl_in_region = false;
+
+// Brief spin before parking / joining. The container this library targets
+// is often oversubscribed (teams larger than the core count), so the spin
+// is short and yields: condvar parking is the steady state, the spin only
+// catches back-to-back regions on idle hardware.
+template <typename Pred>
+inline bool spin_until(const Pred& done) {
+  for (int i = 0; i < 256; ++i) {
+    if (done()) return true;
+    if ((i & 15) == 15) std::this_thread::yield();
+  }
+  return done();
+}
+
+}  // namespace
+
+TeamPool& TeamPool::instance() {
+  static TeamPool pool;
+  return pool;
+}
+
+bool TeamPool::in_region() { return tl_in_region; }
+
+TeamPool::~TeamPool() {
+  {
+    std::lock_guard lk(m_);
+    stop_ = true;
+  }
+  release_cv_.notify_all();
+  workers_.clear();  // jthread joins on destruction
+}
+
+std::size_t TeamPool::workers_started() const {
+  std::lock_guard lk(m_);
+  return workers_.size();
+}
+
+void TeamPool::ensure_workers(std::size_t needed) {
+  // Called with launch_m_ held, before the generation bump: a worker born
+  // now must treat the upcoming bump as its first region, so it parks on
+  // the *current* generation.
+  const std::uint64_t gen = region_word_.load(std::memory_order_relaxed) >>
+                            kSizeBits;
+  std::lock_guard lk(m_);
+  while (workers_.size() < needed) {
+    const std::size_t index = workers_.size();
+    workers_.emplace_back(
+        [this, index, gen] { worker_loop(index, gen); });
+  }
+}
+
+void TeamPool::worker_loop(std::size_t index, std::uint64_t gen_at_spawn) {
+  const int rank = static_cast<int>(index) + 1;
+  std::uint64_t seen_gen = gen_at_spawn;
+  while (true) {
+    std::uint64_t word = region_word_.load(std::memory_order_acquire);
+    if ((word >> kSizeBits) == seen_gen) {
+      const bool released = spin_until([&] {
+        word = region_word_.load(std::memory_order_acquire);
+        return (word >> kSizeBits) != seen_gen;
+      });
+      if (!released) {
+        std::unique_lock lk(m_);
+        release_cv_.wait(lk, [&] {
+          word = region_word_.load(std::memory_order_acquire);
+          return stop_ || (word >> kSizeBits) != seen_gen;
+        });
+        if (stop_) return;
+      }
+    }
+    seen_gen = word >> kSizeBits;
+    const int size = static_cast<int>(word & kSizeMask);
+    if (rank < size) {
+      tl_in_region = true;
+      detail::run_team_member(rank, size, region_barrier_, *region_body_,
+                              (*region_errors_)[static_cast<std::size_t>(rank)]);
+      tl_in_region = false;
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lk(m_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+bool TeamPool::try_run(int threads,
+                       const std::function<void(TeamContext&)>& body,
+                       sync::CyclicBarrier& barrier,
+                       std::vector<std::exception_ptr>& errors) {
+  if (threads > kMaxTeam) return false;
+  // Nested region on this thread: launch_m_ is non-recursive and a worker
+  // cannot serve a region while running one, so fork instead.
+  if (tl_in_region) return false;
+  std::unique_lock launch(launch_m_, std::try_to_lock);
+  if (!launch.owns_lock()) return false;  // concurrent region holds the pool
+
+  ensure_workers(static_cast<std::size_t>(threads) - 1);
+
+  region_body_ = &body;
+  region_barrier_ = &barrier;
+  region_errors_ = &errors;
+  remaining_.store(threads - 1, std::memory_order_relaxed);
+  {
+    // Publish under m_ so a parking worker cannot miss the wakeup between
+    // its predicate check and its wait.
+    std::lock_guard lk(m_);
+    const std::uint64_t gen =
+        (region_word_.load(std::memory_order_relaxed) >> kSizeBits) + 1;
+    region_word_.store((gen << kSizeBits) |
+                           static_cast<std::uint64_t>(threads),
+                       std::memory_order_release);
+  }
+  release_cv_.notify_all();
+
+  // The launcher is rank 0 — the caller's thread does real work instead of
+  // blocking for the whole region.
+  tl_in_region = true;
+  detail::run_team_member(0, threads, &barrier, body, errors[0]);
+  tl_in_region = false;
+
+  // Join: all participating workers have checked in once remaining_ == 0.
+  const auto joined = [&] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  };
+  if (!spin_until(joined)) {
+    std::unique_lock lk(m_);
+    done_cv_.wait(lk, joined);
+  }
+  return true;
+}
+
+}  // namespace pdc::core

@@ -1,6 +1,8 @@
 #include "pdc/core/thread_pool.hpp"
 
+#include <exception>
 #include <stdexcept>
+#include <utility>
 
 namespace pdc::core {
 
@@ -34,6 +36,11 @@ void ThreadPool::post(std::function<void()> fn) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(m_);
   idle_cv_.wait(lk, [&] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -47,9 +54,17 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // A throwing task must not escape into the jthread (std::terminate);
+    // park the first exception for wait_idle() to rethrow.
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard lk(m_);
+      if (err && !first_error_) first_error_ = err;
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

@@ -21,7 +21,8 @@ void BufferCache::evict_lru() {
   lru_.pop_back();
 }
 
-BufferCache::Frame& BufferCache::get_frame(std::size_t block) {
+BufferCache::Frame& BufferCache::get_frame(std::size_t block,
+                                           bool fill_from_device) {
   if (auto it = index_.find(block); it != index_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
@@ -34,7 +35,7 @@ BufferCache::Frame& BufferCache::get_frame(std::size_t block) {
   f.block = block;
   f.dirty = false;
   f.data.resize(dev_->block_size());
-  dev_->read_block(block, f.data);
+  if (fill_from_device) dev_->read_block(block, f.data);
   index_[block] = lru_.begin();
   return f;
 }
@@ -59,7 +60,10 @@ void BufferCache::write(std::size_t offset, std::span<const std::byte> in) {
     const std::size_t block = (offset + pos) / bs;
     const std::size_t in_block = (offset + pos) % bs;
     const std::size_t n = std::min(bs - in_block, in.size() - pos);
-    Frame& f = get_frame(block);
+    // A full-block overwrite needs no old contents: don't charge the
+    // I/O model a device read it never required.
+    const bool full_overwrite = in_block == 0 && n == bs;
+    Frame& f = get_frame(block, !full_overwrite);
     std::memcpy(f.data.data() + in_block, in.data() + pos, n);
     f.dirty = true;
     pos += n;

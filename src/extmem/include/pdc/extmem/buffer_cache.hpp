@@ -63,8 +63,11 @@ class BufferCache {
     std::vector<std::byte> data;
   };
 
-  /// Returns the frame holding `block`, faulting it in if needed.
-  Frame& get_frame(std::size_t block);
+  /// Returns the frame holding `block`, faulting it in if needed. On a
+  /// miss the device read is skipped when `fill_from_device` is false —
+  /// used by write() when the caller is about to overwrite the whole
+  /// block, so write-only workloads cost zero read I/Os.
+  Frame& get_frame(std::size_t block, bool fill_from_device = true);
   void evict_lru();
 
   BlockDevice* dev_;

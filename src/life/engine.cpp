@@ -38,6 +38,9 @@ void run_threaded(Grid& board, int generations, int threads) {
   Grid other(board.rows(), board.cols(), board.boundary());
   Grid* bufs[2] = {&board, &other};
 
+  // One persistent-pool region for the whole run: the team is released
+  // once and synchronizes per generation with the reusable barrier, so
+  // no threads are created no matter how many generations execute.
   core::Team::run(threads, [&](core::TeamContext& ctx) {
     const auto [lo, hi] = ctx.block_range(0, board.rows());
     int src = 0;

@@ -11,6 +11,7 @@ CyclicBarrier::CyclicBarrier(std::size_t parties) : parties_(parties) {
 
 std::size_t CyclicBarrier::arrive_and_wait() {
   std::unique_lock lk(m_);
+  if (broken_) throw BrokenBarrierError();
   const std::size_t my_phase = phase_;
   if (++waiting_ == parties_) {
     waiting_ = 0;
@@ -19,8 +20,23 @@ std::size_t CyclicBarrier::arrive_and_wait() {
     cv_.notify_all();
     return my_phase;
   }
-  cv_.wait(lk, [&] { return phase_ != my_phase; });
+  cv_.wait(lk, [&] { return broken_ || phase_ != my_phase; });
+  // Woken by break_barrier() rather than a completed phase.
+  if (phase_ == my_phase) throw BrokenBarrierError();
   return my_phase;
+}
+
+void CyclicBarrier::break_barrier() {
+  {
+    std::lock_guard lk(m_);
+    broken_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool CyclicBarrier::broken() const {
+  std::lock_guard lk(m_);
+  return broken_;
 }
 
 SenseBarrier::SenseBarrier(std::size_t parties)

@@ -8,31 +8,52 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 namespace pdc::sync {
+
+/// Thrown out of CyclicBarrier::arrive_and_wait() after break_barrier():
+/// a teammate failed before arriving, so this phase can never complete.
+class BrokenBarrierError : public std::runtime_error {
+ public:
+  BrokenBarrierError() : std::runtime_error("barrier broken") {}
+};
 
 /// Centralized reusable barrier on mutex + condition variable.
 ///
 /// `arrive_and_wait()` blocks until `parties` threads have arrived; the
 /// barrier then resets for the next phase (generation counter prevents a
 /// fast thread from lapping a slow one).
+///
+/// A barrier can be *broken* (break_barrier()) when one participant will
+/// never arrive — e.g. it threw out of its SPMD body. Current and future
+/// waiters then raise BrokenBarrierError instead of blocking forever,
+/// which is how pdc::core::Team unwinds a failed region without deadlock.
 class CyclicBarrier {
  public:
   explicit CyclicBarrier(std::size_t parties);
 
   /// Returns the phase number that just completed (0-based), identical for
-  /// every thread released together.
+  /// every thread released together. Throws BrokenBarrierError if the
+  /// barrier is (or becomes) broken before the phase completes.
   std::size_t arrive_and_wait();
+
+  /// Permanently break the barrier: wake every waiter with
+  /// BrokenBarrierError and make future arrivals throw immediately.
+  void break_barrier();
+
+  [[nodiscard]] bool broken() const;
 
   [[nodiscard]] std::size_t parties() const { return parties_; }
 
  private:
   const std::size_t parties_;
-  std::mutex m_;
+  mutable std::mutex m_;
   std::condition_variable cv_;
   std::size_t waiting_ = 0;
   std::size_t phase_ = 0;
+  bool broken_ = false;
 };
 
 /// Sense-reversing spinning barrier: no syscalls, just atomics — the

@@ -13,6 +13,7 @@
 #include "pdc/core/reduce_scan.hpp"
 #include "pdc/core/task_group.hpp"
 #include "pdc/core/team.hpp"
+#include "pdc/core/team_pool.hpp"
 #include "pdc/core/thread_pool.hpp"
 
 namespace pc = pdc::core;
@@ -49,6 +50,31 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&pc::ThreadPool::global(), &pc::ThreadPool::global());
   EXPECT_GE(pc::ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, PostedTaskThrowRethrownFromWaitIdle) {
+  // Regression: a throwing post()ed task used to escape into the jthread
+  // and std::terminate the process.
+  pc::ThreadPool pool(2);
+  pool.post([] { throw std::runtime_error("posted boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool stays usable and idle afterwards.
+  std::atomic<int> done{0};
+  pool.post([&] { done.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, FirstOfManyErrorsWins) {
+  pc::ThreadPool pool(1);  // single worker: FIFO order is deterministic
+  pool.post([] { throw std::runtime_error("first"); });
+  pool.post([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
 }
 
 // ----------------------------------------------------------------- team ---
@@ -95,6 +121,149 @@ TEST(Team, PropagatesMemberException) {
                                  throw std::runtime_error("rank1 failed");
                              }),
                std::runtime_error);
+}
+
+TEST(Team, ThrowBeforeBarrierReleasesWaitingTeammates) {
+  // Regression: rank 1 throws before the barrier the other ranks are
+  // blocked in; the thrower never arrives, and the team used to hang
+  // forever. The broken-barrier protocol must unwind everyone and
+  // rethrow the original exception.
+  for (bool reuse_pool : {true, false}) {
+    std::atomic<int> unwound{0};
+    try {
+      pc::Team::run(4, pc::TeamOptions{.reuse_pool = reuse_pool},
+                    [&](pc::TeamContext& ctx) {
+                      if (ctx.rank() == 1)
+                        throw std::runtime_error("rank1 died pre-barrier");
+                      ctx.barrier();  // would deadlock without the fix
+                      unwound.fetch_add(1);  // must never run
+                    });
+      FAIL() << "expected rethrow (reuse_pool=" << reuse_pool << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "rank1 died pre-barrier");
+    }
+    EXPECT_EQ(unwound.load(), 0);
+  }
+}
+
+TEST(Team, ThrowAcrossMultiplePhasesStillUnwinds) {
+  // Failure in a late phase: earlier barriers complete normally, then the
+  // broken-barrier release has to reach ranks already waiting in phase 2.
+  for (bool reuse_pool : {true, false}) {
+    std::atomic<int> phase1{0};
+    try {
+      pc::Team::run(3, pc::TeamOptions{.reuse_pool = reuse_pool},
+                    [&](pc::TeamContext& ctx) {
+                      phase1.fetch_add(1);
+                      ctx.barrier();
+                      if (ctx.rank() == 2)
+                        throw std::logic_error("phase-2 failure");
+                      ctx.barrier();
+                    });
+      FAIL() << "expected rethrow (reuse_pool=" << reuse_pool << ")";
+    } catch (const std::logic_error&) {
+    }
+    EXPECT_EQ(phase1.load(), 3);  // phase 1 ran to completion everywhere
+  }
+}
+
+TEST(Team, LowestFailingRankWins) {
+  for (bool reuse_pool : {true, false}) {
+    try {
+      pc::Team::run(4, pc::TeamOptions{.reuse_pool = reuse_pool},
+                    [](pc::TeamContext& ctx) {
+                      // Every rank throws; rank 0's exception must win.
+                      throw std::runtime_error(
+                          "rank" + std::to_string(ctx.rank()));
+                    });
+      FAIL() << "expected rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "rank0");
+    }
+  }
+}
+
+// ------------------------------------------------ pooled vs forked team ---
+
+TEST(TeamPool, PooledAndForkedRegionsAreEquivalent) {
+  // Same ranks, same block_range partition, barrier reusable across
+  // phases — on both execution paths.
+  constexpr int kThreads = 4;
+  constexpr std::size_t kN = 1013;
+  for (bool reuse_pool : {true, false}) {
+    std::vector<int> rank_seen(kThreads, 0);
+    std::vector<std::pair<std::size_t, std::size_t>> ranges(kThreads);
+    std::atomic<int> phase_a{0};
+    std::atomic<int> violations{0};
+    pc::Team::run(kThreads, pc::TeamOptions{.reuse_pool = reuse_pool},
+                  [&](pc::TeamContext& ctx) {
+                    const auto r = static_cast<std::size_t>(ctx.rank());
+                    EXPECT_EQ(ctx.size(), kThreads);
+                    rank_seen[r] += 1;
+                    ranges[r] = ctx.block_range(0, kN);
+                    phase_a.fetch_add(1);
+                    ctx.barrier();  // phase 1
+                    if (phase_a.load() != kThreads) violations.fetch_add(1);
+                    ctx.barrier();  // phase 2: same barrier, reused
+                    if (phase_a.load() != kThreads) violations.fetch_add(1);
+                  });
+    EXPECT_EQ(violations.load(), 0) << "reuse_pool=" << reuse_pool;
+    std::size_t expected_lo = 0;
+    for (int r = 0; r < kThreads; ++r) {
+      EXPECT_EQ(rank_seen[static_cast<std::size_t>(r)], 1);
+      const auto [lo, hi] = ranges[static_cast<std::size_t>(r)];
+      EXPECT_EQ(lo, expected_lo) << "reuse_pool=" << reuse_pool;
+      expected_lo = hi;
+    }
+    EXPECT_EQ(expected_lo, kN);
+  }
+}
+
+TEST(TeamPool, BackToBackRegionsReuseWorkers) {
+  // After the first region, the pool must not grow: every subsequent
+  // region reuses the parked workers.
+  pc::Team::run(4, [](pc::TeamContext&) {});
+  const std::size_t after_first = pc::TeamPool::instance().workers_started();
+  EXPECT_GE(after_first, 3u);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<int> hits{0};
+    pc::Team::run(4, [&](pc::TeamContext& ctx) {
+      ctx.barrier();
+      hits.fetch_add(1 + ctx.rank());
+    });
+    ASSERT_EQ(hits.load(), 10);
+  }
+  EXPECT_EQ(pc::TeamPool::instance().workers_started(), after_first);
+}
+
+TEST(TeamPool, NestedAndConcurrentRegionsFallBackSafely) {
+  // A region launched from inside a region cannot reuse the busy pool;
+  // it must fall back to forking, not deadlock.
+  std::atomic<int> inner_total{0};
+  pc::Team::run(2, [&](pc::TeamContext&) {
+    pc::Team::run(2, [&](pc::TeamContext& inner) {
+      inner.barrier();
+      inner_total.fetch_add(1 + inner.rank());
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 6);  // two inner teams of ranks {0,1}
+
+  // Concurrent top-level regions from independent threads.
+  std::atomic<long> sum{0};
+  {
+    std::vector<std::jthread> drivers;
+    for (int d = 0; d < 3; ++d) {
+      drivers.emplace_back([&] {
+        for (int i = 0; i < 20; ++i) {
+          pc::Team::run(3, [&](pc::TeamContext& ctx) {
+            ctx.barrier();
+            sum.fetch_add(ctx.rank());
+          });
+        }
+      });
+    }
+  }
+  EXPECT_EQ(sum.load(), 3L * 20L * 3L);  // 3 drivers x 20 regions x (0+1+2)
 }
 
 TEST(Team, BlockRangePartitionIsExactCover) {
@@ -165,6 +334,28 @@ TEST(ParallelFor, RejectsBadOptions) {
   opt.chunk = 0;
   EXPECT_THROW(pc::parallel_for(0, 10, opt, [](std::size_t) {}),
                std::invalid_argument);
+}
+
+TEST(ParallelFor, ThrowingBodyReachesCaller) {
+  // Acceptance: a throwing loop body must neither terminate the process
+  // (pool-worker escape) nor hang it (teammates stuck at a barrier) — on
+  // every schedule and both execution paths.
+  for (auto sched : {pc::Schedule::kStatic, pc::Schedule::kDynamic,
+                     pc::Schedule::kGuided}) {
+    for (bool reuse_pool : {true, false}) {
+      pc::ForOptions opt;
+      opt.threads = 4;
+      opt.schedule = sched;
+      opt.chunk = 8;
+      opt.reuse_pool = reuse_pool;
+      EXPECT_THROW(pc::parallel_for(0, 1000, opt,
+                                    [](std::size_t i) {
+                                      if (i == 537)
+                                        throw std::runtime_error("body boom");
+                                    }),
+                   std::runtime_error);
+    }
+  }
 }
 
 TEST(ParallelFor, NonZeroBeginHandled) {

@@ -148,6 +148,59 @@ TEST(BufferCache, RejectsZeroFrames) {
   EXPECT_THROW(px::BufferCache(dev, 0), std::invalid_argument);
 }
 
+TEST(BufferCache, FullBlockOverwriteDoesZeroDeviceReads) {
+  // Regression: a write miss used to fault the old block contents in from
+  // the device even when the write overwrote the whole block, inflating
+  // read-I/O counts for write-only workloads.
+  px::BlockDevice dev(16, 64);
+  px::BufferCache cache(dev, 4);
+  std::vector<std::byte> block(64);
+  for (std::size_t i = 0; i < block.size(); ++i)
+    block[i] = static_cast<std::byte>(i);
+  for (std::size_t b = 0; b < 8; ++b) cache.write(b * 64, block);
+  EXPECT_EQ(dev.stats().block_reads, 0u);  // acceptance: zero device reads
+  // Still real misses (and evictions write back the dirty victims).
+  EXPECT_EQ(cache.stats().misses, 8u);
+  EXPECT_EQ(dev.stats().block_writes, 4u);  // 8 blocks through 4 frames
+  // Data written this way reads back intact (evicted and resident alike).
+  std::vector<std::byte> out(64);
+  cache.read(0, out);
+  EXPECT_EQ(out, block);
+  cache.read(7 * 64, out);
+  EXPECT_EQ(out, block);
+}
+
+TEST(BufferCache, PartialWriteMissStillFaultsBlockIn) {
+  // A sub-block write must preserve the unwritten bytes, so the miss
+  // still costs one device read.
+  px::BlockDevice dev(16, 64);
+  px::BufferCache cache(dev, 4);
+  std::vector<std::byte> seed(64, std::byte{0x5A});
+  cache.write(0, seed);
+  cache.flush();
+  dev.reset_stats();
+
+  // New cache: the partial write misses and must read the block first.
+  px::BufferCache cold(dev, 4);
+  std::vector<std::byte> half(32, std::byte{0x7B});
+  cold.write(0, half);
+  EXPECT_EQ(dev.stats().block_reads, 1u);
+  std::vector<std::byte> out(64);
+  cold.read(0, out);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(out[i], std::byte{0x7B});
+  for (std::size_t i = 32; i < 64; ++i) EXPECT_EQ(out[i], std::byte{0x5A});
+}
+
+TEST(BufferCache, SpanningWriteOnlyReadsTheRaggedEdges) {
+  // A write covering [32, 224) of 64-byte blocks: blocks 1..2 are fully
+  // overwritten (no reads); blocks 0 and 3 are partial (one read each).
+  px::BlockDevice dev(16, 64);
+  px::BufferCache cache(dev, 8);
+  std::vector<std::byte> in(192, std::byte{0xC3});
+  cache.write(32, in);
+  EXPECT_EQ(dev.stats().block_reads, 2u);
+}
+
 // -------------------------------------------------------- external sort ---
 
 class ExtSortSweep

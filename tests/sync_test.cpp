@@ -370,6 +370,49 @@ TEST(CyclicBarrier, ReturnsMatchingPhaseNumbers) {
   EXPECT_EQ(phase_b, 0u);
 }
 
+TEST(CyclicBarrier, BreakReleasesWaitersAndPoisonsFutureArrivals) {
+  ps::CyclicBarrier barrier(3);
+  std::atomic<int> broken_count{0};
+  {
+    std::vector<std::jthread> waiters;
+    for (int t = 0; t < 2; ++t) {
+      waiters.emplace_back([&] {
+        try {
+          barrier.arrive_and_wait();  // party 3 never arrives
+        } catch (const ps::BrokenBarrierError&) {
+          broken_count.fetch_add(1);
+        }
+      });
+    }
+    // Give the waiters a chance to block, then break instead of arriving.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    barrier.break_barrier();
+  }
+  EXPECT_EQ(broken_count.load(), 2);
+  EXPECT_TRUE(barrier.broken());
+  // Late arrivals fail fast rather than waiting on a dead phase.
+  EXPECT_THROW(barrier.arrive_and_wait(), ps::BrokenBarrierError);
+}
+
+TEST(CyclicBarrier, BreakBeforeAnyArrivalFailsFast) {
+  ps::CyclicBarrier barrier(2);
+  EXPECT_FALSE(barrier.broken());
+  barrier.break_barrier();
+  EXPECT_THROW(barrier.arrive_and_wait(), ps::BrokenBarrierError);
+}
+
+TEST(CyclicBarrier, CompletedPhasesUnaffectedByLaterBreak) {
+  ps::CyclicBarrier barrier(2);
+  std::size_t phase_a = 99, phase_b = 99;
+  {
+    std::jthread a([&] { phase_a = barrier.arrive_and_wait(); });
+    std::jthread b([&] { phase_b = barrier.arrive_and_wait(); });
+  }
+  barrier.break_barrier();
+  EXPECT_EQ(phase_a, 0u);  // the completed phase already returned normally
+  EXPECT_EQ(phase_b, 0u);
+}
+
 TEST(SenseBarrier, SynchronizesPhases) {
   constexpr int kThreads = 4;
   constexpr int kPhases = 200;
