@@ -1,55 +1,120 @@
 // T1-life — Table I, "Parallel Game of Life ... Experimental Scalability
 // Study": the lab report's speedup/efficiency table for the threaded
-// engine, the message-passing engine's traffic accounting, and timed
-// generation kernels.
+// engine, the message-passing engine's traffic accounting, timed
+// generation kernels, and the byte-vs-packed kernel throughput ratio
+// (the SWAR rewrite's headline number).
 //
 // Expected shape: near-linear speedup up to the core count, flattening
-// beyond it; the Amdahl fit reports a small serial fraction.
+// beyond it; packed kernel >= 10x the byte reference on a 1024x1024 torus.
+//
+// `--smoke` runs the printed studies at reduced size and skips the
+// google-benchmark loops (the CI Release job's quick exercise).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstring>
+#include <functional>
 #include <iostream>
 
 #include "pdc/life/engine.hpp"
 #include "pdc/life/grid.hpp"
 #include "pdc/perf/scalability.hpp"
 #include "pdc/perf/table.hpp"
+#include "pdc/perf/timer.hpp"
 
 namespace {
 
-void print_scalability_study() {
-  const std::size_t n = 384;
-  const int gens = 30;
+/// cells * generations / elapsed-ns for one engine run.
+double cells_per_ns(std::size_t n, int gens,
+                    const std::function<void(pdc::life::Grid&, int)>& engine,
+                    const pdc::life::Grid& start) {
+  pdc::life::Grid board = start;
+  engine(board, 1);  // warmup (pool spin-up, page faults)
+  board = start;
+  pdc::perf::Timer t;
+  engine(board, gens);
+  const auto ns = static_cast<double>(t.elapsed_ns());
+  benchmark::DoNotOptimize(board);
+  return static_cast<double>(n) * static_cast<double>(n) * gens / ns;
+}
+
+void print_packed_vs_byte(bool smoke) {
+  const std::size_t n = 1024;  // acceptance board: 1024x1024 torus
+  const int byte_gens = smoke ? 2 : 6;
+  const int packed_gens = smoke ? 64 : 256;
+  const auto start = pdc::life::random_grid(n, n, 0.3, 42);
+
+  const double byte_tp =
+      cells_per_ns(n, byte_gens, pdc::life::run_reference, start);
+  const double packed_tp =
+      cells_per_ns(n, packed_gens, pdc::life::run_sequential, start);
+
+  pdc::perf::Table table({"kernel", "cells/ns", "ratio"});
+  table.add_row({"byte reference", std::to_string(byte_tp), "1.00"});
+  table.add_row({"packed SWAR", std::to_string(packed_tp),
+                 std::to_string(packed_tp / byte_tp)});
+  std::cout << "== T1-life: byte vs packed sequential kernel (" << n << "x"
+            << n << " torus) ==\n"
+            << table.str() << "(acceptance: packed >= 10x byte)\n\n";
+}
+
+void print_scalability_study(bool smoke) {
+  // The packed kernel turned a compute-bound lab into a near-memory-bound
+  // one; the study board is much bigger than the byte-era 384x384 so a
+  // generation's compute (n^2/64 words) still dominates the two
+  // per-generation barriers at higher thread counts.
+  const std::size_t n = smoke ? 512 : 2048;
+  const int gens = smoke ? 30 : 50;
   const auto start = pdc::life::random_grid(n, n, 0.3, 42);
 
   pdc::perf::StudyConfig cfg;
   cfg.thread_counts = {1, 2, 4, 8};
-  cfg.repetitions = 3;
+  cfg.repetitions = smoke ? 2 : 3;
   const auto study = pdc::perf::run_strong_scaling(cfg, [&](int threads) {
     pdc::life::Grid board = start;
     pdc::life::run_threaded(board, gens, threads);
   });
 
   std::cout << "== T1-life: threaded Game of Life strong scaling ("
-            << n << "x" << n << " torus, " << gens << " generations) ==\n"
+            << n << "x" << n << " torus, " << gens << " generations, "
+            << "packed kernel) ==\n"
             << study.to_table() << "\n";
 
-  // Message-passing variant: traffic per rank count.
-  pdc::perf::Table traffic({"ranks", "messages", "cell-words moved",
+  // Message-passing variant: traffic per rank count. Halo rows travel
+  // packed — one word per 64 cells.
+  pdc::perf::Table traffic({"ranks", "messages", "payload words moved",
                             "words/generation"});
+  const std::size_t tn = smoke ? 256 : 384;
+  const int tgens = 30;
+  const auto tstart = pdc::life::random_grid(tn, tn, 0.3, 42);
   for (int ranks : {1, 2, 4, 8}) {
-    pdc::life::Grid board = start;
+    pdc::life::Grid board = tstart;
     std::uint64_t msgs = 0, words = 0;
-    pdc::life::run_message_passing(board, gens, ranks, &msgs, &words);
-    traffic.add_row({std::to_string(ranks), std::to_string(msgs),
-                     std::to_string(words),
-                     std::to_string(words / static_cast<std::uint64_t>(gens))});
+    pdc::life::run_message_passing(board, tgens, ranks, &msgs, &words);
+    traffic.add_row(
+        {std::to_string(ranks), std::to_string(msgs), std::to_string(words),
+         std::to_string(words / static_cast<std::uint64_t>(tgens))});
   }
-  std::cout << "== T1-life: message-passing halo-exchange traffic ==\n"
+  std::cout << "== T1-life: message-passing halo-exchange traffic (" << tn
+            << " columns = " << (tn + 63) / 64 << " words/halo row) ==\n"
             << traffic.str()
-            << "(halo volume grows linearly with ranks: 2 rows x ranks "
-               "per generation)\n\n";
+            << "(halo volume grows linearly with ranks: 2 packed rows x "
+               "ranks per generation — 64x fewer words than the byte "
+               "wire format)\n\n";
 }
+
+void BM_LifeReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto board = pdc::life::random_grid(n, n, 0.3, 7);
+  for (auto _ : state) {
+    pdc::life::run_reference(board, 1);
+    benchmark::DoNotOptimize(board);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_LifeReference)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
 
 void BM_LifeSequential(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -61,10 +126,10 @@ void BM_LifeSequential(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n));
 }
-BENCHMARK(BM_LifeSequential)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_LifeSequential)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
 
 void BM_LifeThreaded(benchmark::State& state) {
-  const std::size_t n = 256;
+  const std::size_t n = 1024;
   const int threads = static_cast<int>(state.range(0));
   auto board = pdc::life::random_grid(n, n, 0.3, 7);
   for (auto _ : state) {
@@ -90,7 +155,21 @@ BENCHMARK(BM_LifeMessagePassing)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_scalability_study();
+  bool smoke = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  print_packed_vs_byte(smoke);
+  print_scalability_study(smoke);
+  if (smoke) return 0;
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,33 +1,56 @@
 #include "pdc/life/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "pdc/core/team.hpp"
+#include "pdc/life/packed_grid.hpp"
 #include "pdc/mp/comm.hpp"
 
 namespace pdc::life {
 
 namespace {
 
-/// Compute rows [row_begin, row_end) of `dst` from `src`.
-void step_rows(const Grid& src, Grid& dst, std::size_t row_begin,
-               std::size_t row_end) {
+/// Compute rows [row_begin, row_end) of `dst` from `src`, one cell at a
+/// time through the public Grid API — the reference kernel.
+void step_rows_bytes(const Grid& src, Grid& dst, std::size_t row_begin,
+                     std::size_t row_end) {
   for (std::size_t r = row_begin; r < row_end; ++r)
     for (std::size_t c = 0; c < src.cols(); ++c)
       dst.set(r, c, src.next_state(r, c));
 }
 
+/// Bring `g`'s ghost bits and wrap halo rows fully in sync (single-owner
+/// version; the threaded engine splits this work across ranks).
+void sync_all(PackedGrid& g) {
+  g.sync_row_ghosts(0, g.rows());
+  g.sync_halo_rows();
+}
+
 }  // namespace
 
-void run_sequential(Grid& board, int generations) {
+void run_reference(Grid& board, int generations) {
   if (generations < 0) throw std::invalid_argument("generations must be >= 0");
   Grid next(board.rows(), board.cols(), board.boundary());
   for (int g = 0; g < generations; ++g) {
-    step_rows(board, next, 0, board.rows());
+    step_rows_bytes(board, next, 0, board.rows());
     std::swap(board, next);
   }
+}
+
+void run_sequential(Grid& board, int generations) {
+  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
+  if (generations == 0) return;
+  PackedGrid cur(board);
+  PackedGrid nxt(board.rows(), board.cols(), board.boundary());
+  for (int g = 0; g < generations; ++g) {
+    sync_all(cur);
+    cur.step_rows_into(nxt, 0, cur.rows());
+    std::swap(cur, nxt);
+  }
+  board = cur.unpack();
 }
 
 void run_threaded(Grid& board, int generations, int threads) {
@@ -35,26 +58,30 @@ void run_threaded(Grid& board, int generations, int threads) {
   if (threads < 1) throw std::invalid_argument("threads must be >= 1");
   if (generations == 0) return;
 
-  Grid other(board.rows(), board.cols(), board.boundary());
-  Grid* bufs[2] = {&board, &other};
+  PackedGrid a(board);
+  PackedGrid b(board.rows(), board.cols(), board.boundary());
+  PackedGrid* bufs[2] = {&a, &b};
+  sync_all(a);
 
-  // One persistent-pool region for the whole run: the team is released
-  // once and synchronizes per generation with the reusable barrier, so
-  // no threads are created no matter how many generations execute.
+  // One persistent-pool region for the whole run, synchronized with the
+  // reusable barrier: two barriers per generation — one so nobody reads
+  // the new board before every strip (and its ghost bits) is written, one
+  // so the wrap halo-row copy is visible before the next step reads it.
   core::Team::run(threads, [&](core::TeamContext& ctx) {
     const auto [lo, hi] = ctx.block_range(0, board.rows());
     int src = 0;
     for (int g = 0; g < generations; ++g) {
-      step_rows(*bufs[src], *bufs[1 - src], lo, hi);
-      // One barrier per generation: nobody may start writing the old
-      // source until everyone has finished reading it.
+      PackedGrid& dst = *bufs[1 - src];
+      bufs[src]->step_rows_into(dst, lo, hi);
+      dst.sync_row_ghosts(lo, hi);
+      ctx.barrier();
+      if (ctx.rank() == 0) dst.sync_halo_rows();
       ctx.barrier();
       src = 1 - src;
     }
   });
 
-  // If the final board landed in `other`, move it back.
-  if (generations % 2 == 1) std::swap(board, other);
+  board = bufs[generations % 2]->unpack();
 }
 
 void run_message_passing(Grid& board, int generations, int ranks,
@@ -81,80 +108,76 @@ void run_message_passing(Grid& board, int generations, int ranks,
     const std::size_t lo = ur * base + std::min(ur, extra);
     const std::size_t n = base + (ur < extra ? 1 : 0);
 
-    // Local block with one halo row above and below.
-    // local[0] = halo above, local[1..n] = owned rows, local[n+1] = below.
-    std::vector<std::vector<std::uint8_t>> local(
-        n + 2, std::vector<std::uint8_t>(cols, 0));
-    std::vector<std::vector<std::uint8_t>> next = local;
-    for (std::size_t i = 0; i < n; ++i)
+    // Local packed block; the row halos are filled from received messages
+    // (never by sync_halo_rows), the column wrap stays a local concern.
+    PackedGrid cur(n, cols, board.boundary());
+    PackedGrid nxt(n, cols, board.boundary());
+    const std::size_t words = cur.words_per_row();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t* src = board.row_data(lo + i);
+      std::uint64_t* dst = cur.row_words(i);
       for (std::size_t c = 0; c < cols; ++c)
-        local[i + 1][c] = board.get(lo + i, c) ? 1 : 0;
+        dst[c / 64] |= static_cast<std::uint64_t>(src[c] & 1) << (c % 64);
+    }
 
     const int up = r == 0 ? (torus ? p - 1 : -1) : r - 1;
     const int down = r == p - 1 ? (torus ? 0 : -1) : r + 1;
 
-    auto pack = [&](const std::vector<std::uint8_t>& row) {
-      std::vector<std::int64_t> out(cols);
-      for (std::size_t c = 0; c < cols; ++c) out[c] = row[c];
-      return out;
+    // Wire format: one word per 64 cells. The send/recv vectors circulate
+    // — each generation's received buffers become the next generation's
+    // send buffers, so steady state allocates nothing.
+    std::vector<std::int64_t> sbuf_up, sbuf_down;
+    auto fill = [&](std::vector<std::int64_t>& buf,
+                    const std::uint64_t* row) {
+      buf.resize(words);
+      for (std::size_t i = 0; i < words; ++i)
+        buf[i] = static_cast<std::int64_t>(row[i]);
+      buf[words - 1] =
+          static_cast<std::int64_t>(row[words - 1] & cur.tail_mask());
     };
-    auto unpack = [&](const std::vector<std::int64_t>& data,
-                      std::vector<std::uint8_t>& row) {
-      for (std::size_t c = 0; c < cols; ++c)
-        row[c] = static_cast<std::uint8_t>(data[c]);
+    auto place = [&](const std::vector<std::int64_t>& buf,
+                     std::uint64_t* row) {
+      for (std::size_t i = 0; i < words; ++i)
+        row[i] = static_cast<std::uint64_t>(buf[i]);
     };
 
     for (int g = 0; g < generations; ++g) {
       const int tag = 2 * g;
-      // Halo exchange (buffered sends: no deadlock).
-      // Degenerate single-rank torus: my own rows wrap onto myself.
-      if (up >= 0) ctx.send(up, tag, pack(local[1]));
-      if (down >= 0) ctx.send(down, tag + 1, pack(local[n]));
+      // Halo exchange (buffered sends: no deadlock). Degenerate
+      // single-rank torus: my own rows wrap onto myself.
+      if (up >= 0) {
+        fill(sbuf_up, cur.row_words(0));
+        ctx.send(up, tag, std::move(sbuf_up));
+      }
       if (down >= 0) {
-        unpack(ctx.recv(down, tag).data, local[n + 1]);
-      } else {
-        local[n + 1].assign(cols, 0);
+        fill(sbuf_down, cur.row_words(n - 1));
+        ctx.send(down, tag + 1, std::move(sbuf_down));
+      }
+      if (down >= 0) {
+        auto msg = ctx.recv(down, tag);
+        place(msg.data, cur.halo_below_words());
+        sbuf_down = std::move(msg.data);
       }
       if (up >= 0) {
-        unpack(ctx.recv(up, tag + 1).data, local[0]);
-      } else {
-        local[0].assign(cols, 0);
+        auto msg = ctx.recv(up, tag + 1);
+        place(msg.data, cur.halo_above_words());
+        sbuf_up = std::move(msg.data);
       }
 
-      // Compute owned rows from the haloed block.
-      for (std::size_t i = 1; i <= n; ++i) {
-        for (std::size_t c = 0; c < cols; ++c) {
-          int count = 0;
-          for (int dr = -1; dr <= 1; ++dr) {
-            for (int dc = -1; dc <= 1; ++dc) {
-              if (dr == 0 && dc == 0) continue;
-              long cc = static_cast<long>(c) + dc;
-              if (torus) {
-                cc = (cc + static_cast<long>(cols)) %
-                     static_cast<long>(cols);
-              } else if (cc < 0 || cc >= static_cast<long>(cols)) {
-                continue;
-              }
-              count += local[i + static_cast<std::size_t>(dr)]
-                            [static_cast<std::size_t>(cc)];
-            }
-          }
-          const bool alive = local[i][c] != 0;
-          next[i][c] = (alive ? (count == 2 || count == 3) : (count == 3))
-                           ? 1
-                           : 0;
-        }
-      }
-      std::swap(local, next);
+      cur.sync_row_ghosts(0, n);
+      cur.sync_halo_row_ghosts();
+      cur.step_rows_into(nxt, 0, n);
+      std::swap(cur, nxt);
     }
 
-    // Everyone finishes computing before anyone writes the shared board
-    // (ranks read neighbors' initial rows only at init, but keep the
-    // barrier as the explicit synchronization point).
+    // Everyone finishes computing before anyone writes the shared board.
     ctx.barrier();
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t* src = cur.row_words(i);
+      std::uint8_t* dst = board.row_data(lo + i);
       for (std::size_t c = 0; c < cols; ++c)
-        board.set(lo + i, c, local[i + 1][c] != 0);
+        dst[c] = static_cast<std::uint8_t>((src[c / 64] >> (c % 64)) & 1);
+    }
   });
 
   const auto traffic = comm.traffic();

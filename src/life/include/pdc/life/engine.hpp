@@ -6,13 +6,24 @@
 //                         (CS31 "Parallel Game of Life" scalability lab)
 //   3. message-passing halo exchange over pdc::mp
 //                         (CS87 distributed-memory version)
-// All three produce bit-identical boards; tests assert it.
+// All engines run on the bit-packed SWAR representation (packed_grid.hpp)
+// internally — the byte Grid stays the public API, and run_reference keeps
+// the naive per-cell kernel as the oracle. All engines produce
+// bit-identical boards; tests assert it.
 
 #include "pdc/life/grid.hpp"
 
 namespace pdc::life {
 
-/// Advance `board` by `generations` steps, single threaded.
+/// Advance `board` by `generations` steps with the naive byte kernel —
+/// one `Grid::next_state` call per cell, exactly as the CS31 lab writes it
+/// first. This is the reference implementation the packed engines are
+/// asserted bit-identical against (and the baseline the bench compares).
+void run_reference(Grid& board, int generations);
+
+/// Advance `board` by `generations` steps, single threaded, on the
+/// bit-packed SWAR kernel (see pdc/life/packed_grid.hpp): 64 cells per
+/// word, neighbor counts via bitwise carry-save adders, no per-cell work.
 void run_sequential(Grid& board, int generations);
 
 /// Advance `board` using `threads` workers. Rows are block-partitioned;
@@ -21,8 +32,9 @@ void run_threaded(Grid& board, int generations, int threads);
 
 /// Advance `board` on `ranks` message-passing processes: each rank owns a
 /// block of rows and exchanges one halo row with each neighbor per
-/// generation. `traffic_out`, if non-null, receives the total messages and
-/// payload words exchanged.
+/// generation, wired as packed words — one payload word per 64 cells
+/// instead of one per cell. `traffic_out`, if non-null, receives the total
+/// messages and payload words exchanged.
 void run_message_passing(Grid& board, int generations, int ranks,
                          std::uint64_t* messages_out = nullptr,
                          std::uint64_t* payload_words_out = nullptr);

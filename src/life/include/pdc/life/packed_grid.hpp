@@ -1,0 +1,130 @@
+#pragma once
+// Bit-packed Game of Life board: 64 cells per uint64_t word. This is the
+// representation the engines actually run on; the byte `Grid` stays the
+// public API and the reference implementation, with conversion at the
+// boundaries.
+//
+// Layout: row-major payload words with one halo word on each side of every
+// row and one halo row above and below the board, so the generation kernel
+// is completely branch-free — every `word[w - 1]` / `word[w + 1]` and every
+// `row - 1` / `row + 1` read lands on valid memory that already holds the
+// right bits:
+//
+//   * left halo word, bit 63  = the row's last cell (torus) or 0 (dead),
+//     so `(word << 1) | (halo >> 63)` yields the west-neighbor plane;
+//   * right halo word, bit 0  = the row's first cell (torus) or 0, the
+//     east wrap when cols is a multiple of 64;
+//   * when cols % 64 != 0, the east wrap bit instead lives in the first
+//     *padding* bit of the last payload word (the "ghost" bit), so the
+//     plain `word >> 1` east shift picks it up; kernel output is masked
+//     with tail_mask() so ghosts never leak into the stored board;
+//   * the halo rows are whole-row copies of the opposite edge rows (torus)
+//     or stay all-zero (dead).
+//
+// The per-generation kernel (`step_row_words`) counts the 8 neighbors of
+// all 64 cells of a word at once with a SWAR carry-save adder tree: bitwise
+// half/full adders compress the 8 shifted neighbor planes into a 4-bit
+// count per bit lane, and B3/S23 becomes four boolean ops — no per-cell
+// loads, branches, or modulo.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pdc/life/grid.hpp"
+
+namespace pdc::life {
+
+class PackedGrid {
+ public:
+  PackedGrid(std::size_t rows, std::size_t cols,
+             Boundary boundary = Boundary::kTorus);
+  /// Pack a byte grid (same dimensions and boundary rule).
+  explicit PackedGrid(const Grid& grid);
+
+  /// Convert back to the public byte representation.
+  [[nodiscard]] Grid unpack() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] Boundary boundary() const { return boundary_; }
+
+  /// Payload words per row: ceil(cols / 64).
+  [[nodiscard]] std::size_t words_per_row() const { return words_; }
+  /// Valid-bit mask for the last payload word of a row (all ones when
+  /// cols % 64 == 0).
+  [[nodiscard]] std::uint64_t tail_mask() const { return tail_mask_; }
+
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool alive);
+  [[nodiscard]] std::size_t population() const;
+
+  /// Payload words of logical row r (word 0; the row's halo words sit at
+  /// index -1 and words_per_row()).
+  [[nodiscard]] const std::uint64_t* row_words(std::size_t r) const;
+  [[nodiscard]] std::uint64_t* row_words(std::size_t r);
+
+  /// Payload words of the halo rows above row 0 / below row rows()-1, for
+  /// engines (message passing) that fill them from received messages
+  /// instead of sync_halo_rows().
+  [[nodiscard]] std::uint64_t* halo_above_words();
+  [[nodiscard]] std::uint64_t* halo_below_words();
+
+  /// Refresh the column-wrap ghost bits (left/right halo words and the
+  /// padding ghost bit) of logical rows [row_begin, row_end). A no-op
+  /// under Boundary::kDead. Must run after the rows' payload changed and
+  /// before they are read by a step.
+  void sync_row_ghosts(std::size_t row_begin, std::size_t row_end);
+
+  /// Refresh the ghost bits of the two halo rows from their own payload
+  /// (for halo rows filled by hand rather than by sync_halo_rows()).
+  void sync_halo_row_ghosts();
+
+  /// Copy the wrap halo rows from the opposite edge rows (torus; no-op for
+  /// dead). Edge rows' ghost bits must already be synced — the copy
+  /// carries them along.
+  void sync_halo_rows();
+
+  /// One generation: compute rows [row_begin, row_end) of `dst` from this
+  /// board. Requires ghosts + halo rows of *this to be in sync; writes only
+  /// masked payload words of `dst` (its ghosts need a re-sync afterwards).
+  /// Cache-blocked: wide rows are processed in column tiles across the row
+  /// strip so each tile's 4-row working set stays in L1.
+  void step_rows_into(PackedGrid& dst, std::size_t row_begin,
+                      std::size_t row_end) const;
+
+  /// The SWAR kernel for one span of `nwords` words: `up`/`mid`/`down`
+  /// point at the same word offset of three consecutive padded rows (their
+  /// [-1] and [nwords] neighbors must be readable), `out` receives the next
+  /// generation of the mid row. `tail_mask` is AND-ed into the final word
+  /// written (pass ~0 for spans that do not end a row).
+  static void step_row_words(const std::uint64_t* up, const std::uint64_t* mid,
+                             const std::uint64_t* down, std::uint64_t* out,
+                             std::size_t nwords, std::uint64_t tail_mask);
+
+  /// Cell-wise equality (dimensions, boundary, and live cells).
+  [[nodiscard]] bool operator==(const PackedGrid& other) const;
+
+ private:
+  /// Words per padded row (payload + 2 halo words).
+  [[nodiscard]] std::size_t stride() const { return words_ + 2; }
+  /// Payload word 0 of padded row index pr in [0, rows + 2): pr 0 is the
+  /// halo row above, pr 1..rows are logical rows, pr rows+1 is below.
+  [[nodiscard]] std::uint64_t* padded_row(std::size_t pr) {
+    return data_.data() + pr * stride() + 1;
+  }
+  [[nodiscard]] const std::uint64_t* padded_row(std::size_t pr) const {
+    return data_.data() + pr * stride() + 1;
+  }
+  /// Write the ghost bits of one padded row from its payload.
+  void apply_ghosts(std::uint64_t* payload);
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t words_;
+  Boundary boundary_;
+  std::uint64_t tail_mask_;
+  std::vector<std::uint64_t> data_;  ///< (rows + 2) x (words + 2)
+};
+
+}  // namespace pdc::life

@@ -4,6 +4,7 @@
 // parallel reduce — at laptop scale on the pdc::core thread pool, with an
 // optional combiner and per-phase statistics.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -11,6 +12,7 @@
 #include <span>
 #include <stdexcept>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "pdc/core/team.hpp"
@@ -45,6 +47,9 @@ struct JobStats {
 /// - `mapper(input, emit)` calls `emit(key, value)` any number of times.
 /// - `reducer(key, values)` folds all values for a key into one result of
 ///   type R (defaults to V).
+/// - K must be hashable (std::hash) and equality-comparable — the map-side
+///   buckets and the shuffle are hash maps — as well as `<`-comparable for
+///   the sorted output map.
 /// - When `cfg.use_combiner` is set AND R == V, the reducer doubles as a
 ///   map-side combiner on each mapper's local buckets (legal when the
 ///   reduction is associative, as in word count). When R != V the flag is
@@ -69,9 +74,10 @@ std::map<K, R> run_job(
   // ---- map phase: each worker owns a contiguous input block and emits
   // into its own partitioned buckets (no shared mutable state). ----
   const auto workers = static_cast<std::size_t>(cfg.map_workers);
-  // buckets[worker][partition] -> key -> values
-  std::vector<std::vector<std::map<K, std::vector<V>>>> buckets(
-      workers, std::vector<std::map<K, std::vector<V>>>(parts));
+  // buckets[worker][partition] -> key -> values (hash maps: emit and
+  // shuffle never need key order, only the final output map does)
+  std::vector<std::vector<std::unordered_map<K, std::vector<V>>>> buckets(
+      workers, std::vector<std::unordered_map<K, std::vector<V>>>(parts));
   std::vector<std::size_t> emitted(workers, 0);
 
   core::Team::run(cfg.map_workers, [&](core::TeamContext& ctx) {
@@ -103,18 +109,29 @@ std::map<K, R> run_job(
   });
   for (auto e : emitted) stats.map_emitted += e;
 
-  // ---- shuffle: merge worker buckets per partition ----
-  std::vector<std::map<K, std::vector<V>>> grouped(parts);
-  for (std::size_t w = 0; w < workers; ++w) {
-    for (std::size_t p = 0; p < parts; ++p) {
-      for (auto& [key, values] : buckets[w][p]) {
-        auto& dst = grouped[p][key];
-        stats.shuffled += values.size();
-        dst.insert(dst.end(), std::make_move_iterator(values.begin()),
-                   std::make_move_iterator(values.end()));
+  // ---- shuffle: merge worker buckets per partition, partitions in
+  // parallel — each team member owns a disjoint strided set of partitions,
+  // so the merge needs no locks (worker buckets for one partition are only
+  // ever touched by that partition's owner). ----
+  std::vector<std::unordered_map<K, std::vector<V>>> grouped(parts);
+  std::vector<std::size_t> shuffled_per_part(parts, 0);
+  const int shuffle_workers =
+      std::max(cfg.map_workers, cfg.reduce_workers);
+  core::Team::run(shuffle_workers, [&](core::TeamContext& ctx) {
+    for (std::size_t p = static_cast<std::size_t>(ctx.rank()); p < parts;
+         p += static_cast<std::size_t>(ctx.size())) {
+      auto& merged = grouped[p];
+      for (std::size_t w = 0; w < workers; ++w) {
+        for (auto& [key, values] : buckets[w][p]) {
+          auto& dst = merged[key];
+          shuffled_per_part[p] += values.size();
+          dst.insert(dst.end(), std::make_move_iterator(values.begin()),
+                     std::make_move_iterator(values.end()));
+        }
       }
     }
-  }
+  });
+  for (auto s : shuffled_per_part) stats.shuffled += s;
 
   // ---- reduce phase: partitions in parallel ----
   std::vector<std::map<K, R>> partial(parts);

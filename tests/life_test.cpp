@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <utility>
 
 #include "pdc/life/engine.hpp"
 #include "pdc/life/grid.hpp"
+#include "pdc/life/packed_grid.hpp"
 
 namespace pl = pdc::life;
 
@@ -164,7 +167,107 @@ TEST(Engines, MessagePassingTrafficScalesWithRanksAndGenerations) {
   // final barrier's 2*(p-1) empty messages.
   EXPECT_EQ(msgs2, 2u * 2u * 10u + 2u);
   EXPECT_EQ(msgs4, 4u * 2u * 10u + 6u);
-  // Each halo message carries one row of 32 cells (barrier msgs are empty).
-  EXPECT_EQ(words2, 2u * 2u * 10u * 32u);
-  EXPECT_EQ(words4, 4u * 2u * 10u * 32u);
+  // Each halo message carries one row packed 64 cells/word: 32 columns fit
+  // in a single word (barrier msgs are empty).
+  EXPECT_EQ(words2, 2u * 2u * 10u * 1u);
+  EXPECT_EQ(words4, 4u * 2u * 10u * 1u);
 }
+
+TEST(Engines, PackedWireFormatCutsPayload64xVsByteFormat) {
+  // 1024 columns = 16 payload words per halo row; the old wire format
+  // moved one int64 per cell, so the packed rows are exactly 64x denser.
+  pl::Grid board = pl::random_grid(16, 1024, 0.3, 11);
+  const int gens = 5, ranks = 4;
+  std::uint64_t msgs = 0, words = 0;
+  pl::run_message_passing(board, gens, ranks, &msgs, &words);
+  const std::uint64_t halo_msgs = 2ull * ranks * gens;
+  EXPECT_EQ(msgs, halo_msgs + 2u * (ranks - 1));  // + final barrier
+  EXPECT_EQ(words, halo_msgs * (1024u / 64u));
+  const std::uint64_t byte_format_words = halo_msgs * 1024u;
+  EXPECT_EQ(byte_format_words / words, 64u);
+}
+
+// --------------------------------------------------------- packed boards ---
+
+using Shape = std::pair<std::size_t, std::size_t>;
+
+// Shapes chosen to stress the bit-packing: narrower than one word,
+// word-aligned, one past a word, multi-word, single row / single column.
+constexpr Shape kAwkwardShapes[] = {{1, 1},  {1, 130}, {17, 1},  {3, 63},
+                                    {8, 64}, {5, 65},  {33, 29}, {6, 200}};
+
+TEST(PackedGrid, RoundTripsThroughByteGridOnAwkwardShapes) {
+  for (auto [rows, cols] : kAwkwardShapes) {
+    const pl::Grid g = pl::random_grid(rows, cols, 0.4, rows * 1000 + cols);
+    const pl::PackedGrid p(g);
+    EXPECT_EQ(p.words_per_row(), (cols + 63) / 64);
+    EXPECT_EQ(p.population(), g.population());
+    EXPECT_EQ(p.unpack(), g) << rows << "x" << cols;
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        ASSERT_EQ(p.get(r, c), g.get(r, c));
+  }
+}
+
+TEST(PackedGrid, SetGetAndBounds) {
+  pl::PackedGrid p(3, 70);
+  EXPECT_FALSE(p.get(2, 69));
+  p.set(2, 69, true);
+  EXPECT_TRUE(p.get(2, 69));
+  EXPECT_EQ(p.population(), 1u);
+  p.set(2, 69, false);
+  EXPECT_EQ(p.population(), 0u);
+  EXPECT_THROW((void)p.get(3, 0), std::out_of_range);
+  EXPECT_THROW(p.set(0, 70, true), std::out_of_range);
+  EXPECT_THROW(pl::PackedGrid(0, 5), std::invalid_argument);
+}
+
+TEST(PackedGrid, EqualityIgnoresGhostAndPaddingBits) {
+  pl::Grid g = pl::random_grid(6, 67, 0.4, 77);
+  pl::PackedGrid a(g);
+  pl::PackedGrid b(g);
+  // Force a full ghost-bit sync on one copy only: the boards still
+  // compare equal because padding bits are masked out of the comparison.
+  a.sync_row_ghosts(0, a.rows());
+  a.sync_halo_rows();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.population(), b.population());
+  EXPECT_EQ(a.unpack(), b.unpack());
+}
+
+// The packed engines against the per-cell byte oracle, over both boundary
+// rules, all the awkward shapes, and multi-generation runs (a single row
+// means the wrap halo rows alias the row itself).
+class PackedEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<pl::Boundary, Shape, int /*gens*/>> {};
+
+TEST_P(PackedEquivalence, AllEnginesMatchByteReference) {
+  const auto [boundary, shape, gens] = GetParam();
+  const auto [rows, cols] = shape;
+  const pl::Grid start =
+      pl::random_grid(rows, cols, 0.42, 7u * rows + cols, boundary);
+
+  pl::Grid ref = start;
+  pl::run_reference(ref, gens);
+
+  pl::Grid seq = start;
+  pl::run_sequential(seq, gens);
+  EXPECT_EQ(ref, seq) << "sequential " << rows << "x" << cols;
+
+  pl::Grid thr = start;
+  pl::run_threaded(thr, gens, 3);
+  EXPECT_EQ(ref, thr) << "threaded " << rows << "x" << cols;
+
+  pl::Grid msg = start;
+  const int ranks = static_cast<int>(std::min<std::size_t>(3, rows));
+  pl::run_message_passing(msg, gens, ranks);
+  EXPECT_EQ(ref, msg) << "message-passing " << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, PackedEquivalence,
+    ::testing::Combine(
+        ::testing::Values(pl::Boundary::kDead, pl::Boundary::kTorus),
+        ::testing::ValuesIn(kAwkwardShapes),
+        ::testing::Values(1, 3, 8)));

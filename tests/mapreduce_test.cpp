@@ -94,6 +94,26 @@ INSTANTIATE_TEST_SUITE_P(Configs, MapReduceSweep,
                                             ::testing::Values(1, 3),
                                             ::testing::Values(1, 4, 16)));
 
+TEST(Engine, ParallelShuffleIsDeterministicAndValueOrderStable) {
+  // The shuffle merges worker buckets per partition on a parallel team;
+  // the merge must stay deterministic (worker-rank order within a key)
+  // run-to-run and regardless of how many workers merge.
+  const auto docs = mr::synthetic_corpus(60, 80, /*seed=*/13);
+  mr::JobConfig cfg;
+  cfg.map_workers = 4;
+  cfg.partitions = 32;
+  cfg.use_combiner = false;
+  mr::JobStats s1, s2;
+  cfg.reduce_workers = 1;
+  const auto r1 = mr::word_count(docs, cfg, &s1);
+  cfg.reduce_workers = 4;
+  const auto r2 = mr::word_count(docs, cfg, &s2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(s1.shuffled, s2.shuffled);
+  EXPECT_EQ(s1.map_emitted, s1.shuffled);  // no combiner: 1:1 into shuffle
+  EXPECT_EQ(s1.distinct_keys, r1.size());
+}
+
 // ------------------------------------------------------------------ jobs ---
 
 TEST(WordCount, KnownText) {
