@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "pdc/algo/sample_sort.hpp"
@@ -50,6 +52,66 @@ void print_collective_table() {
             << t.str()
             << "(same message count; the tree turns P-1 serial rounds "
                "into log2 P)\n\n";
+}
+
+// The reliability tax: run the DHT bulk workload (a) on the plain
+// channel, then (b) on the reliable channel under seeded loss rates, and
+// price what seq/ack/retransmit costs in traffic. Payload overhead is the
+// extra words the reliable wire format moves even at 0% loss (round
+// numbers + retransmitted copies); acks ride the counters, not the
+// payload.
+void print_reliability_tax_table() {
+  constexpr int kRanks = 4;
+  constexpr int kOpsPerRank = 200;
+  const auto workload = [](pdc::mp::RankContext& ctx, bool reliable) {
+    ctx.set_reliable(reliable);
+    pdc::mp::BspHashMap dht(ctx, {reliable});
+    for (int i = 0; i < kOpsPerRank; ++i)
+      dht.queue_put(ctx.rank() * kOpsPerRank + i, i);
+    (void)dht.round();
+    for (int i = 0; i < kOpsPerRank; ++i)
+      dht.queue_get(((ctx.rank() + 1) % kRanks) * kOpsPerRank + i);
+    if (dht.round().empty()) std::abort();
+  };
+
+  // A "wire frame" is any physical transmission: a data message that got
+  // enqueued, a dropped or duplicate-suppressed copy, or an ack. The tax
+  // column is reliable frames / plain frames for the same workload.
+  const auto frames = [](const pdc::mp::TrafficStats& tr) {
+    return tr.messages + tr.dropped + tr.duplicates + tr.acks;
+  };
+  pdc::perf::Table t({"mode", "loss", "messages", "payload words", "acks",
+                      "retries", "dropped", "dups", "frame tax"});
+  pdc::mp::Communicator base(kRanks);
+  base.run([&](pdc::mp::RankContext& ctx) { workload(ctx, false); });
+  const double base_frames = static_cast<double>(frames(base.traffic()));
+  t.add_row({"plain", "0%", std::to_string(base.traffic().messages),
+             std::to_string(base.traffic().payload_words), "0", "0", "0", "0",
+             "1.00x"});
+
+  for (double loss : {0.0, 0.01, 0.10}) {
+    pdc::mp::FaultPlan plan;
+    plan.drop = loss;
+    plan.dup = loss / 2;
+    plan.reorder = loss > 0;
+    plan.seed = 7;
+    pdc::mp::Communicator comm(kRanks, plan);
+    comm.run([&](pdc::mp::RankContext& ctx) { workload(ctx, true); });
+    const auto tr = comm.traffic();
+    char pct[16], tax[16];
+    std::snprintf(pct, sizeof pct, "%.0f%%", loss * 100);
+    std::snprintf(tax, sizeof tax, "%.2fx",
+                  static_cast<double>(frames(tr)) / base_frames);
+    t.add_row({"reliable", pct, std::to_string(tr.messages),
+               std::to_string(tr.payload_words), std::to_string(tr.acks),
+               std::to_string(tr.retries), std::to_string(tr.dropped),
+               std::to_string(tr.duplicates), tax});
+  }
+  std::cout << "== CS87-mp: reliability tax — DHT bulk workload, P = 4, "
+               "2x" << kOpsPerRank << " ops/rank ==\n"
+            << t.str()
+            << "(acks ~= one per delivered message; retries scale with "
+               "loss; dedup eats every duplicate)\n\n";
 }
 
 void BM_PingPong(benchmark::State& state) {
@@ -159,6 +221,7 @@ void print_sample_sort_table() {
 
 int main(int argc, char** argv) {
   print_collective_table();
+  print_reliability_tax_table();
   print_sample_sort_table();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,9 +1,13 @@
 #include "pdc/mp/comm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
+#include <limits>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 namespace pdc::mp {
 
@@ -27,29 +31,9 @@ std::int64_t identity(ReduceOp op) {
   throw std::logic_error("unreachable");
 }
 
-// ------------------------------------------------------------ communicator ---
+// ------------------------------------------------------------ shared state ---
 
-Communicator::Communicator(int size) : size_(size) {
-  if (size_ < 1) throw std::invalid_argument("communicator size must be >= 1");
-  mailboxes_.reserve(static_cast<std::size_t>(size_));
-  for (int i = 0; i < size_; ++i)
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-}
-
-void Communicator::deliver(int dest, Message msg) {
-  if (dest < 0 || dest >= size_) throw std::out_of_range("bad destination");
-  {
-    std::lock_guard lk(traffic_m_);
-    ++traffic_.messages;
-    traffic_.payload_words += msg.data.size();
-  }
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
-  {
-    std::lock_guard lk(box.m);
-    box.queue.push_back(std::move(msg));
-  }
-  box.cv.notify_all();
-}
+namespace detail {
 
 namespace {
 bool matches(const Message& m, int source, int tag) {
@@ -58,90 +42,459 @@ bool matches(const Message& m, int source, int tag) {
 }
 }  // namespace
 
-bool Communicator::match_available(int rank, int source, int tag) {
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
-  std::lock_guard lk(box.m);
-  for (const auto& m : box.queue)
-    if (matches(m, source, tag)) return true;
-  return false;
-}
+/// What a rank thread is doing. Anything but kRunning means "this rank
+/// will never send another message" — blocked receivers use that to turn
+/// a guaranteed hang into RankFailedError.
+enum RankState : int { kRunning = 0, kFinished, kKilled, kErrored };
 
-Message Communicator::take(int rank, int source, int tag) {
-  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
-  std::unique_lock lk(box.m);
-  while (true) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (matches(*it, source, tag)) {
-        Message m = std::move(*it);
-        box.queue.erase(it);
-        return m;
+struct Mailbox {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+
+  // Reliable-channel state, all under `m`. Reset per run.
+  std::unordered_map<int, std::uint64_t> last_seq;  ///< per-source dedup floor
+  std::unordered_map<int, std::uint64_t> acked;     ///< per-peer max acked seq
+  struct Limbo {
+    Message msg;
+    std::uint64_t seq = 0;
+    int countdown = 0;  ///< deliveries left before this one is released
+  };
+  std::vector<Limbo> limbo;
+};
+
+struct CommState {
+  explicit CommState(int n)
+      : size(n),
+        boxes(static_cast<std::size_t>(n)),
+        rank_state(
+            std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(n))),
+        flow_attempt(std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(n))) {
+    for (auto& b : boxes) b = std::make_unique<Mailbox>();
+    reset_run_state();
+  }
+
+  int size;
+  FaultPlan plan;
+  RetryPolicy retry;
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+  std::unique_ptr<std::atomic<int>[]> rank_state;
+  /// Per ordered (src,dst) pair: delivery attempts so far. Each attempt
+  /// draws fresh fault decisions, so retransmits are not doomed to repeat
+  /// their predecessor's fate.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> flow_attempt;
+  mutable std::mutex traffic_m;
+  TrafficStats traffic;
+
+  void reset_run_state() {
+    for (int i = 0; i < size; ++i) rank_state[i].store(kRunning);
+    const auto n2 = static_cast<std::size_t>(size) * static_cast<std::size_t>(size);
+    for (std::size_t i = 0; i < n2; ++i) flow_attempt[i].store(0);
+    for (auto& b : boxes) {
+      std::lock_guard lk(b->m);
+      b->last_seq.clear();
+      b->acked.clear();
+      b->limbo.clear();
+    }
+  }
+
+  /// Record that rank r stopped running and wake every blocked receiver
+  /// so it can re-evaluate (lock/unlock each mailbox so no waiter misses
+  /// the state change between its predicate check and its wait).
+  void mark(int r, RankState s) {
+    rank_state[r].store(s);
+    for (auto& b : boxes) {
+      { std::lock_guard lk(b->m); }
+      b->cv.notify_all();
+    }
+  }
+
+  [[nodiscard]] const char* state_name(int r) const {
+    switch (rank_state[r].load()) {
+      case kFinished: return "finished";
+      case kKilled: return "was killed by the fault plan";
+      case kErrored: return "exited with an error";
+      default: return "is running";
+    }
+  }
+
+  void count(std::uint64_t TrafficStats::* field, std::uint64_t n = 1) {
+    std::lock_guard lk(traffic_m);
+    traffic.*field += n;
+  }
+
+  // ---- plain channel (the seed behavior, byte for byte) ----
+
+  void deliver_plain(int dest, Message msg) {
+    if (dest < 0 || dest >= size) throw std::out_of_range("bad destination");
+    {
+      std::lock_guard lk(traffic_m);
+      ++traffic.messages;
+      traffic.payload_words += msg.data.size();
+    }
+    Mailbox& box = *boxes[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard lk(box.m);
+      box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  // ---- reliable channel ----
+
+  /// Enqueue a sequenced message unless it is a replay. Returns true if
+  /// the sender should be (re-)acked — always, except that the caller
+  /// already holds box.m so acks are collected and sent after unlock.
+  bool enqueue_if_new(Mailbox& box, Message msg, std::uint64_t seq) {
+    auto& floor = box.last_seq[msg.source];
+    if (seq <= floor) {
+      count(&TrafficStats::duplicates);
+      return true;  // replay: suppress, but re-ack so the sender stops
+    }
+    floor = seq;
+    {
+      std::lock_guard lk(traffic_m);
+      ++traffic.messages;
+      traffic.payload_words += msg.data.size();
+    }
+    box.queue.push_back(std::move(msg));
+    return true;
+  }
+
+  /// Transport ack: receiver `from` tells sender `to` that `seq` landed.
+  /// Travels the same faulty medium — a dropped ack forces a retransmit,
+  /// which the receiver's dedup then suppresses.
+  void send_ack(int from, int to, std::uint64_t seq) {
+    const auto a =
+        flow_attempt[static_cast<std::size_t>(from) *
+                         static_cast<std::size_t>(size) +
+                     static_cast<std::size_t>(to)]
+            .fetch_add(1);
+    if (chance(plan.drop, fault_hash(plan.seed, kSaltAckDrop,
+                                     static_cast<std::uint64_t>(from),
+                                     static_cast<std::uint64_t>(to), a))) {
+      count(&TrafficStats::dropped);
+      return;
+    }
+    Mailbox& box = *boxes[static_cast<std::size_t>(to)];
+    {
+      std::lock_guard lk(box.m);
+      auto& high = box.acked[from];
+      high = std::max(high, seq);
+    }
+    count(&TrafficStats::acks);
+    box.cv.notify_all();
+  }
+
+  /// One delivery attempt on the reliable channel. Decides drop /
+  /// duplicate / delay deterministically from (seed, flow, attempt#).
+  void deliver_reliable(int src, int dest, int tag,
+                        const std::vector<std::int64_t>& data,
+                        std::uint64_t seq) {
+    if (dest < 0 || dest >= size) throw std::out_of_range("bad destination");
+    const auto s64 = static_cast<std::uint64_t>(src);
+    const auto d64 = static_cast<std::uint64_t>(dest);
+    const auto a = flow_attempt[static_cast<std::size_t>(src) *
+                                    static_cast<std::size_t>(size) +
+                                static_cast<std::size_t>(dest)]
+                       .fetch_add(1);
+    auto h = [&](std::uint64_t salt) {
+      return fault_hash(plan.seed, salt, s64, d64, a);
+    };
+    if (plan.jitter && (h(kSaltJitter) & 3u) == 0) std::this_thread::yield();
+    const int ds = rank_state[dest].load();
+    if (ds == kKilled || ds == kErrored) {
+      count(&TrafficStats::dropped);  // host is down; message lost
+      return;
+    }
+    if (chance(plan.drop, h(kSaltDrop))) {
+      count(&TrafficStats::dropped);
+      return;
+    }
+    const bool duplicate = chance(plan.dup, h(kSaltDup));
+    int delay = 0;
+    if (plan.reorder && plan.max_delay > 0 &&
+        chance(plan.delay_prob, h(kSaltDelay))) {
+      delay = 1 + static_cast<int>(h(kSaltDelayN) %
+                                   static_cast<std::uint64_t>(plan.max_delay));
+    }
+
+    Mailbox& box = *boxes[static_cast<std::size_t>(dest)];
+    // (to, seq) acks owed, sent after box.m is released (never hold two
+    // mailbox locks at once).
+    std::vector<std::pair<int, std::uint64_t>> acks_due;
+    {
+      std::lock_guard lk(box.m);
+      // This delivery is one "match event": age the limbo and release
+      // anything whose countdown expired (retransmits keep the clock
+      // ticking, so a held message can never be stranded forever).
+      for (auto& held : box.limbo) --held.countdown;
+      for (auto it = box.limbo.begin(); it != box.limbo.end();) {
+        if (it->countdown <= 0) {
+          const int from = it->msg.source;
+          const auto sq = it->seq;
+          if (enqueue_if_new(box, std::move(it->msg), sq))
+            acks_due.emplace_back(from, sq);
+          it = box.limbo.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      Message msg{src, tag, data};
+      if (delay > 0) {
+        box.limbo.push_back({std::move(msg), seq, delay});
+        count(&TrafficStats::delayed);
+      } else if (enqueue_if_new(box, std::move(msg), seq)) {
+        acks_due.emplace_back(src, seq);
+      }
+      if (duplicate) {
+        // The extra copy arrives straight away; dedup eats whichever
+        // copy lands second.
+        if (enqueue_if_new(box, Message{src, tag, data}, seq))
+          acks_due.emplace_back(src, seq);
       }
     }
-    box.cv.wait(lk);
+    box.cv.notify_all();
+    for (const auto& [to, sq] : acks_due) send_ack(dest, to, sq);
   }
+
+  [[nodiscard]] bool match_available(int rank, int source, int tag) {
+    Mailbox& box = *boxes[static_cast<std::size_t>(rank)];
+    std::lock_guard lk(box.m);
+    for (const auto& m : box.queue)
+      if (matches(m, source, tag)) return true;
+    return false;
+  }
+
+  /// Blocking matched receive. Throws RankFailedError when the awaited
+  /// message can provably never arrive (specific source no longer
+  /// running; or any-source with every peer stopped).
+  Message take(int rank, int source, int tag) {
+    if (source < kAnySource || source >= size)
+      throw std::out_of_range("bad source rank");
+    Mailbox& box = *boxes[static_cast<std::size_t>(rank)];
+    std::unique_lock lk(box.m);
+    while (true) {
+      for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+        if (matches(*it, source, tag)) {
+          Message m = std::move(*it);
+          box.queue.erase(it);
+          return m;
+        }
+      }
+      if (source != kAnySource && source != rank &&
+          rank_state[source].load() != kRunning) {
+        throw RankFailedError(
+            source, "recv from rank " + std::to_string(source) + " (tag " +
+                        std::to_string(tag) + "): rank " + state_name(source) +
+                        " with no matching message");
+      }
+      if (source == kAnySource && size > 1) {
+        int stopped = 0;
+        for (int s = 0; s < size; ++s)
+          if (s != rank && rank_state[s].load() != kRunning) ++stopped;
+        if (stopped == size - 1)
+          throw RankFailedError(
+              -1, "recv from any source: every peer rank has stopped with "
+                  "no matching message");
+      }
+      box.cv.wait(lk);
+    }
+  }
+};
+
+}  // namespace detail
+
+// ------------------------------------------------------------ communicator ---
+
+Communicator::Communicator(int size) : size_(size) {
+  if (size_ < 1) throw std::invalid_argument("communicator size must be >= 1");
+  st_ = std::make_shared<detail::CommState>(size_);
 }
 
+Communicator::Communicator(int size, FaultPlan plan) : Communicator(size) {
+  st_->plan = plan;
+}
+
+void Communicator::set_fault_plan(FaultPlan plan) { st_->plan = plan; }
+
+const FaultPlan& Communicator::fault_plan() const { return st_->plan; }
+
+void Communicator::set_retry_policy(RetryPolicy policy) {
+  st_->retry = policy;
+}
+
+const RetryPolicy& Communicator::retry_policy() const { return st_->retry; }
+
 TrafficStats Communicator::traffic() const {
-  std::lock_guard lk(traffic_m_);
-  return traffic_;
+  std::lock_guard lk(st_->traffic_m);
+  return st_->traffic;
 }
 
 void Communicator::reset_traffic() {
-  std::lock_guard lk(traffic_m_);
-  traffic_ = {};
+  std::lock_guard lk(st_->traffic_m);
+  st_->traffic = {};
 }
 
 void Communicator::run(const std::function<void(RankContext&)>& body) {
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
-  if (size_ == 1) {
-    RankContext ctx(this, 0);
-    body(ctx);
-    return;
-  }
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(static_cast<std::size_t>(size_));
-    for (int r = 0; r < size_; ++r) {
-      threads.emplace_back([&, r] {
-        try {
-          RankContext ctx(this, r);
-          body(ctx);
-        } catch (...) {
-          errors[static_cast<std::size_t>(r)] = std::current_exception();
-        }
-      });
+  auto& st = *st_;
+  st.reset_run_state();
+  const auto up = static_cast<std::size_t>(size_);
+  std::vector<std::exception_ptr> errors(up);
+  std::vector<char> killed(up, 0);
+  std::vector<char> rank_failed(up, 0);
+
+  auto rank_main = [&](int r) {
+    const auto ur = static_cast<std::size_t>(r);
+    try {
+      RankContext ctx(this, r);
+      body(ctx);
+      st.mark(r, detail::kFinished);
+    } catch (const detail::RankKilledError&) {
+      st.mark(r, detail::kKilled);
+      killed[ur] = 1;
+    } catch (const RankFailedError&) {
+      errors[ur] = std::current_exception();
+      rank_failed[ur] = 1;
+      st.mark(r, detail::kErrored);
+    } catch (...) {
+      errors[ur] = std::current_exception();
+      st.mark(r, detail::kErrored);
     }
+  };
+
+  if (size_ == 1) {
+    rank_main(0);
+  } else {
+    std::vector<std::jthread> threads;
+    threads.reserve(up);
+    for (int r = 0; r < size_; ++r) threads.emplace_back([&, r] { rank_main(r); });
+    threads.clear();  // join
   }
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+
+  // Root causes first: a logic error beats the RankFailedError cascade it
+  // triggered. A fault-plan kill is reported deterministically (the set
+  // of survivors that noticed can vary with timing; the kill cannot).
+  for (std::size_t r = 0; r < up; ++r)
+    if (errors[r] && !rank_failed[r]) std::rethrow_exception(errors[r]);
+  for (std::size_t r = 0; r < up; ++r)
+    if (killed[r])
+      throw RankFailedError(static_cast<int>(r),
+                            "rank " + std::to_string(r) +
+                                " killed by fault plan " + st.plan.describe());
+  for (std::size_t r = 0; r < up; ++r)
+    if (errors[r]) std::rethrow_exception(errors[r]);
 }
 
 // ---------------------------------------------------------------- request ---
 
-bool Request::test() { return comm_->match_available(rank_, source_, tag_); }
+bool Request::test() {
+  auto st = state_.lock();
+  if (!st) throw std::runtime_error("Request outlived its Communicator");
+  return st->match_available(rank_, source_, tag_);
+}
 
-Message Request::wait() { return comm_->take(rank_, source_, tag_); }
+Message Request::wait() {
+  auto st = state_.lock();
+  if (!st) throw std::runtime_error("Request outlived its Communicator");
+  return st->take(rank_, source_, tag_);
+}
 
 // ------------------------------------------------------------ rank context ---
 
+RankContext::RankContext(Communicator* comm, int rank)
+    : comm_(comm),
+      rank_(rank),
+      send_seq_(static_cast<std::size_t>(comm->size()), 0) {}
+
 int RankContext::size() const { return comm_->size(); }
+
+const FaultPlan& RankContext::fault_plan() const { return comm_->st_->plan; }
+
+void RankContext::maybe_kill() {
+  const FaultPlan& plan = comm_->st_->plan;
+  if (plan.kill_rank == rank_ && ops_ > plan.kill_after_ops)
+    throw detail::RankKilledError{};
+}
+
+void RankContext::ch_send(int dest, int tag, std::vector<std::int64_t> data) {
+  ++ops_;
+  maybe_kill();
+  if (reliable_) {
+    reliable_send(dest, tag, std::move(data));
+  } else {
+    Message m;
+    m.source = rank_;
+    m.tag = tag;
+    m.data = std::move(data);
+    comm_->st_->deliver_plain(dest, std::move(m));
+  }
+}
+
+Message RankContext::ch_take(int source, int tag) {
+  ++ops_;
+  maybe_kill();
+  return comm_->st_->take(rank_, source, tag);
+}
+
+void RankContext::reliable_send(int dest, int tag,
+                                std::vector<std::int64_t> data) {
+  auto& st = *comm_->st_;
+  if (dest < 0 || dest >= st.size) throw std::out_of_range("bad destination");
+  const std::uint64_t seq = ++send_seq_[static_cast<std::size_t>(dest)];
+  detail::Mailbox& mybox = *st.boxes[static_cast<std::size_t>(rank_)];
+  const auto deadline = std::chrono::steady_clock::now() + st.retry.give_up;
+  auto backoff = st.retry.initial_backoff;
+  for (int attempt = 0;; ++attempt) {
+    {
+      const int ds = st.rank_state[dest].load();
+      if (ds == detail::kKilled || ds == detail::kErrored)
+        throw RankFailedError(dest, "send to rank " + std::to_string(dest) +
+                                        ": rank " + st.state_name(dest));
+    }
+    if (attempt > 0) st.count(&TrafficStats::retries);
+    st.deliver_reliable(rank_, dest, tag, data, seq);
+    {
+      std::unique_lock lk(mybox.m);
+      const bool done = mybox.cv.wait_for(lk, backoff, [&] {
+        const auto it = mybox.acked.find(dest);
+        if (it != mybox.acked.end() && it->second >= seq) return true;
+        return st.rank_state[dest].load() != detail::kRunning;
+      });
+      if (done) {
+        const auto it = mybox.acked.find(dest);
+        if (it != mybox.acked.end() && it->second >= seq) return;
+        // Peer stopped before acking: a finished peer may still ack via a
+        // retransmit (its mailbox outlives it), but killed/errored hosts
+        // are gone for good.
+        const int ds = st.rank_state[dest].load();
+        if (ds == detail::kKilled || ds == detail::kErrored) {
+          lk.unlock();
+          throw RankFailedError(dest, "send to rank " + std::to_string(dest) +
+                                          ": rank " + st.state_name(dest) +
+                                          " before acking");
+        }
+      }
+    }
+    backoff = std::min(backoff * st.retry.backoff_factor, st.retry.max_backoff);
+    if (std::chrono::steady_clock::now() > deadline)
+      throw RankFailedError(dest, "send to rank " + std::to_string(dest) +
+                                      ": no ack within retry budget (plan " +
+                                      st.plan.describe() + ")");
+  }
+}
 
 void RankContext::send(int dest, int tag, std::vector<std::int64_t> data) {
   if (tag < 0) throw std::invalid_argument("user tags must be >= 0");
-  Message m;
-  m.source = rank_;
-  m.tag = tag;
-  m.data = std::move(data);
-  comm_->deliver(dest, std::move(m));
+  ch_send(dest, tag, std::move(data));
 }
 
 void RankContext::send_value(int dest, int tag, std::int64_t value) {
   send(dest, tag, {value});
 }
 
-Message RankContext::recv(int source, int tag) {
-  return comm_->take(rank_, source, tag);
-}
+Message RankContext::recv(int source, int tag) { return ch_take(source, tag); }
 
 std::int64_t RankContext::recv_value(int source, int tag) {
   const Message m = recv(source, tag);
@@ -151,25 +504,16 @@ std::int64_t RankContext::recv_value(int source, int tag) {
 }
 
 bool RankContext::probe(int source, int tag) {
-  return comm_->match_available(rank_, source, tag);
+  return comm_->st_->match_available(rank_, source, tag);
 }
 
 Request RankContext::irecv(int source, int tag) {
-  return Request(comm_, rank_, source, tag);
+  return Request(comm_->st_, rank_, source, tag);
 }
 
 int RankContext::next_collective_tag() {
   // Reserved negative tag space; -1 is never produced (kAnyTag).
   return -2 - (collective_seq_++);
-}
-
-void RankContext::raw_send(int dest, int tag,
-                           std::vector<std::int64_t> data) {
-  Message m;
-  m.source = rank_;
-  m.tag = tag;
-  m.data = std::move(data);
-  comm_->deliver(dest, std::move(m));
 }
 
 void RankContext::barrier() {
@@ -184,9 +528,9 @@ void RankContext::barrier() {
   while (mask < p) {
     if ((rank_ & mask) == 0) {
       const int partner = rank_ | mask;
-      if (partner < p) (void)comm_->take(rank_, partner, up_tag);
+      if (partner < p) (void)ch_take(partner, up_tag);
     } else {
-      raw_send(rank_ & ~mask, up_tag, {});
+      ch_send(rank_ & ~mask, up_tag, {});
       break;
     }
     mask <<= 1;
@@ -195,7 +539,7 @@ void RankContext::barrier() {
   mask = 1;
   while (mask < p) {
     if (rank_ & mask) {
-      (void)comm_->take(rank_, rank_ - mask, down_tag);
+      (void)ch_take(rank_ - mask, down_tag);
       break;
     }
     mask <<= 1;
@@ -204,7 +548,7 @@ void RankContext::barrier() {
   while (mask > 0) {
     if (rank_ + mask < p && (rank_ & (mask - 1)) == 0 &&
         (rank_ & mask) == 0) {
-      raw_send(rank_ + mask, down_tag, {});
+      ch_send(rank_ + mask, down_tag, {});
     }
     mask >>= 1;
   }
@@ -221,10 +565,10 @@ std::vector<std::int64_t> RankContext::broadcast(int root,
   if (algo == CollectiveAlgo::kFlat) {
     if (rank_ == root) {
       for (int r = 0; r < p; ++r)
-        if (r != root) raw_send(r, tag, data);
+        if (r != root) ch_send(r, tag, data);
       return data;
     }
-    return comm_->take(rank_, root, tag).data;
+    return ch_take(root, tag).data;
   }
 
   // Binomial tree (MPICH-style).
@@ -233,7 +577,7 @@ std::vector<std::int64_t> RankContext::broadcast(int root,
   while (mask < p) {
     if (relative & mask) {
       const int src = (rank_ - mask + p) % p;
-      data = comm_->take(rank_, src, tag).data;
+      data = ch_take(src, tag).data;
       break;
     }
     mask <<= 1;
@@ -242,7 +586,7 @@ std::vector<std::int64_t> RankContext::broadcast(int root,
   while (mask > 0) {
     if (relative + mask < p) {
       const int dst = (rank_ + mask) % p;
-      raw_send(dst, tag, data);
+      ch_send(dst, tag, data);
     }
     mask >>= 1;
   }
@@ -265,13 +609,22 @@ std::int64_t RankContext::reduce(int root, std::int64_t value, ReduceOp op,
   if (algo == CollectiveAlgo::kFlat) {
     if (rank_ == root) {
       std::int64_t acc = value;
-      for (int i = 0; i < p - 1; ++i) {
-        const Message m = comm_->take(rank_, kAnySource, tag);
-        acc = apply(op, acc, m.data.at(0));
+      if (reliable_) {
+        // Per-source receives so a dead contributor is detected instead
+        // of waiting forever on an any-source match that never comes.
+        for (int r = 0; r < p; ++r) {
+          if (r == root) continue;
+          acc = apply(op, acc, ch_take(r, tag).data.at(0));
+        }
+      } else {
+        for (int i = 0; i < p - 1; ++i) {
+          const Message m = ch_take(kAnySource, tag);
+          acc = apply(op, acc, m.data.at(0));
+        }
       }
       return acc;
     }
-    raw_send(root, tag, {value});
+    ch_send(root, tag, {value});
     return identity(op);
   }
 
@@ -284,12 +637,12 @@ std::int64_t RankContext::reduce(int root, std::int64_t value, ReduceOp op,
       const int partner_rel = relative | mask;
       if (partner_rel < p) {
         const int src = (partner_rel + root) % p;
-        const Message m = comm_->take(rank_, src, tag);
+        const Message m = ch_take(src, tag);
         acc = apply(op, acc, m.data.at(0));
       }
     } else {
       const int dst = ((relative & ~mask) + root) % p;
-      raw_send(dst, tag, {acc});
+      ch_send(dst, tag, {acc});
       return identity(op);
     }
     mask <<= 1;
@@ -307,15 +660,14 @@ std::vector<std::int64_t> RankContext::gather(int root, std::int64_t value) {
   const int p = size();
   if (root < 0 || root >= p) throw std::out_of_range("bad root");
   if (rank_ != root) {
-    raw_send(root, tag, {value});
+    ch_send(root, tag, {value});
     return {};
   }
   std::vector<std::int64_t> out(static_cast<std::size_t>(p));
   out[static_cast<std::size_t>(rank_)] = value;
   for (int r = 0; r < p; ++r) {
     if (r == root) continue;
-    out[static_cast<std::size_t>(r)] =
-        comm_->take(rank_, r, tag).data.at(0);
+    out[static_cast<std::size_t>(r)] = ch_take(r, tag).data.at(0);
   }
   return out;
 }
@@ -330,11 +682,10 @@ std::int64_t RankContext::scatter(int root,
       throw std::invalid_argument("scatter needs exactly P values at root");
     for (int r = 0; r < p; ++r)
       if (r != root)
-        raw_send(r, tag,
-                 {values[static_cast<std::size_t>(r)]});
+        ch_send(r, tag, {values[static_cast<std::size_t>(r)]});
     return values[static_cast<std::size_t>(rank_)];
   }
-  return comm_->take(rank_, root, tag).data.at(0);
+  return ch_take(root, tag).data.at(0);
 }
 
 std::vector<std::int64_t> RankContext::allgather(std::int64_t value) {
@@ -352,7 +703,7 @@ std::vector<std::vector<std::int64_t>> RankContext::alltoall(
   // Buffered sends: post everything, then collect per-source.
   for (int d = 0; d < p; ++d) {
     if (d == rank_) continue;
-    raw_send(d, tag, std::move(outgoing[static_cast<std::size_t>(d)]));
+    ch_send(d, tag, std::move(outgoing[static_cast<std::size_t>(d)]));
   }
   std::vector<std::vector<std::int64_t>> incoming(
       static_cast<std::size_t>(p));
@@ -360,8 +711,7 @@ std::vector<std::vector<std::int64_t>> RankContext::alltoall(
       std::move(outgoing[static_cast<std::size_t>(rank_)]);
   for (int s = 0; s < p; ++s) {
     if (s == rank_) continue;
-    incoming[static_cast<std::size_t>(s)] =
-        comm_->take(rank_, s, tag).data;
+    incoming[static_cast<std::size_t>(s)] = ch_take(s, tag).data;
   }
   return incoming;
 }
@@ -369,17 +719,17 @@ std::vector<std::vector<std::int64_t>> RankContext::alltoall(
 std::vector<std::int64_t> RankContext::sendrecv(
     int dest, std::vector<std::int64_t> data, int source) {
   const int tag = next_collective_tag();
-  raw_send(dest, tag, std::move(data));
-  return comm_->take(rank_, source, tag).data;
+  ch_send(dest, tag, std::move(data));
+  return ch_take(source, tag).data;
 }
 
 std::int64_t RankContext::exscan(std::int64_t value, ReduceOp op) {
   const int tag = next_collective_tag();
   const int p = size();
   std::int64_t prefix = identity(op);
-  if (rank_ > 0) prefix = comm_->take(rank_, rank_ - 1, tag).data.at(0);
+  if (rank_ > 0) prefix = ch_take(rank_ - 1, tag).data.at(0);
   if (rank_ + 1 < p)
-    raw_send(rank_ + 1, tag, {apply(op, prefix, value)});
+    ch_send(rank_ + 1, tag, {apply(op, prefix, value)});
   return prefix;
 }
 

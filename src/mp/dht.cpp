@@ -1,8 +1,26 @@
 #include "pdc/mp/dht.hpp"
 
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 namespace pdc::mp {
+
+namespace {
+/// Flip the context onto the reliable channel for one round, restoring
+/// the caller's mode on every exit path (including RankFailedError).
+class ReliableScope {
+ public:
+  ReliableScope(RankContext& ctx, bool want) : ctx_(ctx), prev_(ctx.reliable()) {
+    if (want) ctx_.set_reliable(true);
+  }
+  ~ReliableScope() { ctx_.set_reliable(prev_); }
+
+ private:
+  RankContext& ctx_;
+  bool prev_;
+};
+}  // namespace
 
 int BspHashMap::owner(std::int64_t key) const {
   return static_cast<int>(std::hash<std::int64_t>{}(key) %
@@ -18,10 +36,14 @@ void BspHashMap::queue_get(std::int64_t key) {
 }
 
 std::vector<BspHashMap::GetResult> BspHashMap::round() {
+  ReliableScope guard(*ctx_, opts_.reliable);
   const int p = ctx_->size();
   const auto up = static_cast<std::size_t>(p);
+  const std::int64_t this_round = ++round_;
 
-  // Wire format per destination: [n_puts, k1, v1, ..., n_gets, g1, ...].
+  // Wire format per destination:
+  // [round, n_puts, k1, v1, ..., n_gets, g1, ...]. The round number lets
+  // the owner assert exactly-once application per source.
   std::vector<std::vector<std::int64_t>> outgoing(up);
   {
     std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> puts(up);
@@ -33,6 +55,7 @@ std::vector<BspHashMap::GetResult> BspHashMap::round() {
     }
     for (std::size_t d = 0; d < up; ++d) {
       auto& msg = outgoing[d];
+      msg.push_back(this_round);
       msg.push_back(static_cast<std::int64_t>(puts[d].size()));
       for (const auto& [k, v] : puts[d]) {
         msg.push_back(k);
@@ -56,6 +79,13 @@ std::vector<BspHashMap::GetResult> BspHashMap::round() {
   for (std::size_t s = 0; s < up; ++s) {
     const auto& msg = incoming[s];
     std::size_t i = 0;
+    const auto got_round = msg.at(i++);
+    if (got_round != peer_round_[s] + 1)
+      throw std::logic_error(
+          "dht: round desync from rank " + std::to_string(s) + " (expected " +
+          std::to_string(peer_round_[s] + 1) + ", got " +
+          std::to_string(got_round) + ") — a batch was replayed or lost");
+    peer_round_[s] = got_round;
     const auto n_puts = static_cast<std::size_t>(msg.at(i++));
     for (std::size_t k = 0; k < n_puts; ++k) {
       const auto key = msg.at(i++);
@@ -65,7 +95,7 @@ std::vector<BspHashMap::GetResult> BspHashMap::round() {
   }
   for (std::size_t s = 0; s < up; ++s) {
     const auto& msg = incoming[s];
-    std::size_t i = 0;
+    std::size_t i = 1;  // skip round number
     const auto n_puts = static_cast<std::size_t>(msg.at(i++));
     i += 2 * n_puts;
     const auto n = static_cast<std::size_t>(msg.at(i++));

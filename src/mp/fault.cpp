@@ -1,0 +1,24 @@
+#include "pdc/mp/fault.hpp"
+
+#include <cstdio>
+
+namespace pdc::mp {
+
+std::string FaultPlan::describe() const {
+  char buf[192];
+  char kill[32];
+  if (kill_rank >= 0) {
+    std::snprintf(kill, sizeof(kill), "%d@%d", kill_rank, kill_after_ops);
+  } else {
+    std::snprintf(kill, sizeof(kill), "none");
+  }
+  std::snprintf(buf, sizeof(buf),
+                "FaultPlan{drop=%.3f,dup=%.3f,reorder=%d,delay_prob=%.2f,"
+                "max_delay=%d,jitter=%d,kill=%s,seed=%llu}",
+                drop, dup, reorder ? 1 : 0, delay_prob, max_delay,
+                jitter ? 1 : 0, kill,
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+}  // namespace pdc::mp

@@ -8,6 +8,15 @@
 // The substitution for real MPI on a cluster: wall-clock network cost is
 // replaced by exact traffic accounting (messages and payload words), which
 // is what the course's analysis compares anyway.
+//
+// Two channels share the mailbox fabric:
+//  - the plain channel: exact, in-order, instant (the seed behavior), and
+//  - the reliable channel (RankContext::set_reliable): per-flow sequence
+//    numbers, transport acks, timeout + exponential-backoff retransmit,
+//    and duplicate suppression — the machinery a FaultPlan (fault.hpp)
+//    attacks with drops, duplicates, reordering and rank-kill.
+// Blocked receives on either channel detect dead/exited peers and throw
+// RankFailedError instead of hanging.
 
 #include <condition_variable>
 #include <cstdint>
@@ -17,6 +26,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "pdc/mp/fault.hpp"
 
 namespace pdc::mp {
 
@@ -42,15 +53,29 @@ enum class CollectiveAlgo {
   kTree,  ///< binomial tree: P-1 messages, ceil(log2 P) rounds
 };
 
-/// Aggregate traffic counters for a communicator run.
+/// Aggregate traffic counters for a communicator run. The reliability
+/// counters stay zero on a clean plain-channel run, so benches can price
+/// exactly what a fault plan and the retry machinery cost.
 struct TrafficStats {
-  std::uint64_t messages = 0;
+  std::uint64_t messages = 0;       ///< data messages enqueued at a mailbox
   std::uint64_t payload_words = 0;  ///< total int64 values moved
+  std::uint64_t acks = 0;        ///< transport acks delivered to senders
+  std::uint64_t retries = 0;     ///< retransmission attempts (reliable sends)
+  std::uint64_t dropped = 0;     ///< deliveries eaten by the fault plan
+  std::uint64_t duplicates = 0;  ///< replayed copies suppressed by seq dedup
+  std::uint64_t delayed = 0;     ///< deliveries held back for reordering
 };
 
 class Communicator;
 
-/// Handle for a nonblocking receive.
+namespace detail {
+struct CommState;
+}
+
+/// Handle for a nonblocking receive. Holds only a weak reference to the
+/// communicator's shared state: a Request that leaks out of a rank body
+/// and outlives its Communicator throws std::runtime_error from test()
+/// and wait() instead of touching freed memory.
 class Request {
  public:
   /// True once a matching message is available (does not consume it).
@@ -60,9 +85,10 @@ class Request {
 
  private:
   friend class RankContext;
-  Request(Communicator* comm, int rank, int source, int tag)
-      : comm_(comm), rank_(rank), source_(source), tag_(tag) {}
-  Communicator* comm_;
+  Request(std::weak_ptr<detail::CommState> state, int rank, int source,
+          int tag)
+      : state_(std::move(state)), rank_(rank), source_(source), tag_(tag) {}
+  std::weak_ptr<detail::CommState> state_;
   int rank_;
   int source_;
   int tag_;
@@ -74,6 +100,16 @@ class RankContext {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const;
 
+  /// Route this rank's sends (point-to-point AND collectives) through the
+  /// reliable channel: sequence numbers, acks, retransmit on loss, dead
+  /// rank detection. Off by default — the plain channel is exact.
+  void set_reliable(bool on) { reliable_ = on; }
+  [[nodiscard]] bool reliable() const { return reliable_; }
+
+  /// The communicator's fault plan (test hook: lets harness bodies key
+  /// expectations off the active plan).
+  [[nodiscard]] const FaultPlan& fault_plan() const;
+
   // ---- point to point ----
 
   /// Buffered send: enqueues and returns (like MPI_Send with buffering).
@@ -82,6 +118,7 @@ class RankContext {
   void send_value(int dest, int tag, std::int64_t value);
 
   /// Blocking receive with optional wildcards kAnySource / kAnyTag.
+  /// Throws RankFailedError if the awaited source can no longer send.
   Message recv(int source = kAnySource, int tag = kAnyTag);
   std::int64_t recv_value(int source = kAnySource, int tag = kAnyTag);
 
@@ -134,27 +171,51 @@ class RankContext {
 
  private:
   friend class Communicator;
-  RankContext(Communicator* comm, int rank) : comm_(comm), rank_(rank) {}
+  RankContext(Communicator* comm, int rank);
 
   /// Fresh reserved (negative) tag for the next collective. Every rank
   /// calls collectives in the same order, so local counters agree.
   [[nodiscard]] int next_collective_tag();
 
-  /// Internal send that bypasses the user-tag check (reserved tags).
-  void raw_send(int dest, int tag, std::vector<std::int64_t> data);
+  /// If the fault plan kills this rank at this op count, die now.
+  void maybe_kill();
+
+  /// Channel send/take: count the op, honor the kill schedule, then route
+  /// through the plain or reliable channel. All p2p calls and collective
+  /// message patterns funnel through these two.
+  void ch_send(int dest, int tag, std::vector<std::int64_t> data);
+  Message ch_take(int source, int tag);
+
+  /// Reliable channel: stop-and-wait per (this rank -> dest) flow with
+  /// retransmission; throws RankFailedError if dest dies or never acks.
+  void reliable_send(int dest, int tag, std::vector<std::int64_t> data);
 
   Communicator* comm_;
   int rank_;
   int collective_seq_ = 0;
+  bool reliable_ = false;
+  long ops_ = 0;                           ///< channel ops completed (kill clock)
+  std::vector<std::uint64_t> send_seq_;    ///< per-dest reliable flow sequence
 };
 
 /// Runs an SPMD function over `size` ranks (one thread per rank).
 class Communicator {
  public:
   explicit Communicator(int size);
+  Communicator(int size, FaultPlan plan);
+
+  /// Install a fault schedule (before run). See fault.hpp.
+  void set_fault_plan(FaultPlan plan);
+  [[nodiscard]] const FaultPlan& fault_plan() const;
+
+  /// Tune the reliable channel's retransmission behavior (before run).
+  void set_retry_policy(RetryPolicy policy);
+  [[nodiscard]] const RetryPolicy& retry_policy() const;
 
   /// Launch all ranks, wait for completion. Exceptions from any rank are
-  /// rethrown (first by rank order) after all threads join.
+  /// rethrown after all threads join — root-cause (non-RankFailedError)
+  /// exceptions first by rank order; a fault-plan kill surfaces as a
+  /// deterministic RankFailedError naming the victim and the plan.
   void run(const std::function<void(RankContext&)>& body);
 
   [[nodiscard]] int size() const { return size_; }
@@ -165,20 +226,8 @@ class Communicator {
   friend class RankContext;
   friend class Request;
 
-  struct Mailbox {
-    std::mutex m;
-    std::condition_variable cv;
-    std::deque<Message> queue;
-  };
-
-  void deliver(int dest, Message msg);
-  [[nodiscard]] bool match_available(int rank, int source, int tag);
-  Message take(int rank, int source, int tag);  // blocking
-
   int size_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  mutable std::mutex traffic_m_;
-  TrafficStats traffic_;
+  std::shared_ptr<detail::CommState> st_;
 };
 
 }  // namespace pdc::mp

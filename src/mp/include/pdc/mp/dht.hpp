@@ -6,6 +6,16 @@
 // get results. The BSP batching makes the protocol deadlock-free on top
 // of plain collectives — the same structure as a distributed join's
 // exchange phase.
+//
+// Reliable mode routes both all-to-alls over the communicator's reliable
+// channel: every request batch is sequence-numbered per flow, acked, and
+// retransmitted with exponential backoff on loss; replayed batches are
+// suppressed at the transport, and each round additionally carries a
+// round number so an owner can prove it applies every batch exactly once
+// (a replayed or skipped round throws instead of silently corrupting the
+// shard). Under a FaultPlan, a round either completes with the fault-free
+// answer or throws RankFailedError — it never hangs and never returns a
+// wrong answer.
 
 #include <cstdint>
 #include <optional>
@@ -20,7 +30,17 @@ namespace pdc::mp {
 /// ranks must call round() collectively (same number of times).
 class BspHashMap {
  public:
-  explicit BspHashMap(RankContext& ctx) : ctx_(&ctx) {}
+  struct Options {
+    /// Route rounds over the reliable channel (seq/ack/retry + dead-rank
+    /// detection), regardless of the context's current channel mode.
+    bool reliable = false;
+  };
+
+  explicit BspHashMap(RankContext& ctx) : BspHashMap(ctx, Options{}) {}
+  BspHashMap(RankContext& ctx, Options opts)
+      : ctx_(&ctx),
+        opts_(opts),
+        peer_round_(static_cast<std::size_t>(ctx.size()), 0) {}
 
   /// Queue a put for the next round (applied at the owner).
   void queue_put(std::int64_t key, std::int64_t value);
@@ -50,9 +70,12 @@ class BspHashMap {
 
  private:
   RankContext* ctx_;
+  Options opts_;
   std::unordered_map<std::int64_t, std::int64_t> shard_;
   std::vector<std::pair<std::int64_t, std::int64_t>> pending_puts_;
   std::vector<std::int64_t> pending_gets_;
+  std::int64_t round_ = 0;            ///< rounds this rank has issued
+  std::vector<std::int64_t> peer_round_;  ///< last round applied per source
 };
 
 }  // namespace pdc::mp

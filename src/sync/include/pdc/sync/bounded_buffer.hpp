@@ -3,6 +3,7 @@
 // synchronization problem, solved with one mutex and two condition
 // variables. close() gives clean multi-producer/multi-consumer shutdown.
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -33,6 +34,20 @@ class BoundedBuffer {
     return true;
   }
 
+  /// Timed enqueue: wait up to `timeout` for space; false on timeout or
+  /// if the buffer is (or becomes) closed.
+  bool try_push_for(T item, std::chrono::milliseconds timeout) {
+    std::unique_lock lk(m_);
+    if (!not_full_.wait_for(lk, timeout,
+                            [&] { return q_.size() < capacity_ || closed_; }))
+      return false;
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking enqueue; false if full or closed.
   bool try_push(T item) {
     {
@@ -49,6 +64,21 @@ class BoundedBuffer {
   std::optional<T> pop() {
     std::unique_lock lk(m_);
     not_empty_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Timed dequeue: wait up to `timeout` for an item; std::nullopt on
+  /// timeout or when the buffer is closed and drained.
+  std::optional<T> try_pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lk(m_);
+    if (!not_empty_.wait_for(lk, timeout,
+                             [&] { return !q_.empty() || closed_; }))
+      return std::nullopt;
     if (q_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(q_.front());
     q_.pop_front();

@@ -1,0 +1,185 @@
+#include "fuzzer.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+namespace pdc::testing {
+
+namespace mp = pdc::mp;
+
+int stress_iters(int fallback) {
+  if (const char* s = std::getenv("PDC_STRESS_ITERS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+mp::FaultPlan plan_from_seed(std::uint64_t seed, int ranks, bool allow_kill) {
+  auto h = [seed](std::uint64_t salt) {
+    return mp::detail::fault_hash(seed, salt, 0x66757a7a /* "fuzz" */, 0, 0);
+  };
+  static constexpr double kDropChoices[] = {0.0, 0.01, 0.05, 0.1, 0.3};
+  static constexpr double kDupChoices[] = {0.0, 0.01, 0.05, 0.1};
+  mp::FaultPlan p;
+  p.seed = seed;
+  p.drop = kDropChoices[h(1) % 5];
+  p.dup = kDupChoices[h(2) % 4];
+  p.reorder = (h(3) & 1) != 0;
+  p.max_delay = 1 + static_cast<int>(h(4) % 4);
+  p.jitter = (h(5) & 1) != 0;
+  if (allow_kill && h(6) % 4 == 0) {
+    p.kill_rank = static_cast<int>(h(7) % static_cast<std::uint64_t>(ranks));
+    p.kill_after_ops = static_cast<int>(h(8) % 24);
+  }
+  return p;
+}
+
+RunResult run_plan(int ranks, const mp::FaultPlan& plan, const SpmdBody& body) {
+  RunResult out;
+  out.per_rank.assign(static_cast<std::size_t>(ranks), {});
+  mp::Communicator comm(ranks, plan);
+  try {
+    comm.run([&](mp::RankContext& ctx) {
+      ctx.set_reliable(true);
+      out.per_rank[static_cast<std::size_t>(ctx.rank())] = body(ctx);
+    });
+  } catch (const mp::RankFailedError& e) {
+    out.outcome = Outcome::kRankFailed;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.outcome = Outcome::kError;
+    out.error = e.what();
+  } catch (...) {
+    out.outcome = Outcome::kError;
+    out.error = "non-standard exception";
+  }
+  out.traffic = comm.traffic();
+  return out;
+}
+
+std::string FuzzReport::repro() const {
+  return "seed=" + std::to_string(seed) + " plan=" + plan.describe();
+}
+
+void report_failure(std::uint64_t seed, const mp::FaultPlan& plan,
+                    const std::string& what) {
+  const std::string line =
+      "[pdc-fuzz] REPRO seed=" + std::to_string(seed) +
+      " plan=" + plan.describe() + " failure: " + what;
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
+  if (const char* path = std::getenv("PDC_FUZZ_ARTIFACT")) {
+    std::ofstream f(path, std::ios::app);
+    f << line << "\n";
+  }
+}
+
+namespace {
+
+/// What (if anything) is wrong with one iteration's outcome.
+std::string judge(const RunResult& r, const mp::FaultPlan& plan,
+                  const RunResult& baseline) {
+  if (r.outcome == Outcome::kError)
+    return "unexpected exception: " + r.error;
+  if (r.outcome == Outcome::kRankFailed) {
+    if (plan.kills()) return {};  // clean failure is a legal outcome
+    return "RankFailedError without a kill in the plan: " + r.error;
+  }
+  if (r.per_rank != baseline.per_rank)
+    return "result mismatch vs fault-free baseline";
+  return {};
+}
+
+/// Greedy shrink: disable fault dimensions one at a time, keeping each
+/// simplification that still reproduces the failure.
+mp::FaultPlan shrink_plan(mp::FaultPlan plan, int ranks, const SpmdBody& body,
+                          const RunResult& baseline) {
+  auto still_fails = [&](const mp::FaultPlan& candidate) {
+    return !judge(run_plan(ranks, candidate, body), candidate, baseline)
+                .empty();
+  };
+  auto try_keep = [&](auto mutate) {
+    mp::FaultPlan candidate = plan;
+    mutate(candidate);
+    if (still_fails(candidate)) plan = candidate;
+  };
+  try_keep([](mp::FaultPlan& c) { c.kill_rank = -1; c.kill_after_ops = 0; });
+  try_keep([](mp::FaultPlan& c) { c.reorder = false; });
+  try_keep([](mp::FaultPlan& c) { c.jitter = false; });
+  try_keep([](mp::FaultPlan& c) { c.dup = 0.0; });
+  try_keep([](mp::FaultPlan& c) { c.drop = 0.0; });
+  try_keep([](mp::FaultPlan& c) { c.max_delay = 1; });
+  return plan;
+}
+
+/// Aborts the process if an iteration outlives its budget; prints the
+/// repro line first so CI still gets the (seed, plan) pair.
+class Watchdog {
+ public:
+  Watchdog(std::chrono::seconds budget, std::uint64_t seed,
+           const mp::FaultPlan& plan)
+      : thread_([this, budget, seed, plan] {
+          std::unique_lock lk(m_);
+          if (!cv_.wait_for(lk, budget, [&] { return done_; })) {
+            report_failure(seed, plan,
+                           "HANG: iteration exceeded watchdog budget");
+            std::abort();
+          }
+        }) {}
+  ~Watchdog() {
+    {
+      std::lock_guard lk(m_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+FuzzReport fuzz_spmd(const FuzzOptions& opt, const SpmdBody& body) {
+  FuzzReport report;
+  const RunResult baseline = run_plan(opt.ranks, mp::FaultPlan{}, body);
+  if (baseline.outcome != Outcome::kOk) {
+    report.ok = false;
+    report.failure = "fault-free baseline failed: " + baseline.error;
+    report_failure(0, mp::FaultPlan{}, report.failure);
+    return report;
+  }
+  for (int i = 0; i < opt.iterations; ++i) {
+    const std::uint64_t seed =
+        mp::detail::mix64(opt.base_seed + static_cast<std::uint64_t>(i));
+    const mp::FaultPlan plan = plan_from_seed(seed, opt.ranks, opt.allow_kill);
+    std::string verdict;
+    {
+      Watchdog dog(opt.hang_timeout, seed, plan);
+      verdict = judge(run_plan(opt.ranks, plan, body), plan, baseline);
+    }
+    ++report.iterations_run;
+    if (!verdict.empty()) {
+      report.ok = false;
+      report.seed = seed;
+      report.failure = verdict;
+      report.plan =
+          opt.shrink ? shrink_plan(plan, opt.ranks, body, baseline) : plan;
+      report_failure(seed, report.plan, verdict);
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace pdc::testing

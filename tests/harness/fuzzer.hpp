@@ -1,0 +1,94 @@
+#pragma once
+// pdc::testing — deterministic schedule/fault fuzzer for SPMD bodies.
+//
+// The harness runs a body hundreds of times, each under a FaultPlan
+// derived from a seed, on the reliable channel. Every iteration must
+// either reproduce the fault-free baseline bit-for-bit or (when the plan
+// kills a rank) fail with a clean RankFailedError. Anything else — a
+// wrong answer, an unexpected exception, a hang — is a bug; the harness
+// shrinks the plan to a minimal failing one and prints a
+//   [pdc-fuzz] REPRO seed=<seed> plan=FaultPlan{...}
+// line (also appended to $PDC_FUZZ_ARTIFACT if set) that replays the
+// failure deterministically. A watchdog aborts a stuck iteration after
+// `hang_timeout`, printing the repro line first, so an injected deadlock
+// fails fast instead of hanging the suite.
+//
+// This is permanent correctness tooling: any future mp/sync/core change
+// can wrap its protocol in a body and inherit the whole adversarial
+// schedule sweep.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pdc/mp/comm.hpp"
+#include "pdc/mp/fault.hpp"
+
+namespace pdc::testing {
+
+/// The SPMD code under test. Runs on the reliable channel; returns a
+/// per-rank digest (any deterministic fingerprint of the rank's results)
+/// that the harness compares against the fault-free baseline.
+using SpmdBody =
+    std::function<std::vector<std::int64_t>(pdc::mp::RankContext&)>;
+
+/// Iteration budget: $PDC_STRESS_ITERS overrides `fallback` (the CI
+/// stress job time-boxes the sweep with it).
+[[nodiscard]] int stress_iters(int fallback);
+
+/// Derive a fault plan from a seed: drop in {0..0.3}, dup in {0..0.1},
+/// reorder/jitter coin flips, and (when allowed) a rank-kill. Pure
+/// function of (seed, ranks, allow_kill).
+[[nodiscard]] pdc::mp::FaultPlan plan_from_seed(std::uint64_t seed, int ranks,
+                                                bool allow_kill);
+
+enum class Outcome {
+  kOk,          ///< run completed; per_rank holds every rank's digest
+  kRankFailed,  ///< run threw RankFailedError (legitimate under a kill)
+  kError,       ///< run threw anything else
+};
+
+struct RunResult {
+  Outcome outcome = Outcome::kOk;
+  std::vector<std::vector<std::int64_t>> per_rank;
+  std::string error;  ///< what() when outcome != kOk
+  pdc::mp::TrafficStats traffic;
+};
+
+/// Execute one (ranks, plan, body) run on the reliable channel.
+/// Deterministic in its observable outcome for a fixed (seed, plan).
+[[nodiscard]] RunResult run_plan(int ranks, const pdc::mp::FaultPlan& plan,
+                                 const SpmdBody& body);
+
+struct FuzzOptions {
+  int ranks = 4;
+  int iterations = 100;
+  std::uint64_t base_seed = 0xC0FFEE0DULL;
+  bool allow_kill = true;
+  bool shrink = true;
+  /// Watchdog: abort the process (after printing the repro line) if one
+  /// iteration runs longer than this — a hang IS the bug being hunted.
+  std::chrono::seconds hang_timeout{30};
+};
+
+struct FuzzReport {
+  bool ok = true;
+  int iterations_run = 0;
+  std::uint64_t seed = 0;        ///< failing seed (when !ok)
+  pdc::mp::FaultPlan plan;       ///< shrunk failing plan (when !ok)
+  std::string failure;           ///< what went wrong
+  [[nodiscard]] std::string repro() const;
+};
+
+/// The fuzzer: baseline run, then `iterations` seeded fault plans.
+/// Returns on the first failure (shrunk), or ok after the full sweep.
+[[nodiscard]] FuzzReport fuzz_spmd(const FuzzOptions& opt,
+                                   const SpmdBody& body);
+
+/// Print (and persist to $PDC_FUZZ_ARTIFACT) a repro line.
+void report_failure(std::uint64_t seed, const pdc::mp::FaultPlan& plan,
+                    const std::string& what);
+
+}  // namespace pdc::testing

@@ -1,0 +1,201 @@
+// Property sweep + fuzzer self-tests. The sweep runs every collective
+// (broadcast, reduce, scatter, gather, allgather — plus allreduce,
+// exscan and barrier for coverage) under both algorithms and rank counts
+// {1, 2, 3, 7, 8}, each against stress_iters(200) seeded fault plans:
+// every run must reproduce the fault-free baseline bit-for-bit or (when
+// the plan kills a rank) throw a clean RankFailedError. A hang trips the
+// harness watchdog, which prints the (seed, plan) repro and aborts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fuzzer.hpp"
+#include "pdc/mp/comm.hpp"
+#include "pdc/mp/dht.hpp"
+#include "pdc/mp/fault.hpp"
+
+namespace mp = pdc::mp;
+namespace pt = pdc::testing;
+
+namespace {
+
+/// Digest body exercising all five collectives (and the derived ones)
+/// with rank-dependent inputs, so a single misrouted or stale word
+/// changes some rank's digest.
+pt::SpmdBody collective_body(mp::CollectiveAlgo algo) {
+  return [algo](mp::RankContext& ctx) -> std::vector<std::int64_t> {
+    const int p = ctx.size();
+    const int r = ctx.rank();
+    std::vector<std::int64_t> digest;
+
+    digest.push_back(ctx.broadcast_value(p / 2, r == p / 2 ? 4242 : 0, algo));
+    digest.push_back(ctx.reduce(0, (r + 1) * (r + 1), mp::ReduceOp::kSum, algo));
+
+    std::vector<std::int64_t> chunks;
+    if (r == p - 1)
+      for (int i = 0; i < p; ++i) chunks.push_back(100 + i * 3);
+    digest.push_back(ctx.scatter(p - 1, chunks));
+
+    const auto gathered = ctx.gather(0, r * 7 + 1);
+    digest.insert(digest.end(), gathered.begin(), gathered.end());
+
+    const auto all = ctx.allgather(r * r - r);
+    digest.insert(digest.end(), all.begin(), all.end());
+
+    digest.push_back(ctx.allreduce(r + 1, mp::ReduceOp::kMax));
+    digest.push_back(ctx.exscan(r + 1, mp::ReduceOp::kSum));
+    ctx.barrier();
+    return digest;
+  };
+}
+
+}  // namespace
+
+// ------------------------------------------------- collective sweep ---
+
+class CollectiveFuzzSweep
+    : public ::testing::TestWithParam<std::tuple<int, mp::CollectiveAlgo>> {};
+
+TEST_P(CollectiveFuzzSweep, SurvivesSeededFaultPlans) {
+  const auto [ranks, algo] = GetParam();
+  pt::FuzzOptions opt;
+  opt.ranks = ranks;
+  opt.iterations = pt::stress_iters(200);
+  // Distinct seed stream per cell so cells don't retread the same plans.
+  opt.base_seed = 0xC0FFEE0DULL + static_cast<std::uint64_t>(ranks) * 131 +
+                  (algo == mp::CollectiveAlgo::kTree ? 7 : 0);
+  const auto report = pt::fuzz_spmd(opt, collective_body(algo));
+  EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
+  EXPECT_EQ(report.iterations_run, opt.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndAlgos, CollectiveFuzzSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 8),
+                       ::testing::Values(mp::CollectiveAlgo::kFlat,
+                                         mp::CollectiveAlgo::kTree)),
+    [](const auto& info) {
+      return "P" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == mp::CollectiveAlgo::kFlat ? "Flat"
+                                                                   : "Tree");
+    });
+
+// ------------------------------------------------------- dht sweep ---
+
+TEST(DhtFuzz, ReliableRoundsSurviveFaultPlans) {
+  pt::FuzzOptions opt;
+  opt.ranks = 4;
+  opt.iterations = pt::stress_iters(150);
+  opt.base_seed = 0xD47ULL;
+  const auto report = pt::fuzz_spmd(opt, [](mp::RankContext& ctx) {
+    const int p = ctx.size();
+    const int r = ctx.rank();
+    mp::BspHashMap dht(ctx, {true});
+    for (int i = 0; i < 8; ++i) dht.queue_put(r * 100 + i, r * 1000 + i);
+    (void)dht.round();
+    const int peer = (r + 1) % p;
+    for (int i = 0; i < 8; ++i) dht.queue_get(peer * 100 + i);
+    dht.queue_get(-12345);  // never written
+    std::vector<std::int64_t> digest;
+    for (const auto& g : dht.round()) {
+      digest.push_back(g.found ? 1 : 0);
+      digest.push_back(g.value);
+    }
+    return digest;
+  });
+  EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
+}
+
+// ---------------------------------------------- point-to-point sweep ---
+
+TEST(P2pFuzz, RingPipelineSurvivesFaultPlans) {
+  // Each rank streams 12 tagged values to its right neighbor and reads
+  // 12 from its left — lots of concurrent per-flow traffic, the worst
+  // case for the reorder/dup machinery.
+  pt::FuzzOptions opt;
+  opt.ranks = 5;
+  opt.iterations = pt::stress_iters(150);
+  opt.base_seed = 0x9121ULL;
+  const auto report = pt::fuzz_spmd(opt, [](mp::RankContext& ctx) {
+    const int p = ctx.size();
+    const int r = ctx.rank();
+    const int right = (r + 1) % p;
+    const int left = (r + p - 1) % p;
+    for (std::int64_t i = 0; i < 12; ++i)
+      ctx.send_value(right, static_cast<int>(i % 3), r * 1000 + i);
+    std::vector<std::int64_t> digest;
+    for (std::int64_t i = 0; i < 12; ++i)
+      digest.push_back(ctx.recv_value(left, static_cast<int>(i % 3)));
+    return digest;
+  });
+  EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
+}
+
+// ------------------------------------------------- fuzzer self-test ---
+
+TEST(FuzzerSelfTest, CatchesShrinksAndReportsABuggyBody) {
+  // A deliberately buggy body: gives the wrong answer whenever the plan
+  // drops aggressively. The fuzzer must catch it, shrink the plan down
+  // to the one dimension that matters (drop), and emit a usable repro.
+  pt::FuzzOptions opt;
+  opt.ranks = 2;
+  opt.iterations = 60;
+  opt.base_seed = 0xBADBEEFULL;
+  opt.allow_kill = false;  // keep the failure purely answer-mismatch
+  const auto buggy = [](mp::RankContext& ctx) -> std::vector<std::int64_t> {
+    if (ctx.fault_plan().drop > 0.2) return {999};  // the "bug"
+    return {ctx.allreduce(ctx.rank(), mp::ReduceOp::kSum)};
+  };
+  const auto report = pt::fuzz_spmd(opt, buggy);
+  ASSERT_FALSE(report.ok) << "the fuzzer must find the injected bug";
+  EXPECT_GT(report.plan.drop, 0.2) << "shrink must keep the triggering dim";
+  EXPECT_EQ(report.plan.dup, 0.0) << "shrink must zero the irrelevant dims";
+  EXPECT_FALSE(report.plan.reorder);
+  EXPECT_FALSE(report.plan.kills());
+  EXPECT_NE(report.repro().find("seed="), std::string::npos);
+  EXPECT_NE(report.repro().find("plan=FaultPlan{"), std::string::npos);
+}
+
+TEST(FuzzerSelfTest, ShrunkReproReplaysDeterministically) {
+  // The repro contract end to end: take the shrunk (seed, plan) from a
+  // caught failure and replay it 10 times — identical verdict every time.
+  pt::FuzzOptions opt;
+  opt.ranks = 2;
+  opt.iterations = 60;
+  opt.base_seed = 0xBADBEEFULL;
+  opt.allow_kill = false;
+  const auto buggy = [](mp::RankContext& ctx) -> std::vector<std::int64_t> {
+    if (ctx.fault_plan().drop > 0.2) return {999};
+    return {ctx.allreduce(ctx.rank(), mp::ReduceOp::kSum)};
+  };
+  const auto report = pt::fuzz_spmd(opt, buggy);
+  ASSERT_FALSE(report.ok);
+  const auto first = pt::run_plan(opt.ranks, report.plan, buggy);
+  for (int i = 0; i < 9; ++i) {
+    const auto again = pt::run_plan(opt.ranks, report.plan, buggy);
+    EXPECT_EQ(again.outcome, first.outcome) << "replay " << i;
+    EXPECT_EQ(again.per_rank, first.per_rank) << "replay " << i;
+    EXPECT_EQ(again.error, first.error) << "replay " << i;
+  }
+}
+
+TEST(FuzzerSelfTest, CleanBodyPassesWithKillsAllowed) {
+  // Sanity: a correct body sweeps clean even when plans may kill ranks —
+  // kills surface as RankFailedError, which the judge accepts.
+  pt::FuzzOptions opt;
+  opt.ranks = 3;
+  opt.iterations = 40;
+  opt.base_seed = 0x50DAULL;
+  opt.allow_kill = true;
+  const auto report = pt::fuzz_spmd(opt, [](mp::RankContext& ctx) {
+    return std::vector<std::int64_t>{
+        ctx.allreduce(ctx.rank() * 3 + 1, mp::ReduceOp::kSum),
+        ctx.exscan(1, mp::ReduceOp::kSum)};
+  });
+  EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
+  EXPECT_EQ(report.iterations_run, 40);
+}

@@ -314,6 +314,55 @@ TEST(BoundedBuffer, ProducerConsumerDeliversEverythingExactlyOnce) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(BoundedBuffer, TimedPopTimesOutOnEmptyThenSucceeds) {
+  ps::BoundedBuffer<int> buf(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(buf.try_pop_for(30ms), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+  (void)buf.push(7);
+  EXPECT_EQ(buf.try_pop_for(30ms).value(), 7);
+}
+
+TEST(BoundedBuffer, TimedPushTimesOutOnFullThenSucceeds) {
+  ps::BoundedBuffer<int> buf(1);
+  (void)buf.push(1);  // full
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(buf.try_push_for(2, 30ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+  (void)buf.pop();
+  EXPECT_TRUE(buf.try_push_for(2, 30ms));
+  EXPECT_EQ(buf.pop().value(), 2);
+}
+
+TEST(BoundedBuffer, TimedPopWokenByConcurrentPush) {
+  ps::BoundedBuffer<int> buf(2);
+  std::jthread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    (void)buf.push(42);
+  });
+  // Generous budget: the wait must end early, on the push.
+  EXPECT_EQ(buf.try_pop_for(5000ms).value(), 42);
+}
+
+TEST(BoundedBuffer, TimedOpsSeeClose) {
+  ps::BoundedBuffer<int> buf(1);
+  (void)buf.push(1);
+  buf.close();
+  EXPECT_FALSE(buf.try_push_for(2, 5000ms));       // closed: no wait
+  EXPECT_EQ(buf.try_pop_for(5000ms).value(), 1);   // drains the queue
+  EXPECT_EQ(buf.try_pop_for(5000ms), std::nullopt);  // closed and drained
+}
+
+TEST(Semaphore, TimedAcquireSucceedsWhenPermitArrives) {
+  ps::Semaphore sem(0);
+  std::jthread releaser([&] {
+    std::this_thread::sleep_for(10ms);
+    sem.release();
+  });
+  EXPECT_TRUE(sem.try_acquire_for(5000ms));
+  EXPECT_FALSE(sem.try_acquire());  // the permit was consumed
+}
+
 TEST(BoundedBuffer, CloseUnblocksWaitingProducer) {
   ps::BoundedBuffer<int> buf(1);
   (void)buf.push(1);  // full
