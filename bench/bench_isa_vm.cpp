@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "pdc/isa/assembler.hpp"
@@ -125,9 +127,7 @@ BENCHMARK(BM_VmCallReturn);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opt = pdc::benchutil::parse_args(argc, argv);
   print_fib_cost_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pdc::benchutil::finish(opt, argc, argv);
 }

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -31,20 +33,27 @@ void print_collective_table() {
   for (int p : {2, 4, 8, 16, 32}) {
     for (auto algo :
          {pdc::mp::CollectiveAlgo::kFlat, pdc::mp::CollectiveAlgo::kTree}) {
+      // TrafficStats deltas price the phases: run the broadcast alone,
+      // then broadcast + reduce, and subtract — both patterns are
+      // deterministic, so the difference is exactly the reduce.
       pdc::mp::Communicator bc(p);
       bc.run([&](pdc::mp::RankContext& ctx) {
         (void)ctx.broadcast_value(0, 1, algo);
       });
-      pdc::mp::Communicator rd(p);
-      rd.run([&](pdc::mp::RankContext& ctx) {
+      const pdc::mp::TrafficStats bcast_tr = bc.traffic();
+
+      pdc::mp::Communicator both(p);
+      both.run([&](pdc::mp::RankContext& ctx) {
+        (void)ctx.broadcast_value(0, 1, algo);
         (void)ctx.reduce(0, ctx.rank(), pdc::mp::ReduceOp::kSum, algo);
       });
+      const pdc::mp::TrafficStats reduce_tr = both.traffic() - bcast_tr;
       const bool tree = algo == pdc::mp::CollectiveAlgo::kTree;
       const int rounds = tree ? tree_rounds(p) : p - 1;
       t.add_row({std::to_string(p), tree ? "tree" : "flat",
-                 std::to_string(bc.traffic().messages),
+                 std::to_string(bcast_tr.messages),
                  std::to_string(rounds),
-                 std::to_string(rd.traffic().messages),
+                 std::to_string(reduce_tr.messages),
                  std::to_string(rounds)});
     }
   }
@@ -220,11 +229,9 @@ void print_sample_sort_table() {
 }
 
 int main(int argc, char** argv) {
+  const auto opt = pdc::benchutil::parse_args(argc, argv);
   print_collective_table();
   print_reliability_tax_table();
   print_sample_sort_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pdc::benchutil::finish(opt, argc, argv);
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 #include <numeric>
 #include <random>
@@ -121,9 +123,7 @@ BENCHMARK(BM_DotProduct)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opt = pdc::benchutil::parse_args(argc, argv);
   print_reduction_study();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pdc::benchutil::finish(opt, argc, argv);
 }

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cmath>
 #include <iostream>
 
@@ -112,9 +114,7 @@ BENCHMARK(BM_DynamicChunkSweep)->Arg(1)->Arg(8)->Arg(64)->Arg(512)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opt = pdc::benchutil::parse_args(argc, argv);
   print_schedule_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pdc::benchutil::finish(opt, argc, argv);
 }

@@ -13,9 +13,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
-#include <cstring>
 #include <functional>
 #include <iostream>
+
+#include "bench_util.hpp"
 
 #include "pdc/life/engine.hpp"
 #include "pdc/life/grid.hpp"
@@ -155,23 +156,8 @@ BENCHMARK(BM_LifeMessagePassing)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      argv[kept++] = argv[i];
-    }
-  }
-  argc = kept;
-
-  print_packed_vs_byte(smoke);
-  print_scalability_study(smoke);
-  if (smoke) return 0;
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  const auto opt = pdc::benchutil::parse_args(argc, argv);
+  print_packed_vs_byte(opt.smoke);
+  print_scalability_study(opt.smoke);
+  return pdc::benchutil::finish(opt, argc, argv);
 }

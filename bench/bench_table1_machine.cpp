@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 #include <random>
 
@@ -134,10 +136,8 @@ BENCHMARK(BM_ListInsertFront)->Arg(1 << 10)->Arg(1 << 13);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opt = pdc::benchutil::parse_args(argc, argv);
   print_alu_table();
   print_growth_policy_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pdc::benchutil::finish(opt, argc, argv);
 }

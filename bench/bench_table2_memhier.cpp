@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <iostream>
 
 #include "pdc/memsim/cache.hpp"
@@ -231,14 +233,12 @@ BENCHMARK(BM_PagingSim)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opt = pdc::benchutil::parse_args(argc, argv);
   print_traversal_table();
   print_replacement_table();
   print_working_set_sweep();
   print_amat_table();
   print_prefetch_table();
   print_paging_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pdc::benchutil::finish(opt, argc, argv);
 }

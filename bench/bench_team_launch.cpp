@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cstddef>
 #include <iostream>
 #include <vector>
@@ -117,9 +119,7 @@ BENCHMARK(BM_ParallelForPathComparison)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto opt = pdc::benchutil::parse_args(argc, argv);
   print_launch_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pdc::benchutil::finish(opt, argc, argv);
 }

@@ -1,0 +1,78 @@
+#pragma once
+// Shared entry/exit plumbing for every bench binary: one flag parser and
+// one exit path, so `--smoke` (printed studies at reduced size, no
+// google-benchmark loops — the CI Release job's quick exercise) and
+// `--trace=<path>` / `PDC_TRACE=<path>` (Chrome trace_event JSON via
+// pdc::obs, plus the top-span ASCII summary) behave identically across
+// all fourteen binaries.
+//
+// Usage:
+//   int main(int argc, char** argv) {
+//     auto opt = pdc::benchutil::parse_args(argc, argv);
+//     print_my_study(opt.smoke);
+//     return pdc::benchutil::finish(opt, argc, argv);
+//   }
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "pdc/obs/obs.hpp"
+
+namespace pdc::benchutil {
+
+struct Options {
+  bool smoke = false;      ///< reduced printed studies, skip gbench loops
+  std::string trace_path;  ///< non-empty: write Chrome trace JSON here
+};
+
+/// Strip `--smoke` and `--trace=<path>` out of argv (google-benchmark
+/// rejects flags it does not know). `PDC_TRACE=<path>` in the environment
+/// is the no-argv spelling of `--trace`. Requesting a trace enables
+/// tracing for the whole process, from here on.
+inline Options parse_args(int& argc, char** argv) {
+  Options opt;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      opt.trace_path = argv[i] + 8;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (opt.trace_path.empty()) {
+    if (const char* env = std::getenv("PDC_TRACE"); env != nullptr && *env)
+      opt.trace_path = env;
+  }
+  if (!opt.trace_path.empty()) {
+    obs::set_thread_label("main");
+    obs::set_tracing_enabled(true);
+  }
+  return opt;
+}
+
+/// Run the google-benchmark loops (skipped under --smoke), then export the
+/// trace and print the top-span summary when one was requested.
+inline int finish(const Options& opt, int& argc, char** argv) {
+  if (!opt.smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  if (!opt.trace_path.empty()) {
+    obs::set_tracing_enabled(false);
+    obs::write_chrome_trace(opt.trace_path);
+    std::cout << "\n== trace: " << obs::trace_span_count() << " spans -> "
+              << opt.trace_path << " ==\n"
+              << obs::trace_summary();
+  }
+  return 0;
+}
+
+}  // namespace pdc::benchutil

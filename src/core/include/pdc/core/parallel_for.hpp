@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "pdc/core/team.hpp"
+#include "pdc/obs/obs.hpp"
 
 namespace pdc::core {
 
@@ -50,6 +51,7 @@ void parallel_for(std::size_t begin, std::size_t end, const ForOptions& opt,
   switch (opt.schedule) {
     case Schedule::kStatic: {
       Team::run(opt.threads, team_opt, [&](TeamContext& ctx) {
+        PDC_TRACE_SCOPE("core.for.block");
         const auto [lo, hi] = ctx.block_range(begin, end);
         for (std::size_t i = lo; i < hi; ++i) body(i);
       });
@@ -62,6 +64,7 @@ void parallel_for(std::size_t begin, std::size_t end, const ForOptions& opt,
           const std::size_t lo =
               next.fetch_add(opt.chunk, std::memory_order_relaxed);
           if (lo >= end) return;
+          PDC_TRACE_SCOPE("core.for.chunk");
           const std::size_t hi = std::min(end, lo + opt.chunk);
           for (std::size_t i = lo; i < hi; ++i) body(i);
         }
@@ -83,6 +86,7 @@ void parallel_for(std::size_t begin, std::size_t end, const ForOptions& opt,
             take = std::min(take, remaining);
           } while (!next.compare_exchange_weak(lo, lo + take,
                                                std::memory_order_relaxed));
+          PDC_TRACE_SCOPE("core.for.chunk");
           for (std::size_t i = lo; i < lo + take; ++i) body(i);
         }
       });

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pdc/core/team_pool.hpp"
+#include "pdc/obs/obs.hpp"
 
 namespace pdc::core {
 
@@ -53,6 +54,14 @@ void Team::run(int threads, const TeamOptions& options,
                const std::function<void(TeamContext&)>& body) {
   if (threads < 1) throw std::invalid_argument("team size must be >= 1");
 
+  PDC_TRACE_SCOPE("core.region");
+  // Registry references are stable for the process lifetime, so pay the
+  // name lookup once, not per region launch.
+  static obs::Counter& c_regions = obs::counter("core.regions");
+  static obs::Counter& c_pooled = obs::counter("core.regions.pooled");
+  static obs::Counter& c_forked = obs::counter("core.regions.forked");
+  c_regions.add(1);
+
   sync::CyclicBarrier barrier(static_cast<std::size_t>(threads));
 
   if (threads == 1) {
@@ -68,6 +77,7 @@ void Team::run(int threads, const TeamOptions& options,
     ran_pooled =
         TeamPool::instance().try_run(threads, body, barrier, errors);
   }
+  (ran_pooled ? c_pooled : c_forked).add(1);
 
   if (!ran_pooled) {
     // Fork-per-region path: one fresh jthread per rank, joined on scope

@@ -1,5 +1,7 @@
 #include "pdc/core/team_pool.hpp"
 
+#include "pdc/obs/obs.hpp"
+
 namespace pdc::core {
 
 namespace {
@@ -59,6 +61,9 @@ void TeamPool::ensure_workers(std::size_t needed) {
 
 void TeamPool::worker_loop(std::size_t index, std::uint64_t gen_at_spawn) {
   const int rank = static_cast<int>(index) + 1;
+  // Pool workers are long-lived and bounded (kMaxTeam), so label the trace
+  // track unconditionally — cheap, and spans land on a stable lane.
+  obs::set_thread_label("core.team/" + std::to_string(rank));
   std::uint64_t seen_gen = gen_at_spawn;
   while (true) {
     std::uint64_t word = region_word_.load(std::memory_order_acquire);

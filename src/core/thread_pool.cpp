@@ -4,7 +4,23 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pdc/obs/obs.hpp"
+
 namespace pdc::core {
+
+namespace {
+
+obs::Counter& pool_tasks_counter() {
+  static obs::Counter& c = obs::counter("core.threadpool.tasks");
+  return c;
+}
+
+obs::Gauge& pool_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("core.threadpool.queue_depth");
+  return g;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -29,6 +45,8 @@ void ThreadPool::post(std::function<void()> fn) {
     std::lock_guard lk(m_);
     if (stopping_) throw std::runtime_error("ThreadPool is shutting down");
     queue_.push_back(std::move(fn));
+    pool_tasks_counter().add(1);
+    pool_depth_gauge().set(queue_.size());
   }
   cv_.notify_one();
 }
@@ -52,6 +70,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      pool_depth_gauge().set(queue_.size());
       ++active_;
     }
     // A throwing task must not escape into the jthread (std::terminate);

@@ -3,7 +3,23 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "pdc/obs/obs.hpp"
+
 namespace pdc::extmem {
+
+namespace {
+
+obs::Counter& reads_counter() {
+  static obs::Counter& c = obs::counter("extmem.dev.block_reads");
+  return c;
+}
+
+obs::Counter& writes_counter() {
+  static obs::Counter& c = obs::counter("extmem.dev.block_writes");
+  return c;
+}
+
+}  // namespace
 
 BlockDevice::BlockDevice(std::size_t num_blocks, std::size_t block_size)
     : num_blocks_(num_blocks), block_size_(block_size) {
@@ -19,16 +35,20 @@ void BlockDevice::check(std::size_t index, std::size_t span_bytes) const {
 }
 
 void BlockDevice::read_block(std::size_t index, std::span<std::byte> out) {
+  PDC_TRACE_SCOPE("extmem.read_block");
   check(index, out.size());
   std::memcpy(out.data(), data_.data() + index * block_size_, block_size_);
   ++stats_.block_reads;
+  reads_counter().add(1);
 }
 
 void BlockDevice::write_block(std::size_t index,
                               std::span<const std::byte> in) {
+  PDC_TRACE_SCOPE("extmem.write_block");
   check(index, in.size());
   std::memcpy(data_.data() + index * block_size_, in.data(), block_size_);
   ++stats_.block_writes;
+  writes_counter().add(1);
 }
 
 DeviceSpan::DeviceSpan(BlockDevice& dev, std::size_t first_block,

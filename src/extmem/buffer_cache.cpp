@@ -3,7 +3,32 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "pdc/obs/obs.hpp"
+
 namespace pdc::extmem {
+
+namespace {
+
+// Per-instance CacheStats stay authoritative; these dual-write the
+// process-global registry so cache behavior shows up in metrics_snapshot().
+obs::Counter& hits_counter() {
+  static obs::Counter& c = obs::counter("extmem.cache.hits");
+  return c;
+}
+obs::Counter& misses_counter() {
+  static obs::Counter& c = obs::counter("extmem.cache.misses");
+  return c;
+}
+obs::Counter& evictions_counter() {
+  static obs::Counter& c = obs::counter("extmem.cache.evictions");
+  return c;
+}
+obs::Counter& writebacks_counter() {
+  static obs::Counter& c = obs::counter("extmem.cache.writebacks");
+  return c;
+}
+
+}  // namespace
 
 BufferCache::BufferCache(BlockDevice& dev, std::size_t frames)
     : dev_(&dev), frames_(frames) {
@@ -15,8 +40,10 @@ void BufferCache::evict_lru() {
   if (victim.dirty) {
     dev_->write_block(victim.block, victim.data);
     ++stats_.writebacks;
+    writebacks_counter().add(1);
   }
   ++stats_.evictions;
+  evictions_counter().add(1);
   index_.erase(victim.block);
   lru_.pop_back();
 }
@@ -25,10 +52,12 @@ BufferCache::Frame& BufferCache::get_frame(std::size_t block,
                                            bool fill_from_device) {
   if (auto it = index_.find(block); it != index_.end()) {
     ++stats_.hits;
+    hits_counter().add(1);
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
     return *it->second;
   }
   ++stats_.misses;
+  misses_counter().add(1);
   if (lru_.size() == frames_) evict_lru();
   lru_.emplace_front();
   Frame& f = lru_.front();
@@ -102,6 +131,7 @@ void BufferCache::flush() {
       dev_->write_block(f.block, f.data);
       f.dirty = false;
       ++stats_.writebacks;
+      writebacks_counter().add(1);
     }
   }
 }

@@ -8,6 +8,7 @@
 #include "pdc/core/team.hpp"
 #include "pdc/life/packed_grid.hpp"
 #include "pdc/mp/comm.hpp"
+#include "pdc/obs/obs.hpp"
 
 namespace pdc::life {
 
@@ -35,6 +36,7 @@ void run_reference(Grid& board, int generations) {
   if (generations < 0) throw std::invalid_argument("generations must be >= 0");
   Grid next(board.rows(), board.cols(), board.boundary());
   for (int g = 0; g < generations; ++g) {
+    PDC_TRACE_SCOPE("life.gen");
     step_rows_bytes(board, next, 0, board.rows());
     std::swap(board, next);
   }
@@ -46,6 +48,7 @@ void run_sequential(Grid& board, int generations) {
   PackedGrid cur(board);
   PackedGrid nxt(board.rows(), board.cols(), board.boundary());
   for (int g = 0; g < generations; ++g) {
+    PDC_TRACE_SCOPE("life.gen");
     sync_all(cur);
     cur.step_rows_into(nxt, 0, cur.rows());
     std::swap(cur, nxt);
@@ -71,6 +74,7 @@ void run_threaded(Grid& board, int generations, int threads) {
     const auto [lo, hi] = ctx.block_range(0, board.rows());
     int src = 0;
     for (int g = 0; g < generations; ++g) {
+      PDC_TRACE_SCOPE("life.gen");
       PackedGrid& dst = *bufs[1 - src];
       bufs[src]->step_rows_into(dst, lo, hi);
       dst.sync_row_ghosts(lo, hi);
@@ -142,6 +146,7 @@ void run_message_passing(Grid& board, int generations, int ranks,
     };
 
     for (int g = 0; g < generations; ++g) {
+      PDC_TRACE_SCOPE("life.gen");
       const int tag = 2 * g;
       // Halo exchange (buffered sends: no deadlock). Degenerate
       // single-rank torus: my own rows wrap onto myself.

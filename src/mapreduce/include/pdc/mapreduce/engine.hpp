@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "pdc/core/team.hpp"
+#include "pdc/obs/obs.hpp"
 
 namespace pdc::mapreduce {
 
@@ -80,33 +81,37 @@ std::map<K, R> run_job(
       workers, std::vector<std::unordered_map<K, std::vector<V>>>(parts));
   std::vector<std::size_t> emitted(workers, 0);
 
-  core::Team::run(cfg.map_workers, [&](core::TeamContext& ctx) {
-    const auto w = static_cast<std::size_t>(ctx.rank());
-    const auto [lo, hi] = ctx.block_range(0, inputs.size());
-    auto emit = [&](K key, V value) {
-      ++emitted[w];
-      const std::size_t p = std::hash<K>{}(key) % parts;
-      buckets[w][p][std::move(key)].push_back(std::move(value));
-    };
-    std::function<void(K, V)> emit_fn = emit;
-    for (std::size_t i = lo; i < hi; ++i) mapper(inputs[i], emit_fn);
+  PDC_TRACE_SCOPE("mr.job");
+  {
+    PDC_TRACE_SCOPE("mr.map");
+    core::Team::run(cfg.map_workers, [&](core::TeamContext& ctx) {
+      const auto w = static_cast<std::size_t>(ctx.rank());
+      const auto [lo, hi] = ctx.block_range(0, inputs.size());
+      auto emit = [&](K key, V value) {
+        ++emitted[w];
+        const std::size_t p = std::hash<K>{}(key) % parts;
+        buckets[w][p][std::move(key)].push_back(std::move(value));
+      };
+      std::function<void(K, V)> emit_fn = emit;
+      for (std::size_t i = lo; i < hi; ++i) mapper(inputs[i], emit_fn);
 
-    // Map-side combine: collapse each local bucket's value lists. Only
-    // type-correct when the reducer's output feeds back in as a value.
-    if constexpr (std::is_same_v<R, V>) {
-      if (cfg.use_combiner) {
-        for (auto& bucket : buckets[w]) {
-          for (auto& [key, values] : bucket) {
-            if (values.size() > 1) {
-              V combined = reducer(key, values);
-              values.clear();
-              values.push_back(std::move(combined));
+      // Map-side combine: collapse each local bucket's value lists. Only
+      // type-correct when the reducer's output feeds back in as a value.
+      if constexpr (std::is_same_v<R, V>) {
+        if (cfg.use_combiner) {
+          for (auto& bucket : buckets[w]) {
+            for (auto& [key, values] : bucket) {
+              if (values.size() > 1) {
+                V combined = reducer(key, values);
+                values.clear();
+                values.push_back(std::move(combined));
+              }
             }
           }
         }
       }
-    }
-  });
+    });
+  }
   for (auto e : emitted) stats.map_emitted += e;
 
   // ---- shuffle: merge worker buckets per partition, partitions in
@@ -117,36 +122,45 @@ std::map<K, R> run_job(
   std::vector<std::size_t> shuffled_per_part(parts, 0);
   const int shuffle_workers =
       std::max(cfg.map_workers, cfg.reduce_workers);
-  core::Team::run(shuffle_workers, [&](core::TeamContext& ctx) {
-    for (std::size_t p = static_cast<std::size_t>(ctx.rank()); p < parts;
-         p += static_cast<std::size_t>(ctx.size())) {
-      auto& merged = grouped[p];
-      for (std::size_t w = 0; w < workers; ++w) {
-        for (auto& [key, values] : buckets[w][p]) {
-          auto& dst = merged[key];
-          shuffled_per_part[p] += values.size();
-          dst.insert(dst.end(), std::make_move_iterator(values.begin()),
-                     std::make_move_iterator(values.end()));
+  {
+    PDC_TRACE_SCOPE("mr.shuffle");
+    core::Team::run(shuffle_workers, [&](core::TeamContext& ctx) {
+      for (std::size_t p = static_cast<std::size_t>(ctx.rank()); p < parts;
+           p += static_cast<std::size_t>(ctx.size())) {
+        auto& merged = grouped[p];
+        for (std::size_t w = 0; w < workers; ++w) {
+          for (auto& [key, values] : buckets[w][p]) {
+            auto& dst = merged[key];
+            shuffled_per_part[p] += values.size();
+            dst.insert(dst.end(), std::make_move_iterator(values.begin()),
+                       std::make_move_iterator(values.end()));
+          }
         }
       }
-    }
-  });
+    });
+  }
   for (auto s : shuffled_per_part) stats.shuffled += s;
 
   // ---- reduce phase: partitions in parallel ----
   std::vector<std::map<K, R>> partial(parts);
-  core::Team::run(cfg.reduce_workers, [&](core::TeamContext& ctx) {
-    for (std::size_t p = static_cast<std::size_t>(ctx.rank()); p < parts;
-         p += static_cast<std::size_t>(ctx.size())) {
-      for (auto& [key, values] : grouped[p])
-        partial[p].emplace(key, reducer(key, values));
-    }
-  });
+  {
+    PDC_TRACE_SCOPE("mr.reduce");
+    core::Team::run(cfg.reduce_workers, [&](core::TeamContext& ctx) {
+      for (std::size_t p = static_cast<std::size_t>(ctx.rank()); p < parts;
+           p += static_cast<std::size_t>(ctx.size())) {
+        for (auto& [key, values] : grouped[p])
+          partial[p].emplace(key, reducer(key, values));
+      }
+    });
+  }
 
   std::map<K, R> result;
-  for (auto& part : partial) {
-    stats.distinct_keys += part.size();
-    result.merge(part);
+  {
+    PDC_TRACE_SCOPE("mr.merge");
+    for (auto& part : partial) {
+      stats.distinct_keys += part.size();
+      result.merge(part);
+    }
   }
   if (stats_out != nullptr) *stats_out = stats;
   return result;

@@ -9,6 +9,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "pdc/obs/obs.hpp"
+
 namespace pdc::mp {
 
 std::int64_t apply(ReduceOp op, std::int64_t a, std::int64_t b) {
@@ -39,6 +41,33 @@ namespace {
 bool matches(const Message& m, int source, int tag) {
   return (source == kAnySource || m.source == source) &&
          (tag == kAnyTag || m.tag == tag);
+}
+
+/// TrafficStats fields, indexable so one bump lands in both the
+/// per-communicator counter and the process-global "mp.*" registry metric.
+enum TrafficField : std::size_t {
+  kFMessages = 0,
+  kFPayloadWords,
+  kFAcks,
+  kFRetries,
+  kFDropped,
+  kFDuplicates,
+  kFDelayed,
+  kFieldCount,
+};
+
+obs::Counter& global_traffic(std::size_t f) {
+  static obs::Counter* const g[kFieldCount] = {
+      &obs::counter("mp.messages"),   &obs::counter("mp.payload_words"),
+      &obs::counter("mp.acks"),       &obs::counter("mp.retries"),
+      &obs::counter("mp.dropped"),    &obs::counter("mp.duplicates"),
+      &obs::counter("mp.delayed")};
+  return *g[f];
+}
+
+obs::Histogram& payload_histogram() {
+  static obs::Histogram& h = obs::histogram("mp.payload_size_words");
+  return h;
 }
 }  // namespace
 
@@ -84,8 +113,10 @@ struct CommState {
   /// draws fresh fault decisions, so retransmits are not doomed to repeat
   /// their predecessor's fate.
   std::unique_ptr<std::atomic<std::uint64_t>[]> flow_attempt;
-  mutable std::mutex traffic_m;
-  TrafficStats traffic;
+  /// Per-communicator traffic counters, one per TrafficStats field —
+  /// sharded and lock-free, so the old traffic mutex is gone from the
+  /// delivery hot path. TrafficStats is the snapshot view over these.
+  obs::Counter traffic_c[kFieldCount];
 
   void reset_run_state() {
     for (int i = 0; i < size; ++i) rank_state[i].store(kRunning);
@@ -119,20 +150,40 @@ struct CommState {
     }
   }
 
-  void count(std::uint64_t TrafficStats::* field, std::uint64_t n = 1) {
-    std::lock_guard lk(traffic_m);
-    traffic.*field += n;
+  void count(TrafficField field, std::uint64_t n = 1) {
+    traffic_c[field].add(n);
+    global_traffic(field).add(n);
+  }
+
+  [[nodiscard]] TrafficStats traffic_snapshot() const {
+    TrafficStats t;
+    t.messages = traffic_c[kFMessages].value();
+    t.payload_words = traffic_c[kFPayloadWords].value();
+    t.acks = traffic_c[kFAcks].value();
+    t.retries = traffic_c[kFRetries].value();
+    t.dropped = traffic_c[kFDropped].value();
+    t.duplicates = traffic_c[kFDuplicates].value();
+    t.delayed = traffic_c[kFDelayed].value();
+    return t;
+  }
+
+  void reset_traffic() {
+    for (auto& c : traffic_c) c.reset();
+  }
+
+  /// A data message landed in a mailbox: count it on both channels' shared
+  /// ledger and feed the payload-size histogram.
+  void count_delivery(std::size_t words) {
+    count(kFMessages);
+    count(kFPayloadWords, words);
+    payload_histogram().record(words);
   }
 
   // ---- plain channel (the seed behavior, byte for byte) ----
 
   void deliver_plain(int dest, Message msg) {
     if (dest < 0 || dest >= size) throw std::out_of_range("bad destination");
-    {
-      std::lock_guard lk(traffic_m);
-      ++traffic.messages;
-      traffic.payload_words += msg.data.size();
-    }
+    count_delivery(msg.data.size());
     Mailbox& box = *boxes[static_cast<std::size_t>(dest)];
     {
       std::lock_guard lk(box.m);
@@ -149,15 +200,11 @@ struct CommState {
   bool enqueue_if_new(Mailbox& box, Message msg, std::uint64_t seq) {
     auto& floor = box.last_seq[msg.source];
     if (seq <= floor) {
-      count(&TrafficStats::duplicates);
+      count(kFDuplicates);
       return true;  // replay: suppress, but re-ack so the sender stops
     }
     floor = seq;
-    {
-      std::lock_guard lk(traffic_m);
-      ++traffic.messages;
-      traffic.payload_words += msg.data.size();
-    }
+    count_delivery(msg.data.size());
     box.queue.push_back(std::move(msg));
     return true;
   }
@@ -174,7 +221,7 @@ struct CommState {
     if (chance(plan.drop, fault_hash(plan.seed, kSaltAckDrop,
                                      static_cast<std::uint64_t>(from),
                                      static_cast<std::uint64_t>(to), a))) {
-      count(&TrafficStats::dropped);
+      count(kFDropped);
       return;
     }
     Mailbox& box = *boxes[static_cast<std::size_t>(to)];
@@ -183,7 +230,7 @@ struct CommState {
       auto& high = box.acked[from];
       high = std::max(high, seq);
     }
-    count(&TrafficStats::acks);
+    count(kFAcks);
     box.cv.notify_all();
   }
 
@@ -205,11 +252,11 @@ struct CommState {
     if (plan.jitter && (h(kSaltJitter) & 3u) == 0) std::this_thread::yield();
     const int ds = rank_state[dest].load();
     if (ds == kKilled || ds == kErrored) {
-      count(&TrafficStats::dropped);  // host is down; message lost
+      count(kFDropped);  // host is down; message lost
       return;
     }
     if (chance(plan.drop, h(kSaltDrop))) {
-      count(&TrafficStats::dropped);
+      count(kFDropped);
       return;
     }
     const bool duplicate = chance(plan.dup, h(kSaltDup));
@@ -244,7 +291,7 @@ struct CommState {
       Message msg{src, tag, data};
       if (delay > 0) {
         box.limbo.push_back({std::move(msg), seq, delay});
-        count(&TrafficStats::delayed);
+        count(kFDelayed);
       } else if (enqueue_if_new(box, std::move(msg), seq)) {
         acks_due.emplace_back(src, seq);
       }
@@ -327,15 +374,9 @@ void Communicator::set_retry_policy(RetryPolicy policy) {
 
 const RetryPolicy& Communicator::retry_policy() const { return st_->retry; }
 
-TrafficStats Communicator::traffic() const {
-  std::lock_guard lk(st_->traffic_m);
-  return st_->traffic;
-}
+TrafficStats Communicator::traffic() const { return st_->traffic_snapshot(); }
 
-void Communicator::reset_traffic() {
-  std::lock_guard lk(st_->traffic_m);
-  st_->traffic = {};
-}
+void Communicator::reset_traffic() { st_->reset_traffic(); }
 
 void Communicator::run(const std::function<void(RankContext&)>& body) {
   auto& st = *st_;
@@ -369,7 +410,15 @@ void Communicator::run(const std::function<void(RankContext&)>& body) {
   } else {
     std::vector<std::jthread> threads;
     threads.reserve(up);
-    for (int r = 0; r < size_; ++r) threads.emplace_back([&, r] { rank_main(r); });
+    for (int r = 0; r < size_; ++r) {
+      threads.emplace_back([&, r] {
+        // Rank threads own their trace track: spans from rank r land on
+        // the "mp/r" timeline, stable run over run.
+        if (obs::tracing_enabled())
+          obs::set_thread_label("mp/" + std::to_string(r));
+        rank_main(r);
+      });
+    }
     threads.clear();  // join
   }
 
@@ -419,6 +468,7 @@ void RankContext::maybe_kill() {
 }
 
 void RankContext::ch_send(int dest, int tag, std::vector<std::int64_t> data) {
+  PDC_TRACE_SCOPE("mp.send");
   ++ops_;
   maybe_kill();
   if (reliable_) {
@@ -433,6 +483,7 @@ void RankContext::ch_send(int dest, int tag, std::vector<std::int64_t> data) {
 }
 
 Message RankContext::ch_take(int source, int tag) {
+  PDC_TRACE_SCOPE("mp.recv");
   ++ops_;
   maybe_kill();
   return comm_->st_->take(rank_, source, tag);
@@ -453,7 +504,7 @@ void RankContext::reliable_send(int dest, int tag,
         throw RankFailedError(dest, "send to rank " + std::to_string(dest) +
                                         ": rank " + st.state_name(dest));
     }
-    if (attempt > 0) st.count(&TrafficStats::retries);
+    if (attempt > 0) st.count(detail::kFRetries);
     st.deliver_reliable(rank_, dest, tag, data, seq);
     {
       std::unique_lock lk(mybox.m);
@@ -517,6 +568,7 @@ int RankContext::next_collective_tag() {
 }
 
 void RankContext::barrier() {
+  PDC_TRACE_SCOPE("mp.barrier");
   // Tree reduce of a token, then tree broadcast of the release.
   const int up_tag = next_collective_tag();
   const int down_tag = next_collective_tag();
@@ -557,6 +609,7 @@ void RankContext::barrier() {
 std::vector<std::int64_t> RankContext::broadcast(int root,
                                                  std::vector<std::int64_t> data,
                                                  CollectiveAlgo algo) {
+  PDC_TRACE_SCOPE("mp.bcast");
   const int tag = next_collective_tag();
   const int p = size();
   if (root < 0 || root >= p) throw std::out_of_range("bad root");
@@ -601,6 +654,7 @@ std::int64_t RankContext::broadcast_value(int root, std::int64_t value,
 
 std::int64_t RankContext::reduce(int root, std::int64_t value, ReduceOp op,
                                  CollectiveAlgo algo) {
+  PDC_TRACE_SCOPE("mp.reduce");
   const int tag = next_collective_tag();
   const int p = size();
   if (root < 0 || root >= p) throw std::out_of_range("bad root");
@@ -651,11 +705,13 @@ std::int64_t RankContext::reduce(int root, std::int64_t value, ReduceOp op,
 }
 
 std::int64_t RankContext::allreduce(std::int64_t value, ReduceOp op) {
+  PDC_TRACE_SCOPE("mp.allreduce");
   const std::int64_t total = reduce(0, value, op);
   return broadcast_value(0, rank_ == 0 ? total : 0);
 }
 
 std::vector<std::int64_t> RankContext::gather(int root, std::int64_t value) {
+  PDC_TRACE_SCOPE("mp.gather");
   const int tag = next_collective_tag();
   const int p = size();
   if (root < 0 || root >= p) throw std::out_of_range("bad root");
@@ -674,6 +730,7 @@ std::vector<std::int64_t> RankContext::gather(int root, std::int64_t value) {
 
 std::int64_t RankContext::scatter(int root,
                                   const std::vector<std::int64_t>& values) {
+  PDC_TRACE_SCOPE("mp.scatter");
   const int tag = next_collective_tag();
   const int p = size();
   if (root < 0 || root >= p) throw std::out_of_range("bad root");
@@ -689,6 +746,7 @@ std::int64_t RankContext::scatter(int root,
 }
 
 std::vector<std::int64_t> RankContext::allgather(std::int64_t value) {
+  PDC_TRACE_SCOPE("mp.allgather");
   std::vector<std::int64_t> all = gather(0, value);
   if (rank_ != 0) all.assign(static_cast<std::size_t>(size()), 0);
   return broadcast(0, std::move(all));
@@ -696,6 +754,7 @@ std::vector<std::int64_t> RankContext::allgather(std::int64_t value) {
 
 std::vector<std::vector<std::int64_t>> RankContext::alltoall(
     std::vector<std::vector<std::int64_t>> outgoing) {
+  PDC_TRACE_SCOPE("mp.alltoall");
   const int tag = next_collective_tag();
   const int p = size();
   if (outgoing.size() != static_cast<std::size_t>(p))
@@ -718,12 +777,14 @@ std::vector<std::vector<std::int64_t>> RankContext::alltoall(
 
 std::vector<std::int64_t> RankContext::sendrecv(
     int dest, std::vector<std::int64_t> data, int source) {
+  PDC_TRACE_SCOPE("mp.sendrecv");
   const int tag = next_collective_tag();
   ch_send(dest, tag, std::move(data));
   return ch_take(source, tag).data;
 }
 
 std::int64_t RankContext::exscan(std::int64_t value, ReduceOp op) {
+  PDC_TRACE_SCOPE("mp.exscan");
   const int tag = next_collective_tag();
   const int p = size();
   std::int64_t prefix = identity(op);

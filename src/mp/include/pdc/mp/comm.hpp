@@ -56,6 +56,11 @@ enum class CollectiveAlgo {
 /// Aggregate traffic counters for a communicator run. The reliability
 /// counters stay zero on a clean plain-channel run, so benches can price
 /// exactly what a fault plan and the retry machinery cost.
+///
+/// This is a value snapshot over the communicator's pdc::obs counters
+/// (which also feed the process-global "mp.*" registry metrics). The
+/// arithmetic gives snapshot-delta semantics: `after - before` prices one
+/// phase, `a + b` merges runs — no hand-subtracted fields in benches.
 struct TrafficStats {
   std::uint64_t messages = 0;       ///< data messages enqueued at a mailbox
   std::uint64_t payload_words = 0;  ///< total int64 values moved
@@ -64,6 +69,35 @@ struct TrafficStats {
   std::uint64_t dropped = 0;     ///< deliveries eaten by the fault plan
   std::uint64_t duplicates = 0;  ///< replayed copies suppressed by seq dedup
   std::uint64_t delayed = 0;     ///< deliveries held back for reordering
+
+  bool operator==(const TrafficStats&) const = default;
+
+  TrafficStats& operator+=(const TrafficStats& o) {
+    messages += o.messages;
+    payload_words += o.payload_words;
+    acks += o.acks;
+    retries += o.retries;
+    dropped += o.dropped;
+    duplicates += o.duplicates;
+    delayed += o.delayed;
+    return *this;
+  }
+  TrafficStats& operator-=(const TrafficStats& o) {
+    messages -= o.messages;
+    payload_words -= o.payload_words;
+    acks -= o.acks;
+    retries -= o.retries;
+    dropped -= o.dropped;
+    duplicates -= o.duplicates;
+    delayed -= o.delayed;
+    return *this;
+  }
+  friend TrafficStats operator+(TrafficStats a, const TrafficStats& b) {
+    return a += b;
+  }
+  friend TrafficStats operator-(TrafficStats a, const TrafficStats& b) {
+    return a -= b;
+  }
 };
 
 class Communicator;

@@ -1,0 +1,157 @@
+#pragma once
+// Process-global metrics registry: named counters, gauges and log2-bucket
+// histograms with lock-free hot paths. Counters shard their cells across
+// threads (one cache line per shard) so concurrent bumps never contend;
+// reads sum the shards. Snapshots are plain value maps with subtraction,
+// so "what did this phase cost" is `after - before` instead of hand-kept
+// baseline fields — the measurement discipline the scalability labs teach,
+// packaged once for every module.
+//
+// Usage:
+//   static pdc::obs::Counter& sent = pdc::obs::counter("mp.bytes_sent");
+//   sent.add(msg.size());
+//   ...
+//   const auto before = pdc::obs::metrics_snapshot();
+//   run_workload();
+//   const auto delta = pdc::obs::metrics_snapshot() - before;
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdc::obs {
+
+namespace detail {
+/// Small dense per-thread index used to pick a counter shard. Assigned on
+/// first use per thread and never reused; shard = index mod kShards.
+std::uint32_t thread_shard_slot() noexcept;
+}  // namespace detail
+
+/// Monotonic event counter, sharded per thread. add() is a single relaxed
+/// fetch_add on this thread's shard; value() sums the shards (exact once
+/// the writers have joined, a live lower bound while they run).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::thread_shard_slot() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Zero every shard. Only meaningful while no writer is concurrently
+  /// bumping (e.g. between runs) — the same contract as the stats structs
+  /// this class replaces.
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-writer-wins instantaneous value (queue depths, pool sizes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucket histogram: record(v) bumps bucket floor(log2(v)) (bucket 0
+/// holds v == 0 and v == 1). Cheap enough for per-message paths; exact
+/// counts per power-of-two band, which is the resolution the payload-size
+/// and latency questions actually need.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept {
+    return v <= 1 ? 0 : static_cast<std::size_t>(63 - __builtin_clzll(v));
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& b : buckets_) sum += b.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time value dump of every registered metric. Subtraction is
+/// member-wise (names missing from the subtrahend count as zero), giving
+/// phase-delta semantics for free.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, std::vector<std::uint64_t>> histograms;
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  MetricsSnapshot operator-(const MetricsSnapshot& base) const;
+};
+
+/// Look up (creating on first use) a named metric in the process-global
+/// registry. References stay valid for the process lifetime; hot paths
+/// should cache them (`static Counter& c = counter("...")`).
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Value dump of every registered metric.
+MetricsSnapshot metrics_snapshot();
+
+/// Zero every registered counter and histogram (gauges keep their level).
+/// Same writer contract as Counter::reset().
+void reset_metrics();
+
+}  // namespace pdc::obs

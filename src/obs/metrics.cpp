@@ -1,0 +1,109 @@
+#include "pdc/obs/metrics.hpp"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace pdc::obs {
+
+namespace detail {
+
+std::uint32_t thread_shard_slot() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Name -> metric maps. unique_ptr values keep references stable across
+/// rehashes; the mutex guards only lookup/insert, never the hot bump.
+struct Registry {
+  std::mutex m;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+template <typename T>
+T& lookup(std::unordered_map<std::string, std::unique_ptr<T>>& map,
+          std::mutex& m, std::string_view name) {
+  std::lock_guard lk(m);
+  auto it = map.find(std::string(name));
+  if (it == map.end())
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = Registry::instance();
+  return lookup(r.counters, r.m, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = Registry::instance();
+  return lookup(r.gauges, r.m, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = Registry::instance();
+  return lookup(r.histograms, r.m, name);
+}
+
+MetricsSnapshot metrics_snapshot() {
+  Registry& r = Registry::instance();
+  std::lock_guard lk(r.m);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : r.counters) s.counters[name] = c->value();
+  for (const auto& [name, g] : r.gauges) s.gauges[name] = g->value();
+  for (const auto& [name, h] : r.histograms) {
+    auto& buckets = s.histograms[name];
+    buckets.resize(Histogram::kBuckets);
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+      buckets[b] = h->bucket(b);
+  }
+  return s;
+}
+
+void reset_metrics() {
+  Registry& r = Registry::instance();
+  std::lock_guard lk(r.m);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+}
+
+MetricsSnapshot MetricsSnapshot::operator-(const MetricsSnapshot& base) const {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    const auto it = base.counters.find(name);
+    d.counters[name] = v - (it == base.counters.end() ? 0 : it->second);
+  }
+  for (const auto& [name, v] : gauges) {
+    const auto it = base.gauges.find(name);
+    d.gauges[name] = v - (it == base.gauges.end() ? 0 : it->second);
+  }
+  for (const auto& [name, buckets] : histograms) {
+    auto& out = d.histograms[name];
+    out.resize(buckets.size());
+    const auto it = base.histograms.find(name);
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      const std::uint64_t old =
+          it != base.histograms.end() && b < it->second.size() ? it->second[b]
+                                                               : 0;
+      out[b] = buckets[b] - old;
+    }
+  }
+  return d;
+}
+
+}  // namespace pdc::obs

@@ -137,6 +137,7 @@ class Kernel {
     bool writing = false;        // blocked on a full pipe
     std::size_t print_cursor = 0;  // kPrintReads progress
     int mlfq_level = 0;          // 0 (highest) .. kMlfqLevels-1
+    std::uint64_t ready_since = 0;  // tick of the last kReady transition
   };
 
   Pcb& pcb(Pid pid);

@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pdc/obs/obs.hpp"
+
 namespace pdc::os {
+
+namespace {
+
+// Process-global scheduler metrics (cumulative across Kernel instances;
+// callers take metrics_snapshot() deltas to price one run).
+obs::Counter& switches_counter() {
+  static obs::Counter& c = obs::counter("os.context_switches");
+  return c;
+}
+obs::Counter& scheduled_counter() {
+  static obs::Counter& c = obs::counter("os.scheduled");
+  return c;
+}
+obs::Counter& wait_ticks_counter() {
+  static obs::Counter& c = obs::counter("os.sched_wait_ticks");
+  return c;
+}
+
+}  // namespace
 
 // ------------------------------------------------------------ process.hpp ---
 
@@ -145,6 +166,7 @@ Pid Kernel::allocate(Program program, std::string name, Pid ppid,
   p.priority = priority;
   p.program = std::move(program);
   p.state = ProcState::kReady;
+  p.ready_since = now_;
   const Pid pid = p.pid;
   procs_[pid] = std::move(p);
   return pid;
@@ -196,8 +218,10 @@ void Kernel::wake_waiting_parent(Pid parent_pid) {
   const auto it = procs_.find(parent_pid);
   if (it == procs_.end()) return;
   Pcb& parent = it->second;
-  if (parent.state == ProcState::kBlocked && parent.waiting)
+  if (parent.state == ProcState::kBlocked && parent.waiting) {
     parent.state = ProcState::kReady;
+    parent.ready_since = now_;
+  }
 }
 
 void Kernel::terminate(Pcb& p, int code) {
@@ -213,6 +237,7 @@ void Kernel::terminate(Pcb& p, int code) {
         if (q.state == ProcState::kBlocked && q.reading && q.stdin_pipe &&
             *q.stdin_pipe == *p.stdout_pipe) {
           q.state = ProcState::kReady;
+          q.ready_since = now_;
         }
       }
     }
@@ -382,6 +407,7 @@ void Kernel::execute_op(Pcb& p) {
           if (q.state == ProcState::kBlocked && q.reading && q.stdin_pipe &&
               *q.stdin_pipe == *p.stdout_pipe) {
             q.state = ProcState::kReady;
+            q.ready_since = now_;
           }
         }
       } else {
@@ -516,7 +542,10 @@ bool Kernel::tick() {
     }
     // MLFQ boost: a process that blocked (interactive behavior) returns
     // at the top level when it wakes.
-    if (p.state == ProcState::kReady) p.mlfq_level = 0;
+    if (p.state == ProcState::kReady) {
+      p.mlfq_level = 0;
+      p.ready_since = now_;
+    }
   }
 
   const Pid next = pick_next();
@@ -526,10 +555,20 @@ bool Kernel::tick() {
   }
   if (current_ != 0 && current_ != next && procs_.contains(current_)) {
     Pcb& prev = pcb(current_);
-    if (prev.state == ProcState::kRunning) prev.state = ProcState::kReady;
+    if (prev.state == ProcState::kRunning) {
+      prev.state = ProcState::kReady;
+      prev.ready_since = now_;
+    }
   }
   current_ = next;
   Pcb& p = pcb(current_);
+  // Scheduler-latency accounting: how long this pick sat runnable but
+  // unscheduled, and whether the CPU changed hands since the last tick.
+  if (p.state == ProcState::kReady)
+    wait_ticks_counter().add(now_ - p.ready_since);
+  scheduled_counter().add(1);
+  if (!schedule_trace_.empty() && schedule_trace_.back() != next)
+    switches_counter().add(1);
   p.state = ProcState::kRunning;
   schedule_trace_.push_back(current_);
   ++slice_used_;

@@ -50,9 +50,12 @@ double time_seconds(F&& fn) {
 }
 
 /// Time `fn` over `reps` repetitions and return the *minimum* per-rep time,
-/// the standard noise-robust estimator for microbenchmarks.
+/// the standard noise-robust estimator for microbenchmarks. `reps < 1` is
+/// clamped to one rep — the function always measures at least once rather
+/// than silently reporting 0.0.
 template <std::invocable F>
 double time_best_of(int reps, F&& fn) {
+  if (reps < 1) reps = 1;
   double best = 0.0;
   for (int i = 0; i < reps; ++i) {
     const double s = time_seconds(fn);

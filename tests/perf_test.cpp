@@ -231,6 +231,20 @@ TEST(Timer, RestartResets) {
   EXPECT_LT(t.elapsed_seconds(), 0.010);
 }
 
+TEST(Timer, BestOfClampsNonPositiveRepsToOne) {
+  // Regression: reps <= 0 used to skip the loop and report 0.0 without
+  // ever invoking fn. It must measure exactly one rep instead.
+  for (int reps : {0, -3}) {
+    int calls = 0;
+    const double t = pp::time_best_of(reps, [&] {
+      ++calls;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+    EXPECT_EQ(calls, 1) << "reps=" << reps;
+    EXPECT_GT(t, 0.0) << "reps=" << reps;
+  }
+}
+
 TEST(Timer, BestOfIsMinimum) {
   int calls = 0;
   const double best = pp::time_best_of(3, [&] {
