@@ -80,6 +80,7 @@ struct Mailbox {
   std::mutex m;
   std::condition_variable cv;
   std::deque<Message> queue;
+  std::uint64_t arrivals = 0;  ///< messages ever enqueued (monotonic)
 
   // Reliable-channel state, all under `m`. Reset per run.
   std::unordered_map<int, std::uint64_t> last_seq;  ///< per-source dedup floor
@@ -188,6 +189,7 @@ struct CommState {
     {
       std::lock_guard lk(box.m);
       box.queue.push_back(std::move(msg));
+      ++box.arrivals;
     }
     box.cv.notify_all();
   }
@@ -206,6 +208,7 @@ struct CommState {
     floor = seq;
     count_delivery(msg.data.size());
     box.queue.push_back(std::move(msg));
+    ++box.arrivals;
     return true;
   }
 
@@ -486,7 +489,19 @@ Message RankContext::ch_take(int source, int tag) {
   PDC_TRACE_SCOPE("mp.recv");
   ++ops_;
   maybe_kill();
+  if (reliable_ && source == kAnySource)
+    throw std::logic_error(
+        "recv(kAnySource) is not allowed on the reliable channel: an "
+        "any-source wait cannot name the sender it depends on, so a dead "
+        "peer whose messages were all dropped becomes an undetectable "
+        "hang. Receive per-source (or poll probe(source, tag)) instead.");
   return comm_->st_->take(rank_, source, tag);
+}
+
+bool RankContext::peer_running(int rank) const {
+  if (rank < 0 || rank >= comm_->st_->size)
+    throw std::out_of_range("bad peer rank");
+  return comm_->st_->rank_state[rank].load() == detail::kRunning;
 }
 
 void RankContext::reliable_send(int dest, int tag,
@@ -556,6 +571,22 @@ std::int64_t RankContext::recv_value(int source, int tag) {
 
 bool RankContext::probe(int source, int tag) {
   return comm_->st_->match_available(rank_, source, tag);
+}
+
+std::uint64_t RankContext::arrivals() const {
+  detail::Mailbox& box = *comm_->st_->boxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard lk(box.m);
+  return box.arrivals;
+}
+
+std::uint64_t RankContext::wait_arrivals(std::uint64_t seen) {
+  detail::Mailbox& box = *comm_->st_->boxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock lk(box.m);
+  // Bounded wait: deliveries and rank-death marks notify the cv, but the
+  // timeout keeps liveness re-checks flowing even if neither happens.
+  box.cv.wait_for(lk, std::chrono::milliseconds(1),
+                  [&] { return box.arrivals > seen; });
+  return box.arrivals;
 }
 
 Request RankContext::irecv(int source, int tag) {

@@ -1,30 +1,12 @@
 #include "pdc/mp/dht.hpp"
 
-#include <functional>
 #include <stdexcept>
 #include <string>
 
 namespace pdc::mp {
 
-namespace {
-/// Flip the context onto the reliable channel for one round, restoring
-/// the caller's mode on every exit path (including RankFailedError).
-class ReliableScope {
- public:
-  ReliableScope(RankContext& ctx, bool want) : ctx_(ctx), prev_(ctx.reliable()) {
-    if (want) ctx_.set_reliable(true);
-  }
-  ~ReliableScope() { ctx_.set_reliable(prev_); }
-
- private:
-  RankContext& ctx_;
-  bool prev_;
-};
-}  // namespace
-
 int BspHashMap::owner(std::int64_t key) const {
-  return static_cast<int>(std::hash<std::int64_t>{}(key) %
-                          static_cast<std::size_t>(ctx_->size()));
+  return shard_owner(key, ctx_->size());
 }
 
 void BspHashMap::queue_put(std::int64_t key, std::int64_t value) {
@@ -36,7 +18,7 @@ void BspHashMap::queue_get(std::int64_t key) {
 }
 
 std::vector<BspHashMap::GetResult> BspHashMap::round() {
-  ReliableScope guard(*ctx_, opts_.reliable);
+  ReliableModeScope guard(*ctx_, opts_.reliable || ctx_->reliable());
   const int p = ctx_->size();
   const auto up = static_cast<std::size_t>(p);
   const std::int64_t this_round = ++round_;

@@ -153,11 +153,39 @@ class RankContext {
 
   /// Blocking receive with optional wildcards kAnySource / kAnyTag.
   /// Throws RankFailedError if the awaited source can no longer send.
+  ///
+  /// kAnySource is rejected (std::logic_error) while this rank is on the
+  /// reliable channel: an any-source wait cannot tell which sender it is
+  /// actually waiting for, so one dead or partitioned peer turns a
+  /// recoverable loss into a silent hang (every other peer keeps the
+  /// match-set "alive" forever). Reliable protocols must receive
+  /// per-source — poll probe(source, tag) across sources, or take from
+  /// each source in turn, exactly as the flat reduce and the DHT client
+  /// do.
   Message recv(int source = kAnySource, int tag = kAnyTag);
   std::int64_t recv_value(int source = kAnySource, int tag = kAnyTag);
 
+  /// True while `rank` is still executing the SPMD body (it may yet send
+  /// or serve). False once it finished, was killed, or threw — a peer
+  /// with pending work owed to us that stops running is a failure the
+  /// caller can convert into RankFailedError instead of spinning forever.
+  [[nodiscard]] bool peer_running(int rank) const;
+
   /// Nonblocking probe: is a matching message waiting?
   [[nodiscard]] bool probe(int source = kAnySource, int tag = kAnyTag);
+
+  /// Messages ever delivered into this rank's mailbox (monotonic, counts
+  /// arrivals — not consumption). The handle for event-driven polling
+  /// loops: snapshot arrivals(), poll, and if the poll found nothing call
+  /// wait_arrivals(snapshot) to sleep until something new lands.
+  [[nodiscard]] std::uint64_t arrivals() const;
+
+  /// Block until arrivals() exceeds `seen`, a bounded wait elapses, or a
+  /// peer stops running — whichever is first. Returns the current count.
+  /// The bounded wait (~1ms) means callers can re-check liveness and shed
+  /// conditions without busy-spinning; on the fast path a delivery wakes
+  /// the waiter immediately via the mailbox condition variable.
+  std::uint64_t wait_arrivals(std::uint64_t seen);
 
   /// Nonblocking receive.
   [[nodiscard]] Request irecv(int source = kAnySource, int tag = kAnyTag);
@@ -230,6 +258,25 @@ class RankContext {
   bool reliable_ = false;
   long ops_ = 0;                           ///< channel ops completed (kill clock)
   std::vector<std::uint64_t> send_seq_;    ///< per-dest reliable flow sequence
+};
+
+/// Flip a rank onto (or off) the reliable channel for one scope,
+/// restoring the caller's mode on every exit path — the guard both the
+/// BSP map and the pipelined DHT client use so per-protocol channel
+/// choices never leak into the caller's subsequent traffic.
+class ReliableModeScope {
+ public:
+  ReliableModeScope(RankContext& ctx, bool want)
+      : ctx_(ctx), prev_(ctx.reliable()) {
+    if (want != prev_) ctx_.set_reliable(want);
+  }
+  ~ReliableModeScope() { ctx_.set_reliable(prev_); }
+  ReliableModeScope(const ReliableModeScope&) = delete;
+  ReliableModeScope& operator=(const ReliableModeScope&) = delete;
+
+ private:
+  RankContext& ctx_;
+  bool prev_;
 };
 
 /// Runs an SPMD function over `size` ranks (one thread per rank).

@@ -23,8 +23,30 @@
 #include <vector>
 
 #include "pdc/mp/comm.hpp"
+#include "pdc/mp/fault.hpp"
 
 namespace pdc::mp {
+
+/// Owner rank of a key in a P-way hash partition. The key is run through
+/// the splitmix64 finalizer before the modulo: libstdc++'s
+/// std::hash<int64_t> is the identity, so hashing raw keys routes
+/// sequential and strided workloads onto a handful of shards (a stride
+/// that shares a factor with P lands every key on the same rank). The
+/// bit-mix makes placement uniform for any key structure; both the BSP
+/// map and the pipelined client route through this one function, so they
+/// always agree on ownership.
+[[nodiscard]] inline int shard_owner(std::int64_t key, int ranks) {
+  return static_cast<int>(detail::mix64(static_cast<std::uint64_t>(key)) %
+                          static_cast<std::uint64_t>(ranks));
+}
+
+/// Result of one get, in queue/submission order.
+struct GetResult {
+  std::int64_t key = 0;
+  bool found = false;
+  std::int64_t value = 0;
+  bool operator==(const GetResult&) const = default;
+};
 
 /// Per-rank shard of the table. Construct one inside the SPMD body; all
 /// ranks must call round() collectively (same number of times).
@@ -48,13 +70,8 @@ class BspHashMap {
   /// Queue a get for the next round; the result arrives after round().
   void queue_get(std::int64_t key);
 
-  /// Result of one get, in queue order.
-  struct GetResult {
-    std::int64_t key = 0;
-    bool found = false;
-    std::int64_t value = 0;
-    bool operator==(const GetResult&) const = default;
-  };
+  /// Result of one get, in queue order (alias kept for existing callers).
+  using GetResult = pdc::mp::GetResult;
 
   /// Execute one synchronous round: route queued puts and gets to their
   /// owner ranks, apply puts (last-writer-wins within a round is resolved

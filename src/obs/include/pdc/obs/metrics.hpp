@@ -86,6 +86,19 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// Quantile extraction over a raw log2 bucket vector (as stored by
+/// Histogram and MetricsSnapshot::histograms). Bucket b >= 1 spans
+/// [2^b, 2^{b+1}); bucket 0 spans [0, 2). The q-th quantile is read off
+/// the cumulative distribution with each bucket's mass spread uniformly
+/// over its span (linear interpolation), so precision is bounded by the
+/// bucket width — exact at bucket edges, power-of-two-band resolution
+/// inside. Conventions (pinned by tests):
+///  - empty histogram -> 0.0
+///  - q <= 0 -> lower edge of the first non-empty bucket
+///  - q >= 1 -> upper edge of the last non-empty bucket
+double quantile_from_buckets(const std::vector<std::uint64_t>& buckets,
+                             double q);
+
 /// Log2-bucket histogram: record(v) bumps bucket floor(log2(v)) (bucket 0
 /// holds v == 0 and v == 1). Cheap enough for per-message paths; exact
 /// counts per power-of-two band, which is the resolution the payload-size
@@ -115,6 +128,17 @@ class Histogram {
     for (const auto& b : buckets_) sum += b.load(std::memory_order_relaxed);
     return sum;
   }
+
+  /// The q-th quantile of the recorded values, interpolated within the
+  /// matching log2 bucket (see quantile_from_buckets for the exact
+  /// conventions). Reads a relaxed snapshot of the buckets: exact once
+  /// writers have joined, a live estimate while they run.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// quantile() at several points in one bucket snapshot — the p50/p99/
+  /// p999 spelling benches want.
+  [[nodiscard]] std::vector<double> percentiles(
+      const std::vector<double>& qs) const;
 
   void reset() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);

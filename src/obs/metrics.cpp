@@ -1,5 +1,6 @@
 #include "pdc/obs/metrics.hpp"
 
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -44,6 +45,61 @@ T& lookup(std::unordered_map<std::string, std::unique_ptr<T>>& map,
 }
 
 }  // namespace
+
+double quantile_from_buckets(const std::vector<std::uint64_t>& buckets,
+                             double q) {
+  std::uint64_t total = 0;
+  for (const auto b : buckets) total += b;
+  if (total == 0) return 0.0;
+
+  // Bucket b's value span: [0, 2) for b == 0, else [2^b, 2^{b+1}).
+  const auto lo_of = [](std::size_t b) {
+    return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+  };
+  const auto hi_of = [](std::size_t b) {
+    return std::ldexp(1.0, static_cast<int>(b) + 1);
+  };
+
+  if (q <= 0.0) {
+    for (std::size_t b = 0; b < buckets.size(); ++b)
+      if (buckets[b] > 0) return lo_of(b);
+  }
+  if (q >= 1.0) {
+    for (std::size_t b = buckets.size(); b-- > 0;)
+      if (buckets[b] > 0) return hi_of(b);
+  }
+
+  // Walk the CDF to the bucket holding rank q*total, then spread that
+  // bucket's mass uniformly over its span.
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const auto count = static_cast<double>(buckets[b]);
+    if (cum + count >= rank) {
+      const double frac = (rank - cum) / count;
+      return lo_of(b) + frac * (hi_of(b) - lo_of(b));
+    }
+    cum += count;
+  }
+  return hi_of(buckets.size() - 1);  // unreachable (rank <= total)
+}
+
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> snap(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) snap[b] = bucket(b);
+  return quantile_from_buckets(snap, q);
+}
+
+std::vector<double> Histogram::percentiles(
+    const std::vector<double>& qs) const {
+  std::vector<std::uint64_t> snap(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) snap[b] = bucket(b);
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(quantile_from_buckets(snap, q));
+  return out;
+}
 
 Counter& counter(std::string_view name) {
   Registry& r = Registry::instance();

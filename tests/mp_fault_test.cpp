@@ -76,6 +76,37 @@ TEST(Reliable, ExactWithoutFaults) {
   EXPECT_EQ(t.duplicates, 0u);
 }
 
+TEST(Reliable, WildcardRecvIsRejectedWithDiagnostic) {
+  // A blocking recv(kAnySource) on the reliable channel cannot name the
+  // sender it depends on: if that sender dies after all its messages were
+  // dropped, the wait is an undetectable hang. The channel refuses it up
+  // front; probe(source, tag) polling is the supported alternative.
+  mp::Communicator comm(2);
+  std::atomic<int> rejected{0};
+  comm.run([&](mp::RankContext& ctx) {
+    ctx.set_reliable(true);
+    if (ctx.rank() == 0) {
+      ctx.send_value(1, 0, 42);
+      ctx.set_reliable(false);
+      ctx.send(1, 3, {7});
+    } else {
+      try {
+        (void)ctx.recv(mp::kAnySource, 0);
+      } catch (const std::logic_error& e) {
+        if (std::string(e.what()).find("kAnySource") != std::string::npos)
+          rejected.fetch_add(1);
+      }
+      // Naming the source works fine on the reliable channel...
+      if (ctx.recv_value(0, 0) != 42) rejected.fetch_add(100);
+      // ...and plain mode keeps full wildcard support.
+      ctx.set_reliable(false);
+      if (ctx.recv(mp::kAnySource, mp::kAnyTag).data.at(0) != 7)
+        rejected.fetch_add(100);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 1);
+}
+
 TEST(Reliable, DropsAreRetriedToDelivery) {
   mp::FaultPlan plan;
   plan.drop = 0.3;

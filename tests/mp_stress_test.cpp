@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fuzzer.hpp"
+#include "pdc/mp/client.hpp"
 #include "pdc/mp/comm.hpp"
 #include "pdc/mp/dht.hpp"
 #include "pdc/mp/fault.hpp"
@@ -109,6 +110,58 @@ TEST(DhtFuzz, ReliableRoundsSurviveFaultPlans) {
   });
   EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
 }
+
+// ------------------------------------------- pipelined client sweep ---
+
+// The async client under seeded fault plans, judged op-for-op against
+// its own fault-free baseline: every window depth must deliver the same
+// answers whether batches ride the raw channel (faults can only kill) or
+// the reliable one (drop/dup/reorder apply and must be recovered).
+class DhtClientFuzz
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(DhtClientFuzz, PipelinedServingSurvivesFaultPlans) {
+  const auto [window, reliable] = GetParam();
+  pt::FuzzOptions opt;
+  opt.ranks = 4;
+  opt.iterations = pt::stress_iters(100);
+  opt.base_seed = 0xC11E47ULL + static_cast<std::uint64_t>(window) * 977 +
+                  (reliable ? 13 : 0);
+  opt.allow_kill = true;
+  const auto report = pt::fuzz_spmd(
+      opt, [window = window, reliable = reliable](mp::RankContext& ctx) {
+        const int p = ctx.size();
+        const int r = ctx.rank();
+        mp::DhtClient client(
+            ctx, {.window = window, .max_batch = 4, .reliable = reliable});
+        for (std::int64_t i = 0; i < 16; ++i)
+          (void)client.put(r * 64 + i, (r * 64 + i) * 3 + 1);
+        client.fence();
+        const int peer = (r + 1) % p;
+        std::vector<mp::DhtFuture> gets;
+        for (std::int64_t i = 0; i < 16; ++i)
+          gets.push_back(client.get(peer * 64 + i));
+        gets.push_back(client.get(-4242));  // never written
+        std::vector<std::int64_t> digest;
+        for (auto& g : gets) {
+          const auto res = g.wait();
+          digest.push_back(res.found ? 1 : 0);
+          digest.push_back(res.value);
+        }
+        client.shutdown();
+        return digest;
+      });
+  EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndChannels, DhtClientFuzz,
+    ::testing::Combine(::testing::Values(1, 8),
+                       ::testing::Values(false, true)),
+    [](const auto& info) {
+      return std::string("W") + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "Reliable" : "Raw");
+    });
 
 // ---------------------------------------------- point-to-point sweep ---
 

@@ -84,6 +84,58 @@ TEST(Metrics, HistogramLog2Buckets) {
   EXPECT_EQ(h.count(), 5u);
 }
 
+TEST(Metrics, HistogramQuantilesInterpolateWithinBuckets) {
+  obs::Histogram& h = obs::histogram("test.hist.quantile");
+  h.reset();
+  // 2 samples in bucket 0 ([0,2)), 4 in bucket 2 ([4,8)), 4 in bucket 4
+  // ([16,32)). N = 10; rank = q*N; mass spread uniformly per bucket.
+  h.record(0);
+  h.record(0);
+  for (int i = 0; i < 4; ++i) h.record(4);
+  for (int i = 0; i < 4; ++i) h.record(16);
+  // rank 5 lands 3/4 into bucket 2: 4 + 0.75*(8-4) = 7.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+  // rank 9 lands 3/4 into bucket 4: 16 + 0.75*(32-16) = 28.
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 28.0);
+  // rank 1 lands halfway into bucket 0: 0 + 0.5*(2-0) = 1.
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 1.0);
+  // Edge conventions: q<=0 -> lower edge of first non-empty bucket,
+  // q>=1 -> upper edge of last non-empty bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 32.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 32.0);
+  const auto ps = h.percentiles({0.5, 0.9, 1.0});
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_DOUBLE_EQ(ps[0], 7.0);
+  EXPECT_DOUBLE_EQ(ps[1], 28.0);
+  EXPECT_DOUBLE_EQ(ps[2], 32.0);
+}
+
+TEST(Metrics, QuantileEdgeCasesAndRawBucketVectors) {
+  // Empty histogram -> 0 everywhere.
+  obs::Histogram& h = obs::histogram("test.hist.quantile.empty");
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  // Raw bucket vectors (the MetricsSnapshot::histograms representation)
+  // go through the same free function.
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets({}, 0.5), 0.0);
+  std::vector<std::uint64_t> buckets(obs::Histogram::kBuckets, 0);
+  buckets[3] = 10;  // all mass in [8,16)
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(buckets, 0.0), 8.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(buckets, 0.5), 12.0);
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(buckets, 1.0), 16.0);
+  // Snapshot deltas feed the same path: a phase's p50 from `after-before`.
+  const auto before = obs::metrics_snapshot();
+  obs::Histogram& d = obs::histogram("test.hist.quantile.delta");
+  d.reset();
+  for (int i = 0; i < 8; ++i) d.record(100);  // bucket 6: [64,128)
+  const auto delta = obs::metrics_snapshot() - before;
+  const auto it = delta.histograms.find("test.hist.quantile.delta");
+  ASSERT_NE(it, delta.histograms.end());
+  EXPECT_DOUBLE_EQ(obs::quantile_from_buckets(it->second, 0.5), 96.0);
+}
+
 TEST(Metrics, SnapshotDeltaPricesOnePhase) {
   obs::Counter& c = obs::counter("test.snapshot.delta");
   c.add(5);
