@@ -1,0 +1,284 @@
+// bench_stencil — prices the generic 2-D stencil engine's two headline
+// claims and exercises the heat workload across all three execution
+// modes:
+//
+//   1. dirty-tile skipping: a sparse Life board (soup confined to one
+//      corner, <= 10% of tiles ever active) runs >= 3x faster than the
+//      full sweep, bit-identically (the equivalence is asserted in
+//      tests/stencil_test.cpp; here we price it).
+//   2. 2-D vs row-only tiling: on a wide board with a narrow active
+//      column band, row tiles can never sleep (every row intersects the
+//      band) while 2-D tiles skip the quiet columns.
+//
+// The model-counts study emits *exact* deterministic numbers (halo wire
+// words, tiles computed/skipped, heat convergence steps) — the same rows
+// under --smoke and full runs — which `--json=FILE` exports and CI diffs
+// against bench/expectations/BENCH_stencil.json.
+//
+// `--trace=trace.json` produces the Chrome-trace demo: per-step spans
+// shrink as the board settles and tiles drop out of the active set.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+
+#include "pdc/life/engine.hpp"
+#include "pdc/life/grid.hpp"
+#include "pdc/obs/obs.hpp"
+#include "pdc/perf/table.hpp"
+#include "pdc/perf/timer.hpp"
+#include "pdc/stencil/heat.hpp"
+
+namespace {
+
+namespace pl = pdc::life;
+namespace ps = pdc::stencil;
+
+/// Board that is dead except for random soup in the top-left
+/// `block_rows x block_cols` corner — the sparse workload where skipping
+/// should shine.
+pl::Grid sparse_board(std::size_t rows, std::size_t cols,
+                      std::size_t block_rows, std::size_t block_cols,
+                      std::uint64_t seed) {
+  pl::Grid soup = pl::random_grid(block_rows, block_cols, 0.35, seed,
+                                  pl::Boundary::kDead);
+  pl::Grid board(rows, cols, pl::Boundary::kDead);
+  for (std::size_t r = 0; r < block_rows; ++r)
+    for (std::size_t c = 0; c < block_cols; ++c)
+      board.set(r, c, soup.get(r, c));
+  return board;
+}
+
+double run_life_timed(const pl::Grid& start, int gens,
+                      const pl::EngineOptions& opt, ps::RunResult& res) {
+  pl::Grid board = start;
+  pdc::perf::Timer t;
+  res = pl::run_sequential(board, gens, opt);
+  const auto ns = static_cast<double>(t.elapsed_ns());
+  benchmark::DoNotOptimize(board);
+  return ns / 1e6;  // ms
+}
+
+void print_skip_ablation(pdc::benchutil::Options& bopt) {
+  const std::size_t n = bopt.smoke ? 1024 : 2048;
+  const int gens = bopt.smoke ? 150 : 300;
+  const pl::Grid start = sparse_board(n, n, n / 16, n / 16, 42);
+  pl::EngineOptions opt;
+  opt.tile_rows = 32;
+  opt.tile_words = 4;
+
+  const auto before = pdc::obs::metrics_snapshot();
+  ps::RunResult on, off;
+  opt.skip_quiescent = false;
+  const double off_ms = run_life_timed(start, gens, opt, off);
+  opt.skip_quiescent = true;
+  const double on_ms = run_life_timed(start, gens, opt, on);
+  const auto delta = pdc::obs::metrics_snapshot() - before;
+
+  const auto total = on.tiles_computed + on.tiles_skipped;
+  pdc::perf::Table t({"mode", "ms", "tiles computed", "tiles skipped",
+                      "skip rate", "speedup"});
+  t.add_row({"full sweep", pdc::perf::fmt(off_ms, 1),
+             std::to_string(off.tiles_computed), "0", "0.00", "1.00"});
+  t.add_row({"dirty-tile skip", pdc::perf::fmt(on_ms, 1),
+             std::to_string(on.tiles_computed),
+             std::to_string(on.tiles_skipped),
+             pdc::perf::fmt(static_cast<double>(on.tiles_skipped) /
+                                static_cast<double>(total),
+                            2),
+             pdc::perf::fmt(off_ms / on_ms, 2)});
+  std::cout << "== stencil: dirty-tile skipping on sparse Life (" << n << "x"
+            << n << ", soup in " << n / 16 << "x" << n / 16 << " corner, "
+            << gens << " gens) ==\n"
+            << t.str()
+            << "(obs stencil.tiles_skipped delta: "
+            << delta.counter("stencil.tiles_skipped")
+            << "; acceptance: speedup >= 3x, results bit-identical — "
+               "asserted in stencil_test)\n\n";
+  bopt.add_json_table("skip ablation", t);
+}
+
+void print_tiling_shape_study(pdc::benchutil::Options& bopt) {
+  // Wide board, activity confined to a narrow left column band: row
+  // tiles all intersect the band and can never sleep; 2-D tiles put the
+  // quiet right-hand words to bed.
+  const std::size_t rows = bopt.smoke ? 256 : 512;
+  const std::size_t cols = bopt.smoke ? 16384 : 32768;
+  const int gens = bopt.smoke ? 30 : 60;
+  const pl::Grid start = sparse_board(rows, cols, rows, 256, 7);
+
+  pl::EngineOptions row_opt;
+  row_opt.tile_rows = 32;
+  row_opt.tile_words = cols / 64;  // one tile spans the whole row
+  pl::EngineOptions tile_opt;
+  tile_opt.tile_rows = 32;
+  tile_opt.tile_words = 16;
+
+  ps::RunResult row_res, tile_res;
+  const double row_ms = run_life_timed(start, gens, row_opt, row_res);
+  const double tile_ms = run_life_timed(start, gens, tile_opt, tile_res);
+
+  const auto rate = [](const ps::RunResult& r) {
+    return static_cast<double>(r.tiles_skipped) /
+           static_cast<double>(r.tiles_computed + r.tiles_skipped);
+  };
+  pdc::perf::Table t(
+      {"tiling", "tile shape", "ms", "skip rate", "speedup"});
+  t.add_row({"row-only", "32 x " + std::to_string(cols / 64) + " words",
+             pdc::perf::fmt(row_ms, 1), pdc::perf::fmt(rate(row_res), 2),
+             "1.00"});
+  t.add_row({"2-D", "32 x 16 words", pdc::perf::fmt(tile_ms, 1),
+             pdc::perf::fmt(rate(tile_res), 2),
+             pdc::perf::fmt(row_ms / tile_ms, 2)});
+  std::cout << "== stencil: 2-D vs row-only tiling (" << rows << "x" << cols
+            << " board, 256-column active band, " << gens << " gens) ==\n"
+            << t.str()
+            << "(row tiles intersect the band and never sleep; 2-D tiles "
+               "skip the quiet columns)\n\n";
+  bopt.add_json_table("tiling shape", t);
+}
+
+void print_heat_engines(pdc::benchutil::Options& bopt) {
+  const std::size_t rows = 96, cols = 128;
+  ps::HeatOptions hopt;
+  hopt.conductivity = 0.25;
+  hopt.converge_eps = 1e-4;
+  hopt.tile_rows = 16;
+  hopt.tile_cols = 32;
+  const auto make = [&] {
+    ps::HeatField f(rows, cols, 0.0f);
+    f.set_boundary(1.0f, 0.0f, 0.0f, 0.0f);
+    return f;
+  };
+
+  pdc::perf::Table t({"engine", "steps", "residual", "tiles computed",
+                      "tiles skipped", "ms"});
+  const auto add = [&](const char* name, auto&& run) {
+    ps::HeatField f = make();
+    pdc::perf::Timer timer;
+    const ps::RunResult res = run(f);
+    const auto ms = static_cast<double>(timer.elapsed_ns()) / 1e6;
+    t.add_row({name, std::to_string(res.steps),
+               pdc::perf::fmt(res.last_delta, 6),
+               std::to_string(res.tiles_computed),
+               std::to_string(res.tiles_skipped), pdc::perf::fmt(ms, 1)});
+  };
+  add("sequential",
+      [&](ps::HeatField& f) { return ps::heat_relax(f, hopt); });
+  add("threaded x4",
+      [&](ps::HeatField& f) { return ps::heat_relax_threaded(f, hopt, 4); });
+  add("mp x4",
+      [&](ps::HeatField& f) { return ps::heat_relax_mp(f, hopt, 4); });
+
+  std::cout << "== stencil: heat dissipation to convergence (" << rows << "x"
+            << cols << ", hot top edge, eps=1e-4) ==\n"
+            << t.str()
+            << "(all engines must report identical steps and residual — "
+               "asserted in stencil_test)\n\n";
+  bopt.add_json_table("heat engines", t);
+}
+
+/// Exact, deterministic model counts — identical under --smoke and full
+/// runs, diffed by CI against bench/expectations/BENCH_stencil.json.
+void print_model_counts(pdc::benchutil::Options& bopt) {
+  pdc::perf::Table t({"config", "steps", "tiles computed", "tiles skipped",
+                      "halo words"});
+  const auto add = [&](const std::string& name, const ps::RunResult& r) {
+    t.add_row({name, std::to_string(r.steps),
+               std::to_string(r.tiles_computed),
+               std::to_string(r.tiles_skipped),
+               std::to_string(r.halo_words)});
+  };
+
+  // Life, 256x256 torus soup: 4 payload words + 1 flag word per halo
+  // message, 2 messages per rank per generation.
+  const pl::Grid life_start = pl::random_grid(256, 256, 0.3, 3);
+  pl::EngineOptions lopt;
+  lopt.tile_rows = 32;
+  lopt.tile_words = 2;
+  {
+    pl::Grid b = life_start;
+    add("life seq 256x256 t32x2 g10", pl::run_sequential(b, 10, lopt));
+  }
+  {
+    pl::Grid b = life_start;
+    add("life mp4 256x256 t32x2 g10",
+        pl::run_message_passing(b, 10, 4, lopt));
+  }
+  // Life, sparse corner soup: most tiles asleep; exact skip counts.
+  {
+    pl::Grid b = sparse_board(512, 512, 64, 64, 42);
+    add("life seq sparse 512x512 t32x2 g20", pl::run_sequential(b, 20, lopt));
+  }
+
+  // Heat to convergence: steps must agree across engines (rows 4 and 5),
+  // halo words = 2 edge ranks x 1 msg x (48 payload + 1 flag) per step
+  // for the 2-rank strip run.
+  ps::HeatOptions hopt;
+  hopt.conductivity = 0.25;
+  hopt.converge_eps = 1e-4;
+  hopt.tile_rows = 16;
+  hopt.tile_cols = 32;
+  {
+    ps::HeatField f(64, 96, 0.0f);
+    f.set_boundary(1.0f, 0.0f, 0.0f, 0.0f);
+    add("heat seq 64x96 eps1e-4", ps::heat_relax(f, hopt));
+  }
+  {
+    ps::HeatField f(64, 96, 0.0f);
+    f.set_boundary(1.0f, 0.0f, 0.0f, 0.0f);
+    add("heat mp2 64x96 eps1e-4", ps::heat_relax_mp(f, hopt, 2));
+  }
+
+  std::cout << "== stencil: exact model counts (deterministic; diffed "
+               "against bench/expectations/BENCH_stencil.json) ==\n"
+            << t.str() << "\n";
+  bopt.add_json_table("model counts", t);
+}
+
+void BM_LifeSparseSkip(benchmark::State& state) {
+  const bool skip = state.range(0) != 0;
+  auto board = sparse_board(1024, 1024, 64, 64, 7);
+  pl::EngineOptions opt;
+  opt.tile_rows = 32;
+  opt.tile_words = 4;
+  opt.skip_quiescent = skip;
+  for (auto _ : state) {
+    pl::run_sequential(board, 8, opt);
+    benchmark::DoNotOptimize(board);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024 * 1024 * 8);
+}
+BENCHMARK(BM_LifeSparseSkip)->Arg(0)->Arg(1);
+
+void BM_HeatStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ps::HeatField f(n, n, 0.0f);
+  f.set_boundary(1.0f, 0.0f, 0.0f, 0.0f);
+  ps::HeatOptions hopt;
+  hopt.converge_eps = -1.0;  // fixed step count: price the raw kernel
+  hopt.max_steps = 4;
+  for (auto _ : state) {
+    ps::heat_relax(f, hopt);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n) * 4);
+}
+BENCHMARK(BM_HeatStep)->Arg(256)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = pdc::benchutil::parse_args(argc, argv);
+  print_skip_ablation(opt);
+  print_tiling_shape_study(opt);
+  print_heat_engines(opt);
+  print_model_counts(opt);
+  return pdc::benchutil::finish(opt, argc, argv);
+}

@@ -48,8 +48,10 @@ void print_packed_vs_byte(bool smoke) {
 
   const double byte_tp =
       cells_per_ns(n, byte_gens, pdc::life::run_reference, start);
-  const double packed_tp =
-      cells_per_ns(n, packed_gens, pdc::life::run_sequential, start);
+  const double packed_tp = cells_per_ns(
+      n, packed_gens,
+      [](pdc::life::Grid& b, int g) { pdc::life::run_sequential(b, g); },
+      start);
 
   pdc::perf::Table table({"kernel", "cells/ns", "ratio"});
   table.add_row({"byte reference", std::to_string(byte_tp), "1.00"});

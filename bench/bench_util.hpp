@@ -17,22 +17,35 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "pdc/obs/obs.hpp"
+#include "pdc/perf/table.hpp"
 
 namespace pdc::benchutil {
 
 struct Options {
   bool smoke = false;      ///< reduced printed studies, skip gbench loops
   std::string trace_path;  ///< non-empty: write Chrome trace JSON here
+  std::string json_path;   ///< non-empty: write collected tables here
+
+  /// Tables registered via add_json_table, serialized by finish().
+  std::vector<std::string> json_tables;
+
+  /// Record a study table for machine-readable emission. A no-op unless
+  /// `--json=<path>` was given, so studies can call it unconditionally.
+  void add_json_table(const std::string& title, const perf::Table& t) {
+    if (!json_path.empty()) json_tables.push_back(t.json(title));
+  }
 };
 
-/// Strip `--smoke` and `--trace=<path>` out of argv (google-benchmark
-/// rejects flags it does not know). `PDC_TRACE=<path>` in the environment
-/// is the no-argv spelling of `--trace`. Requesting a trace enables
-/// tracing for the whole process, from here on.
+/// Strip `--smoke`, `--trace=<path>`, and `--json=<path>` out of argv
+/// (google-benchmark rejects flags it does not know). `PDC_TRACE=<path>`
+/// in the environment is the no-argv spelling of `--trace`. Requesting a
+/// trace enables tracing for the whole process, from here on.
 inline Options parse_args(int& argc, char** argv) {
   Options opt;
   int kept = 1;
@@ -41,6 +54,8 @@ inline Options parse_args(int& argc, char** argv) {
       opt.smoke = true;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       opt.trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      opt.json_path = argv[i] + 7;
     } else {
       argv[kept++] = argv[i];
     }
@@ -57,13 +72,29 @@ inline Options parse_args(int& argc, char** argv) {
   return opt;
 }
 
-/// Run the google-benchmark loops (skipped under --smoke), then export the
-/// trace and print the top-span summary when one was requested.
+/// Run the google-benchmark loops (skipped under --smoke), then export
+/// the collected JSON tables and/or the trace when requested.
 inline int finish(const Options& opt, int& argc, char** argv) {
   if (!opt.smoke) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+  }
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << opt.json_path << '\n';
+      return 1;
+    }
+    std::string bench = argc > 0 ? argv[0] : "bench";
+    if (const auto pos = bench.find_last_of('/'); pos != std::string::npos)
+      bench = bench.substr(pos + 1);
+    out << "{\"bench\": \"" << bench << "\", \"tables\": [";
+    for (std::size_t i = 0; i < opt.json_tables.size(); ++i)
+      out << (i == 0 ? "\n" : ",\n") << opt.json_tables[i];
+    out << "\n]}\n";
+    std::cout << "\n== json: " << opt.json_tables.size() << " tables -> "
+              << opt.json_path << " ==\n";
   }
   if (!opt.trace_path.empty()) {
     obs::set_tracing_enabled(false);

@@ -5,10 +5,11 @@
 #include <utility>
 #include <vector>
 
-#include "pdc/core/team.hpp"
 #include "pdc/life/packed_grid.hpp"
+#include "pdc/life/stencil_workload.hpp"
 #include "pdc/mp/comm.hpp"
 #include "pdc/obs/obs.hpp"
+#include "pdc/stencil/engine.hpp"
 
 namespace pdc::life {
 
@@ -23,17 +24,26 @@ void step_rows_bytes(const Grid& src, Grid& dst, std::size_t row_begin,
       dst.set(r, c, src.next_state(r, c));
 }
 
-/// Bring `g`'s ghost bits and wrap halo rows fully in sync (single-owner
-/// version; the threaded engine splits this work across ranks).
-void sync_all(PackedGrid& g) {
-  g.sync_row_ghosts(0, g.rows());
-  g.sync_halo_rows();
+stencil::Options engine_opts(const EngineOptions& opt, int generations) {
+  stencil::Options e;
+  e.tile_rows = opt.tile_rows;
+  e.tile_cols = opt.tile_words;
+  e.max_steps = generations;
+  e.skip_quiescent = opt.skip_quiescent;
+  e.quiesce_eps = 0.0;    // exact: skipping is bit-identical
+  e.converge_eps = -1.0;  // Life runs a fixed number of generations
+  e.span_name = "life.gen";
+  return e;
+}
+
+void check_args(int generations) {
+  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
 }
 
 }  // namespace
 
 void run_reference(Grid& board, int generations) {
-  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
+  check_args(generations);
   Grid next(board.rows(), board.cols(), board.boundary());
   for (int g = 0; g < generations; ++g) {
     PDC_TRACE_SCOPE("life.gen");
@@ -42,81 +52,83 @@ void run_reference(Grid& board, int generations) {
   }
 }
 
-void run_sequential(Grid& board, int generations) {
-  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
-  if (generations == 0) return;
+stencil::RunResult run_sequential(Grid& board, int generations,
+                                  const EngineOptions& opt) {
+  check_args(generations);
   PackedGrid cur(board);
   PackedGrid nxt(board.rows(), board.cols(), board.boundary());
-  for (int g = 0; g < generations; ++g) {
-    PDC_TRACE_SCOPE("life.gen");
-    sync_all(cur);
-    cur.step_rows_into(nxt, 0, cur.rows());
-    std::swap(cur, nxt);
-  }
+  LifeWorkload w;
+  const stencil::RunResult res =
+      stencil::run_seq(w, cur, nxt, engine_opts(opt, generations));
   board = cur.unpack();
+  return res;
+}
+
+void run_sequential(Grid& board, int generations) {
+  run_sequential(board, generations, EngineOptions{});
+}
+
+stencil::RunResult run_threaded(Grid& board, int generations, int threads,
+                                const EngineOptions& opt) {
+  check_args(generations);
+  PackedGrid cur(board);
+  PackedGrid nxt(board.rows(), board.cols(), board.boundary());
+  LifeWorkload w;
+  const stencil::RunResult res = stencil::run_threaded(
+      w, cur, nxt, engine_opts(opt, generations), threads);
+  board = cur.unpack();
+  return res;
 }
 
 void run_threaded(Grid& board, int generations, int threads) {
-  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
-  if (threads < 1) throw std::invalid_argument("threads must be >= 1");
-  if (generations == 0) return;
-
-  PackedGrid a(board);
-  PackedGrid b(board.rows(), board.cols(), board.boundary());
-  PackedGrid* bufs[2] = {&a, &b};
-  sync_all(a);
-
-  // One persistent-pool region for the whole run, synchronized with the
-  // reusable barrier: two barriers per generation — one so nobody reads
-  // the new board before every strip (and its ghost bits) is written, one
-  // so the wrap halo-row copy is visible before the next step reads it.
-  core::Team::run(threads, [&](core::TeamContext& ctx) {
-    const auto [lo, hi] = ctx.block_range(0, board.rows());
-    int src = 0;
-    for (int g = 0; g < generations; ++g) {
-      PDC_TRACE_SCOPE("life.gen");
-      PackedGrid& dst = *bufs[1 - src];
-      bufs[src]->step_rows_into(dst, lo, hi);
-      dst.sync_row_ghosts(lo, hi);
-      ctx.barrier();
-      if (ctx.rank() == 0) dst.sync_halo_rows();
-      ctx.barrier();
-      src = 1 - src;
-    }
-  });
-
-  board = bufs[generations % 2]->unpack();
+  run_threaded(board, generations, threads, EngineOptions{});
 }
 
-void run_message_passing(Grid& board, int generations, int ranks,
-                         std::uint64_t* messages_out,
-                         std::uint64_t* payload_words_out) {
-  if (generations < 0) throw std::invalid_argument("generations must be >= 0");
+stencil::RunResult run_message_passing(Grid& board, int generations,
+                                       int ranks, const EngineOptions& opt,
+                                       std::uint64_t* messages_out,
+                                       std::uint64_t* payload_words_out) {
+  check_args(generations);
   if (ranks < 1) throw std::invalid_argument("ranks must be >= 1");
   if (static_cast<std::size_t>(ranks) > board.rows())
     throw std::invalid_argument("more ranks than rows");
-  if (generations == 0) return;
+  if (generations == 0) return {};
 
   const std::size_t rows = board.rows();
   const std::size_t cols = board.cols();
   const bool torus = board.boundary() == Boundary::kTorus;
 
+  // Partition rows on tile boundaries so every rank's tile grid is the
+  // global grid restricted to its strip — the received activity flags
+  // then dilate exactly like the shared-memory engines' row wrap, and
+  // skip decisions (hence results, trivially, with the exact predicate)
+  // match tile for tile. Shrink the tile height if needed so every rank
+  // owns at least one tile row.
+  const std::size_t tile_h = std::max<std::size_t>(
+      1,
+      std::min(opt.tile_rows, rows / static_cast<std::size_t>(ranks)));
+  const std::size_t n_tiles = (rows + tile_h - 1) / tile_h;
+  EngineOptions strip_opt = opt;
+  strip_opt.tile_rows = tile_h;
+
+  std::vector<stencil::RunResult> results(static_cast<std::size_t>(ranks));
   mp::Communicator comm(ranks);
   comm.run([&](mp::RankContext& ctx) {
     const int p = ctx.size();
     const int r = ctx.rank();
-    // Block partition of rows.
-    const std::size_t base = rows / static_cast<std::size_t>(p);
-    const std::size_t extra = rows % static_cast<std::size_t>(p);
     const auto ur = static_cast<std::size_t>(r);
-    const std::size_t lo = ur * base + std::min(ur, extra);
-    const std::size_t n = base + (ur < extra ? 1 : 0);
+    const auto up = static_cast<std::size_t>(p);
+    // Block partition of tile rows.
+    const std::size_t tlo = ur * (n_tiles / up) + std::min(ur, n_tiles % up);
+    const std::size_t thi =
+        tlo + n_tiles / up + (ur < n_tiles % up ? 1 : 0);
+    const std::size_t lo = tlo * tile_h;
+    const std::size_t n = std::min(rows, thi * tile_h) - lo;
 
-    // Local packed block; the row halos are filled from received messages
+    // Local packed strip; the row halos are filled from received messages
     // (never by sync_halo_rows), the column wrap stays a local concern.
     PackedGrid cur(n, cols, board.boundary());
     PackedGrid nxt(n, cols, board.boundary());
-    const std::size_t words = cur.words_per_row();
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint8_t* src = board.row_data(lo + i);
       std::uint64_t* dst = cur.row_words(i);
@@ -124,56 +136,13 @@ void run_message_passing(Grid& board, int generations, int ranks,
         dst[c / 64] |= static_cast<std::uint64_t>(src[c] & 1) << (c % 64);
     }
 
-    const int up = r == 0 ? (torus ? p - 1 : -1) : r - 1;
-    const int down = r == p - 1 ? (torus ? 0 : -1) : r + 1;
-
-    // Wire format: one word per 64 cells. The send/recv vectors circulate
-    // — each generation's received buffers become the next generation's
-    // send buffers, so steady state allocates nothing.
-    std::vector<std::int64_t> sbuf_up, sbuf_down;
-    auto fill = [&](std::vector<std::int64_t>& buf,
-                    const std::uint64_t* row) {
-      buf.resize(words);
-      for (std::size_t i = 0; i < words; ++i)
-        buf[i] = static_cast<std::int64_t>(row[i]);
-      buf[words - 1] =
-          static_cast<std::int64_t>(row[words - 1] & cur.tail_mask());
-    };
-    auto place = [&](const std::vector<std::int64_t>& buf,
-                     std::uint64_t* row) {
-      for (std::size_t i = 0; i < words; ++i)
-        row[i] = static_cast<std::uint64_t>(buf[i]);
-    };
-
-    for (int g = 0; g < generations; ++g) {
-      PDC_TRACE_SCOPE("life.gen");
-      const int tag = 2 * g;
-      // Halo exchange (buffered sends: no deadlock). Degenerate
-      // single-rank torus: my own rows wrap onto myself.
-      if (up >= 0) {
-        fill(sbuf_up, cur.row_words(0));
-        ctx.send(up, tag, std::move(sbuf_up));
-      }
-      if (down >= 0) {
-        fill(sbuf_down, cur.row_words(n - 1));
-        ctx.send(down, tag + 1, std::move(sbuf_down));
-      }
-      if (down >= 0) {
-        auto msg = ctx.recv(down, tag);
-        place(msg.data, cur.halo_below_words());
-        sbuf_down = std::move(msg.data);
-      }
-      if (up >= 0) {
-        auto msg = ctx.recv(up, tag + 1);
-        place(msg.data, cur.halo_above_words());
-        sbuf_up = std::move(msg.data);
-      }
-
-      cur.sync_row_ghosts(0, n);
-      cur.sync_halo_row_ghosts();
-      cur.step_rows_into(nxt, 0, n);
-      std::swap(cur, nxt);
-    }
+    const stencil::MpLinks links{
+        r == 0 ? (torus ? p - 1 : -1) : r - 1,
+        r == p - 1 ? (torus ? 0 : -1) : r + 1};
+    LifeWorkload w{.external_halo = true};
+    results[ur] = stencil::run_mp(w, cur, nxt,
+                                  engine_opts(strip_opt, generations), ctx,
+                                  links);
 
     // Everyone finishes computing before anyone writes the shared board.
     ctx.barrier();
@@ -188,6 +157,22 @@ void run_message_passing(Grid& board, int generations, int ranks,
   const auto traffic = comm.traffic();
   if (messages_out != nullptr) *messages_out = traffic.messages;
   if (payload_words_out != nullptr) *payload_words_out = traffic.payload_words;
+
+  stencil::RunResult total = results[0];
+  for (int i = 1; i < ranks; ++i) {
+    const auto& res = results[static_cast<std::size_t>(i)];
+    total.tiles_computed += res.tiles_computed;
+    total.tiles_skipped += res.tiles_skipped;
+    total.halo_words += res.halo_words;
+  }
+  return total;
+}
+
+void run_message_passing(Grid& board, int generations, int ranks,
+                         std::uint64_t* messages_out,
+                         std::uint64_t* payload_words_out) {
+  run_message_passing(board, generations, ranks, EngineOptions{},
+                      messages_out, payload_words_out);
 }
 
 }  // namespace pdc::life

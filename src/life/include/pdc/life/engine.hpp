@@ -10,10 +10,27 @@
 // internally — the byte Grid stays the public API, and run_reference keeps
 // the naive per-cell kernel as the oracle. All engines produce
 // bit-identical boards; tests assert it.
+//
+// Execution is delegated to the generic 2-D stencil engine
+// (pdc/stencil/engine.hpp) via LifeWorkload: true 2-D tiling plus
+// per-tile dirty tracking, so settled regions of the board are skipped
+// entirely — with an exact dirty predicate, so skipping stays
+// bit-identical to the full sweep.
 
 #include "pdc/life/grid.hpp"
+#include "pdc/stencil/engine.hpp"
 
 namespace pdc::life {
+
+/// Tiling/skipping knobs shared by the three packed engines. Tiles are
+/// tile_rows board rows by tile_words *64-cell words* (so 64*tile_words
+/// board columns). Defaults keep one tile's working set comfortably in
+/// cache while leaving enough tiles for skipping to matter.
+struct EngineOptions {
+  std::size_t tile_rows = 32;
+  std::size_t tile_words = 128;
+  bool skip_quiescent = true;
+};
 
 /// Advance `board` by `generations` steps with the naive byte kernel —
 /// one `Grid::next_state` call per cell, exactly as the CS31 lab writes it
@@ -24,19 +41,31 @@ void run_reference(Grid& board, int generations);
 /// Advance `board` by `generations` steps, single threaded, on the
 /// bit-packed SWAR kernel (see pdc/life/packed_grid.hpp): 64 cells per
 /// word, neighbor counts via bitwise carry-save adders, no per-cell work.
+/// The RunResult-returning overload exposes the stencil engine's skip
+/// accounting (tiles computed/skipped per run).
 void run_sequential(Grid& board, int generations);
+stencil::RunResult run_sequential(Grid& board, int generations,
+                                  const EngineOptions& opt);
 
-/// Advance `board` using `threads` workers. Rows are block-partitioned;
-/// a barrier separates generations (double buffering, no locks needed).
+/// Advance `board` using `threads` workers. Each generation's *active*
+/// tiles are block-partitioned across the team; a barrier separates
+/// generations (double buffering, no locks needed).
 void run_threaded(Grid& board, int generations, int threads);
+stencil::RunResult run_threaded(Grid& board, int generations, int threads,
+                                const EngineOptions& opt);
 
 /// Advance `board` on `ranks` message-passing processes: each rank owns a
-/// block of rows and exchanges one halo row with each neighbor per
-/// generation, wired as packed words — one payload word per 64 cells
-/// instead of one per cell. `traffic_out`, if non-null, receives the total
-/// messages and payload words exchanged.
+/// block of tile rows and exchanges one message per neighbor per
+/// generation — per-tile activity flags plus the packed halo row, one
+/// payload word per 64 cells instead of one per cell. `traffic_out`, if
+/// non-null, receives the total messages and payload words exchanged.
 void run_message_passing(Grid& board, int generations, int ranks,
                          std::uint64_t* messages_out = nullptr,
                          std::uint64_t* payload_words_out = nullptr);
+stencil::RunResult run_message_passing(Grid& board, int generations,
+                                       int ranks, const EngineOptions& opt,
+                                       std::uint64_t* messages_out = nullptr,
+                                       std::uint64_t* payload_words_out =
+                                           nullptr);
 
 }  // namespace pdc::life

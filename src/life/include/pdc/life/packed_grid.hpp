@@ -93,6 +93,16 @@ class PackedGrid {
   void step_rows_into(PackedGrid& dst, std::size_t row_begin,
                       std::size_t row_end) const;
 
+  /// One generation restricted to a tile: rows [row_begin, row_end) x
+  /// payload words [word_begin, word_end). Same preconditions as
+  /// step_rows_into — in particular the *word columns adjacent to the
+  /// tile* must hold current bits, which is what the stencil engine's
+  /// one-tile activity dilation guarantees. Returns true iff any masked
+  /// word of the tile changed (the stencil dirty predicate).
+  bool step_tile_into(PackedGrid& dst, std::size_t row_begin,
+                      std::size_t row_end, std::size_t word_begin,
+                      std::size_t word_end) const;
+
   /// The SWAR kernel for one span of `nwords` words: `up`/`mid`/`down`
   /// point at the same word offset of three consecutive padded rows (their
   /// [-1] and [nwords] neighbors must be readable), `out` receives the next

@@ -188,6 +188,33 @@ void PackedGrid::step_rows_into(PackedGrid& dst, std::size_t row_begin,
   }
 }
 
+bool PackedGrid::step_tile_into(PackedGrid& dst, std::size_t row_begin,
+                                std::size_t row_end, std::size_t word_begin,
+                                std::size_t word_end) const {
+  if (dst.rows_ != rows_ || dst.cols_ != cols_)
+    throw std::invalid_argument("destination grid shape mismatch");
+  bool changed = false;
+  for (std::size_t w0 = word_begin; w0 < word_end; w0 += kTileWords) {
+    const std::size_t w1 = std::min(word_end, w0 + kTileWords);
+    // Ghost bits beyond cols live in the last payload word; mask them out
+    // of both the kernel output and the changed comparison.
+    const std::uint64_t mask = w1 == words_ ? tail_mask_ : ~std::uint64_t{0};
+    const std::size_t n = w1 - w0;
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      const std::uint64_t* src = padded_row(r + 1) + w0;
+      std::uint64_t* out = dst.padded_row(r + 1) + w0;
+      step_row_words(padded_row(r) + w0, src, padded_row(r + 2) + w0, out, n,
+                     mask);
+      if (!changed) {
+        std::uint64_t diff = (src[n - 1] ^ out[n - 1]) & mask;
+        for (std::size_t i = 0; i + 1 < n; ++i) diff |= src[i] ^ out[i];
+        changed = diff != 0;
+      }
+    }
+  }
+  return changed;
+}
+
 bool PackedGrid::operator==(const PackedGrid& other) const {
   if (rows_ != other.rows_ || cols_ != other.cols_ ||
       boundary_ != other.boundary_)

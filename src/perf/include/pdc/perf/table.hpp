@@ -32,6 +32,12 @@ class Table {
   /// Convenience: render to a string.
   [[nodiscard]] std::string str() const;
 
+  /// Machine-readable form: one JSON object per row, keyed by header —
+  /// {"title": ..., "rows": [{"threads": "1", "seconds": "2.00"}, ...]}.
+  /// Cells stay strings (they were formatted for display); consumers that
+  /// want numbers parse them. Header/cell text is JSON-escaped.
+  [[nodiscard]] std::string json(const std::string& title) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

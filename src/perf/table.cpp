@@ -49,6 +49,49 @@ std::string Table::str() const {
   return oss.str();
 }
 
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(ch) << std::dec << std::setfill(' ');
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string Table::json(const std::string& title) const {
+  std::ostringstream oss;
+  oss << "{\"title\": ";
+  json_escape(oss, title);
+  oss << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    oss << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) oss << ", ";
+      json_escape(oss, headers_[c]);
+      oss << ": ";
+      json_escape(oss, rows_[r][c]);
+    }
+    oss << '}';
+  }
+  oss << "\n]}";
+  return oss.str();
+}
+
 std::string fmt(double value, int digits) {
   std::ostringstream oss;
   oss << std::fixed << std::setprecision(digits) << value;

@@ -1,0 +1,177 @@
+#include "pdc/stencil/heat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace pdc::stencil {
+
+namespace {
+
+Options engine_opts(const HeatOptions& o) {
+  Options e;
+  e.tile_rows = o.tile_rows;
+  e.tile_cols = o.tile_cols;
+  e.max_steps = o.max_steps;
+  e.skip_quiescent = o.skip_quiescent;
+  e.quiesce_eps = o.quiesce_eps;
+  e.converge_eps = o.converge_eps;
+  e.span_name = "heat.step";
+  return e;
+}
+
+}  // namespace
+
+HeatField::HeatField(std::size_t rows, std::size_t cols, float initial)
+    : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("heat field dimensions must be > 0");
+  data_.assign((rows_ + 2) * (cols_ + 2), initial);
+}
+
+void HeatField::set_boundary(float top, float bottom, float left,
+                             float right) {
+  const std::ptrdiff_t nr = static_cast<std::ptrdiff_t>(rows_);
+  const std::ptrdiff_t nc = static_cast<std::ptrdiff_t>(cols_);
+  for (std::ptrdiff_t c = -1; c <= nc; ++c) {
+    at(-1, c) = top;
+    at(nr, c) = bottom;
+  }
+  for (std::ptrdiff_t r = 0; r < nr; ++r) {
+    at(r, -1) = left;
+    at(r, nc) = right;
+  }
+}
+
+double HeatField::max_abs_diff(const HeatField& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("heat field shape mismatch");
+  double m = 0.0;
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows_); ++r)
+    for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(cols_); ++c)
+      m = std::max(m, std::fabs(static_cast<double>(at(r, c)) -
+                                static_cast<double>(other.at(r, c))));
+  return m;
+}
+
+double HeatWorkload::step_tile(const Field& src, Field& dst,
+                               const TileBounds& b) const {
+  const float k = static_cast<float>(conductivity);
+  float max_d = 0.0f;
+  for (std::size_t r = b.r0; r < b.r1; ++r) {
+    const auto ri = static_cast<std::ptrdiff_t>(r);
+    for (std::size_t c = b.c0; c < b.c1; ++c) {
+      const auto ci = static_cast<std::ptrdiff_t>(c);
+      const float cur = src.at(ri, ci);
+      const float avg =
+          0.25f * (src.at(ri - 1, ci) + src.at(ri + 1, ci) +
+                   src.at(ri, ci - 1) + src.at(ri, ci + 1));
+      const float next = cur + k * (avg - cur);
+      dst.at(ri, ci) = next;
+      max_d = std::max(max_d, std::fabs(next - cur));
+    }
+  }
+  return static_cast<double>(max_d);
+}
+
+void HeatWorkload::pack_row(const Field& f, bool top,
+                            std::int64_t* out) const {
+  const std::ptrdiff_t r =
+      top ? 0 : static_cast<std::ptrdiff_t>(f.rows()) - 1;
+  out[halo_words(f) - 1] = 0;  // zero the odd-cols tail half-word
+  std::memcpy(out, &f.at(r, 0), f.cols() * sizeof(float));
+}
+
+void HeatWorkload::unpack_halo(Field& f, bool above,
+                               const std::int64_t* in) const {
+  const std::ptrdiff_t r =
+      above ? -1 : static_cast<std::ptrdiff_t>(f.rows());
+  std::memcpy(&f.at(r, 0), in, f.cols() * sizeof(float));
+}
+
+RunResult heat_relax(HeatField& field, const HeatOptions& opt) {
+  HeatWorkload w{opt.conductivity};
+  HeatField scratch = field;  // clones the boundary ring too
+  return run_seq(w, field, scratch, engine_opts(opt));
+}
+
+RunResult heat_relax_threaded(HeatField& field, const HeatOptions& opt,
+                              int threads) {
+  HeatWorkload w{opt.conductivity};
+  HeatField scratch = field;
+  return run_threaded(w, field, scratch, engine_opts(opt), threads);
+}
+
+RunResult heat_relax_strip(HeatField& strip, const HeatOptions& opt,
+                           mp::RankContext& ctx, const MpLinks& links) {
+  HeatWorkload w{opt.conductivity};
+  HeatField scratch = strip;
+  return run_mp(w, strip, scratch, engine_opts(opt), ctx, links);
+}
+
+RunResult heat_relax_mp(HeatField& field, const HeatOptions& opt,
+                        int ranks) {
+  if (ranks < 1) throw std::invalid_argument("ranks must be >= 1");
+  const std::size_t rows = field.rows();
+  if (static_cast<std::size_t>(ranks) > rows)
+    throw std::invalid_argument("more ranks than rows");
+
+  // Partition on tile-row boundaries so every strip's tile grid is the
+  // global grid restricted to its rows: distributed skip decisions then
+  // match the shared-memory engines tile for tile. Shrink the tile
+  // height if needed so every rank owns at least one tile row.
+  const std::size_t tile_h = std::max<std::size_t>(
+      1, std::min(opt.tile_rows, rows / static_cast<std::size_t>(ranks)));
+  const std::size_t n_tiles = (rows + tile_h - 1) / tile_h;
+  const auto tile_range = [&](int r) {
+    const auto n = n_tiles, p = static_cast<std::size_t>(ranks);
+    const auto rr = static_cast<std::size_t>(r);
+    const std::size_t lo = rr * (n / p) + std::min(rr, n % p);
+    return std::pair{lo, lo + n / p + (rr < n % p ? 1 : 0)};
+  };
+
+  HeatOptions strip_opt = opt;
+  strip_opt.tile_rows = tile_h;
+  std::vector<RunResult> results(static_cast<std::size_t>(ranks));
+  mp::Communicator comm(ranks);
+  comm.run([&](mp::RankContext& ctx) {
+    const int r = ctx.rank();
+    const auto [tlo, thi] = tile_range(r);
+    const std::size_t r0 = tlo * tile_h;
+    const std::size_t r1 = std::min(rows, thi * tile_h);
+    HeatField strip(r1 - r0, field.cols());
+    // Copy the padded strip rows wholesale: the left/right halo columns
+    // are the Dirichlet boundary, the top/bottom halo rows start as the
+    // neighbor's edge rows (or the global boundary at the domain edge)
+    // and are refreshed by the halo exchange every step.
+    for (std::size_t pr = 0; pr < (r1 - r0) + 2; ++pr)
+      std::copy_n(
+          &field.at(static_cast<std::ptrdiff_t>(r0 + pr) - 1, -1),
+          field.cols() + 2,
+          &strip.at(static_cast<std::ptrdiff_t>(pr) - 1, -1));
+
+    MpLinks links{r > 0 ? r - 1 : -1, r + 1 < ranks ? r + 1 : -1};
+    results[static_cast<std::size_t>(r)] =
+        heat_relax_strip(strip, strip_opt, ctx, links);
+
+    ctx.barrier();  // everyone done reading `field` before writeback
+    for (std::size_t pr = 0; pr < r1 - r0; ++pr)
+      std::copy_n(&strip.at(static_cast<std::ptrdiff_t>(pr), 0),
+                  field.cols(),
+                  &field.at(static_cast<std::ptrdiff_t>(r0 + pr), 0));
+  });
+
+  RunResult total = results[0];
+  for (int i = 1; i < ranks; ++i) {
+    const auto& res = results[static_cast<std::size_t>(i)];
+    total.tiles_computed += res.tiles_computed;
+    total.tiles_skipped += res.tiles_skipped;
+    total.halo_words += res.halo_words;
+    total.last_delta = std::max(total.last_delta, res.last_delta);
+  }
+  return total;
+}
+
+}  // namespace pdc::stencil

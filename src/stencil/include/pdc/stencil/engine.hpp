@@ -1,0 +1,346 @@
+#pragma once
+// pdc::stencil — a reusable 2-D stencil engine with dirty-tile skipping.
+//
+// One engine, three execution modes (the curriculum's sequential →
+// shared-memory → message-passing progression), any 1-deep stencil
+// workload. The engine owns tiling (tile.hpp), double-buffer rotation,
+// per-tile dirty tracking (quiescent tiles are skipped without touching
+// their memory — see tile.hpp for the soundness argument), convergence
+// detection, and — for run_mp — the packed halo exchange and the
+// cross-rank activity flags that keep distributed skip decisions
+// identical to the shared-memory ones.
+//
+// A workload W plugs in via compile-time duck typing:
+//
+//   using Field = ...;                      // double-buffered by the engine
+//   std::size_t height(const Field&);       // domain size, in W's units
+//   std::size_t width(const Field&);        //   (cells, packed words, ...)
+//   bool wrap_rows(const Field&);           // torus boundary?
+//   bool wrap_cols(const Field&);
+//   void init(Field& cur);                  // one-time source fixups
+//   double step_tile(const Field& src, Field& dst, const TileBounds&);
+//       // compute one tile; returns the tile's max per-unit delta
+//       // (Life: 1.0 if any bit changed, else 0.0)
+//   void finish_step(Field& dst, const TileMap&,
+//                    const std::vector<std::uint8_t>& computed);
+//       // post-step fixups on the rows of computed tiles (ghost bits,
+//       // wrap halo rows); no-op for plain fields
+//   // --- run_mp only ---
+//   std::size_t halo_words(const Field&);   // wire words per halo row
+//   void pack_row(const Field&, bool top, std::int64_t* out);
+//   void unpack_halo(Field&, bool above, const std::int64_t* in);
+//   void finish_halo(Field&);               // e.g. ghost-bit sync
+//
+// Every engine produces identical results for a quiescence threshold of
+// 0 (exact skipping): a skipped tile's destination provably already
+// holds the value a full sweep would write. With quiesce_eps > 0 the
+// skip set is still deterministic and identical across all three engines
+// (same tile grid, same flags), so seq/threaded/mp stay bit-identical to
+// *each other* while trading exactness of the skip for more skipping.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "pdc/core/team.hpp"
+#include "pdc/mp/comm.hpp"
+#include "pdc/obs/obs.hpp"
+#include "pdc/stencil/tile.hpp"
+
+namespace pdc::stencil {
+
+struct Options {
+  std::size_t tile_rows = 64;   ///< tile height (workload units)
+  std::size_t tile_cols = 256;  ///< tile width (workload units)
+  int max_steps = 1;
+  bool skip_quiescent = true;   ///< false: full sweep every step (A/B lever)
+  /// A tile counts as changed when its step delta exceeds this. 0 = exact
+  /// (bit-identical to a full sweep). Must be <= converge_eps when
+  /// convergence is enabled.
+  double quiesce_eps = 0.0;
+  /// Stop once a step's global max delta is <= this; negative disables
+  /// (run exactly max_steps — Life's fixed-generation contract).
+  double converge_eps = -1.0;
+  /// Trace span emitted per step (must outlive the run; literals only).
+  const char* span_name = "stencil.step";
+};
+
+struct RunResult {
+  std::uint64_t steps = 0;
+  std::uint64_t tiles_computed = 0;
+  std::uint64_t tiles_skipped = 0;
+  /// run_mp: total int64 wire words this rank sent for halo exchange
+  /// (activity flag words + packed row payload).
+  std::uint64_t halo_words = 0;
+  double last_delta = 0.0;
+  bool converged = false;
+};
+
+/// Neighbor ranks for run_mp strip execution (-1 = board edge; the torus
+/// wrap is expressed as up/down pointing at the wrapping rank, possibly
+/// this rank itself when it owns the whole board).
+struct MpLinks {
+  int up = -1;
+  int down = -1;
+};
+
+namespace detail {
+
+void validate(const Options& opt);
+void bump_counters(const RunResult& res);  // stencil.* obs counters
+
+/// Flag words on the wire per halo message: one bit per tile column.
+[[nodiscard]] inline std::size_t flag_words(std::size_t tiles_x) {
+  return (tiles_x + 63) / 64;
+}
+
+inline void encode_flags(const std::uint8_t* flags, std::size_t n,
+                         std::int64_t* out) {
+  std::fill_n(out, flag_words(n), 0);
+  for (std::size_t i = 0; i < n; ++i)
+    if (flags[i] != 0)
+      out[i / 64] |= static_cast<std::int64_t>(std::int64_t{1} << (i % 64));
+}
+
+inline void decode_flags(const std::int64_t* in, std::size_t n,
+                         std::uint8_t* flags) {
+  for (std::size_t i = 0; i < n; ++i)
+    flags[i] = static_cast<std::uint8_t>(
+        (static_cast<std::uint64_t>(in[i / 64]) >> (i % 64)) & 1);
+}
+
+}  // namespace detail
+
+/// Sequential engine. `cur` holds the input state and, on return, the
+/// final state; `nxt` is the scratch double buffer (same shape).
+template <class W>
+RunResult run_seq(W& w, typename W::Field& cur, typename W::Field& nxt,
+                  const Options& opt) {
+  detail::validate(opt);
+  const TileMap tm(w.height(cur), w.width(cur), opt.tile_rows, opt.tile_cols);
+  ActivityMap act(tm, w.wrap_rows(cur), w.wrap_cols(cur));
+  std::vector<std::uint8_t> computed(tm.count(), 0);
+  w.init(cur);
+
+  RunResult res;
+  for (int s = 0; s < opt.max_steps; ++s) {
+    obs::TraceScope span(opt.span_name);
+    act.advance();
+    std::fill(computed.begin(), computed.end(), 0);
+    double max_delta = 0.0;
+    std::uint64_t ncomputed = 0;
+    for (std::size_t t = 0; t < tm.count(); ++t) {
+      if (opt.skip_quiescent && act.active()[t] == 0) continue;
+      const double d = w.step_tile(cur, nxt, tm.bounds(t));
+      act.mark_changed(t, d > opt.quiesce_eps);
+      computed[t] = 1;
+      if (d > max_delta) max_delta = d;
+      ++ncomputed;
+    }
+    w.finish_step(nxt, tm, computed);
+    res.tiles_computed += ncomputed;
+    res.tiles_skipped += tm.count() - ncomputed;
+    res.last_delta = max_delta;
+    ++res.steps;
+    std::swap(cur, nxt);
+    if (opt.converge_eps >= 0.0 && max_delta <= opt.converge_eps) {
+      res.converged = true;
+      break;
+    }
+  }
+  detail::bump_counters(res);
+  return res;
+}
+
+/// Threaded engine: the per-step *active* tile list is block-partitioned
+/// across a core::Team, so workers share the (possibly sparse) live
+/// region instead of owning fixed row strips that may be entirely
+/// quiescent. Two barriers per step, serial bookkeeping on rank 0.
+template <class W>
+RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
+                       const Options& opt, int threads) {
+  detail::validate(opt);
+  if (threads < 1) throw std::invalid_argument("threads must be >= 1");
+  const TileMap tm(w.height(cur), w.width(cur), opt.tile_rows, opt.tile_cols);
+  ActivityMap act(tm, w.wrap_rows(cur), w.wrap_cols(cur));
+  w.init(cur);
+
+  typename W::Field* bufs[2] = {&cur, &nxt};
+  int src = 0;
+  std::vector<std::uint32_t> active_list;
+  std::vector<std::uint8_t> computed(tm.count(), 0);
+  std::vector<double> rank_delta(static_cast<std::size_t>(threads), 0.0);
+  RunResult res;
+  bool stop = opt.max_steps == 0;
+
+  const auto build_active_list = [&] {
+    active_list.clear();
+    for (std::uint32_t t = 0; t < tm.count(); ++t)
+      if (!opt.skip_quiescent || act.active()[t] != 0) active_list.push_back(t);
+  };
+  act.advance();
+  build_active_list();
+
+  core::Team::run(threads, [&](core::TeamContext& ctx) {
+    while (true) {
+      // Barrier A: the serial section's state (active list, buffer flip,
+      // stop flag) is visible to every worker.
+      ctx.barrier();
+      if (stop) break;
+      {
+        obs::TraceScope span(opt.span_name);
+        const auto [lo, hi] = ctx.block_range(0, active_list.size());
+        double local = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::uint32_t t = active_list[i];
+          const double d =
+              w.step_tile(*bufs[src], *bufs[1 - src], tm.bounds(t));
+          act.mark_changed(t, d > opt.quiesce_eps);
+          computed[t] = 1;
+          if (d > local) local = d;
+        }
+        rank_delta[static_cast<std::size_t>(ctx.rank())] = local;
+      }
+      // Barrier B: every tile write and flag is visible to rank 0.
+      ctx.barrier();
+      if (ctx.rank() == 0) {
+        const double max_delta =
+            *std::max_element(rank_delta.begin(), rank_delta.end());
+        w.finish_step(*bufs[1 - src], tm, computed);
+        res.tiles_computed += active_list.size();
+        res.tiles_skipped += tm.count() - active_list.size();
+        res.last_delta = max_delta;
+        ++res.steps;
+        src = 1 - src;
+        if (opt.converge_eps >= 0.0 && max_delta <= opt.converge_eps)
+          res.converged = stop = true;
+        if (res.steps >= static_cast<std::uint64_t>(opt.max_steps))
+          stop = true;
+        if (!stop) {
+          act.advance();
+          build_active_list();
+          std::fill(computed.begin(), computed.end(), 0);
+          std::fill(rank_delta.begin(), rank_delta.end(), 0.0);
+        }
+      }
+    }
+  });
+
+  if (src == 1) std::swap(cur, nxt);  // `cur` always holds the final state
+  detail::bump_counters(res);
+  return res;
+}
+
+/// Message-passing engine: call from inside an SPMD rank body with this
+/// rank's row strip in `cur`/`nxt`. Each step sends one message per
+/// neighbor — [activity flag words][packed halo row] — then dilates the
+/// local activity map with the received neighbor flags, computes the
+/// active tiles, and (when convergence is enabled) allreduces the step's
+/// max delta. The strip's tile grid must be the global tile grid
+/// restricted to this rank's rows (partition on tile-row boundaries) so
+/// distributed skip decisions match the shared-memory engines exactly.
+template <class W>
+RunResult run_mp(W& w, typename W::Field& cur, typename W::Field& nxt,
+                 const Options& opt, mp::RankContext& ctx,
+                 const MpLinks& links) {
+  detail::validate(opt);
+  const TileMap tm(w.height(cur), w.width(cur), opt.tile_rows, opt.tile_cols);
+  ActivityMap act(tm, /*wrap_rows=*/false, w.wrap_cols(cur));
+  w.init(cur);
+
+  const std::size_t hw = w.halo_words(cur);
+  const std::size_t fw = detail::flag_words(tm.tiles_x());
+  std::vector<std::uint8_t> computed(tm.count(), 0);
+  std::vector<std::uint8_t> edge_flags(tm.tiles_x(), 1);  // step 0: all
+  std::vector<std::uint8_t> above_flags(tm.tiles_x(), 0);
+  std::vector<std::uint8_t> below_flags(tm.tiles_x(), 0);
+  std::vector<std::int64_t> sbuf_up, sbuf_down;  // recycled wire buffers
+  bool first = true;
+  RunResult res;
+
+  const auto fill_msg = [&](std::vector<std::int64_t>& buf, bool top) {
+    buf.resize(fw + hw);
+    if (first) {
+      std::fill_n(buf.data(), fw, ~std::int64_t{0});
+    } else {
+      act.copy_edge_changed(top, edge_flags.data());
+      detail::encode_flags(edge_flags.data(), tm.tiles_x(), buf.data());
+    }
+    w.pack_row(cur, top, buf.data() + fw);
+  };
+
+  for (int s = 0; s < opt.max_steps; ++s) {
+    obs::TraceScope span(opt.span_name);
+    const int tag = 2 * s;
+    // Halo + flags exchange (buffered sends: no deadlock). A rank that
+    // owns the whole wrap sends to itself; its up-send arrives as its
+    // own down-message, exactly the torus geometry.
+    if (links.up >= 0) {
+      fill_msg(sbuf_up, /*top=*/true);
+      res.halo_words += sbuf_up.size();
+      ctx.send(links.up, tag, std::move(sbuf_up));
+    }
+    if (links.down >= 0) {
+      fill_msg(sbuf_down, /*top=*/false);
+      res.halo_words += sbuf_down.size();
+      ctx.send(links.down, tag + 1, std::move(sbuf_down));
+    }
+    bool have_above = false, have_below = false;
+    if (links.down >= 0) {
+      auto msg = ctx.recv(links.down, tag);
+      detail::decode_flags(msg.data.data(), tm.tiles_x(), below_flags.data());
+      w.unpack_halo(cur, /*above=*/false, msg.data.data() + fw);
+      have_below = true;
+      sbuf_down = std::move(msg.data);
+    }
+    if (links.up >= 0) {
+      auto msg = ctx.recv(links.up, tag + 1);
+      detail::decode_flags(msg.data.data(), tm.tiles_x(), above_flags.data());
+      w.unpack_halo(cur, /*above=*/true, msg.data.data() + fw);
+      have_above = true;
+      sbuf_up = std::move(msg.data);
+    }
+    w.finish_halo(cur);
+    first = false;
+
+    act.advance(have_above ? above_flags.data() : nullptr,
+                have_below ? below_flags.data() : nullptr);
+    std::fill(computed.begin(), computed.end(), 0);
+    double max_delta = 0.0;
+    std::uint64_t ncomputed = 0;
+    for (std::size_t t = 0; t < tm.count(); ++t) {
+      if (opt.skip_quiescent && act.active()[t] == 0) continue;
+      const double d = w.step_tile(cur, nxt, tm.bounds(t));
+      act.mark_changed(t, d > opt.quiesce_eps);
+      computed[t] = 1;
+      if (d > max_delta) max_delta = d;
+      ++ncomputed;
+    }
+    w.finish_step(nxt, tm, computed);
+    res.tiles_computed += ncomputed;
+    res.tiles_skipped += tm.count() - ncomputed;
+    ++res.steps;
+    std::swap(cur, nxt);
+
+    if (opt.converge_eps >= 0.0) {
+      // Global max delta. Non-negative IEEE doubles order like their bit
+      // patterns, so a kMax over the bits is a kMax over the values.
+      const std::int64_t bits = std::bit_cast<std::int64_t>(max_delta);
+      max_delta =
+          std::bit_cast<double>(ctx.allreduce(bits, mp::ReduceOp::kMax));
+      res.last_delta = max_delta;
+      if (max_delta <= opt.converge_eps) {
+        res.converged = true;
+        break;
+      }
+    } else {
+      res.last_delta = max_delta;
+    }
+  }
+  detail::bump_counters(res);
+  return res;
+}
+
+}  // namespace pdc::stencil

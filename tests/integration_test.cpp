@@ -129,21 +129,22 @@ TEST(Integration, MapReduceAgreesWithParallelReduce) {
 // --- Life message-passing traffic obeys the BSP h-relation model ---
 
 TEST(Integration, LifeTrafficMatchesBspHRelation) {
-  // Each generation is a superstep with h = 2 packed halo rows per rank;
-  // 64 columns pack into a single word per row on the wire.
+  // Each generation is a superstep with h = 2 packed halo messages per
+  // rank; 64 columns pack into a single payload word per row on the
+  // wire, plus one per-tile activity flag word per message.
   pdc::life::Grid board = pdc::life::random_grid(64, 64, 0.3, 3);
   const int gens = 12, ranks = 4;
-  const std::uint64_t words_per_row = 64 / 64;
+  const std::uint64_t words_per_msg = 64 / 64 + 1;
   std::uint64_t messages = 0, words = 0;
   pdc::life::run_message_passing(board, gens, ranks, &messages, &words);
 
   pdc::model::BspProgram prog;
   for (int g = 0; g < gens; ++g)
     prog.add_superstep(/*work=*/64.0 * 64.0 / ranks,
-                       /*h=*/2 * words_per_row);
+                       /*h=*/2 * words_per_msg);
   // Total payload words == sum of h-relations across ranks and gens.
   EXPECT_EQ(words,
-            static_cast<std::uint64_t>(gens) * ranks * 2 * words_per_row);
+            static_cast<std::uint64_t>(gens) * ranks * 2 * words_per_msg);
   EXPECT_EQ(prog.supersteps(), static_cast<std::size_t>(gens));
 }
 

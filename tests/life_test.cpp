@@ -167,24 +167,27 @@ TEST(Engines, MessagePassingTrafficScalesWithRanksAndGenerations) {
   // final barrier's 2*(p-1) empty messages.
   EXPECT_EQ(msgs2, 2u * 2u * 10u + 2u);
   EXPECT_EQ(msgs4, 4u * 2u * 10u + 6u);
-  // Each halo message carries one row packed 64 cells/word: 32 columns fit
-  // in a single word (barrier msgs are empty).
-  EXPECT_EQ(words2, 2u * 2u * 10u * 1u);
-  EXPECT_EQ(words4, 4u * 2u * 10u * 1u);
+  // Each halo message carries one activity flag word plus one row packed
+  // 64 cells/word: 32 columns fit in a single payload word (barrier msgs
+  // are empty).
+  EXPECT_EQ(words2, 2u * 2u * 10u * (1u + 1u));
+  EXPECT_EQ(words4, 4u * 2u * 10u * (1u + 1u));
 }
 
 TEST(Engines, PackedWireFormatCutsPayload64xVsByteFormat) {
-  // 1024 columns = 16 payload words per halo row; the old wire format
-  // moved one int64 per cell, so the packed rows are exactly 64x denser.
+  // 1024 columns = 16 payload words per halo row, plus one activity flag
+  // word per message. The old wire format moved one int64 per cell, so
+  // the packed *cell payload* is exactly 64x denser.
   pl::Grid board = pl::random_grid(16, 1024, 0.3, 11);
   const int gens = 5, ranks = 4;
   std::uint64_t msgs = 0, words = 0;
   pl::run_message_passing(board, gens, ranks, &msgs, &words);
   const std::uint64_t halo_msgs = 2ull * ranks * gens;
   EXPECT_EQ(msgs, halo_msgs + 2u * (ranks - 1));  // + final barrier
-  EXPECT_EQ(words, halo_msgs * (1024u / 64u));
+  EXPECT_EQ(words, halo_msgs * (1024u / 64u + 1u));
+  const std::uint64_t cell_payload_words = halo_msgs * (1024u / 64u);
   const std::uint64_t byte_format_words = halo_msgs * 1024u;
-  EXPECT_EQ(byte_format_words / words, 64u);
+  EXPECT_EQ(byte_format_words / cell_payload_words, 64u);
 }
 
 // --------------------------------------------------------- packed boards ---

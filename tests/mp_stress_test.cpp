@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <tuple>
@@ -18,6 +21,7 @@
 #include "pdc/mp/comm.hpp"
 #include "pdc/mp/dht.hpp"
 #include "pdc/mp/fault.hpp"
+#include "pdc/stencil/heat.hpp"
 
 namespace mp = pdc::mp;
 namespace pt = pdc::testing;
@@ -183,6 +187,73 @@ TEST(P2pFuzz, RingPipelineSurvivesFaultPlans) {
     std::vector<std::int64_t> digest;
     for (std::int64_t i = 0; i < 12; ++i)
       digest.push_back(ctx.recv_value(left, static_cast<int>(i % 3)));
+    return digest;
+  });
+  EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
+}
+
+// ------------------------------------------------- stencil heat sweep ---
+
+TEST(HeatFuzz, StripRelaxationSurvivesFaultPlans) {
+  // The mp heat engine's halo protocol (activity flag words + packed
+  // float rows + the bit-exact max-delta allreduce) under seeded
+  // drop/dup/reorder plans: every surviving run must converge in the
+  // same number of steps to the bit-identical strip, or fail with a
+  // clean RankFailedError when the plan kills a rank.
+  pt::FuzzOptions opt;
+  opt.ranks = 3;
+  opt.iterations = pt::stress_iters(60);
+  opt.base_seed = 0x4EA7ULL;
+  const auto report = pt::fuzz_spmd(opt, [](mp::RankContext& ctx) {
+    namespace st = pdc::stencil;
+    const int p = ctx.size();
+    const int r = ctx.rank();
+    constexpr std::size_t kRows = 24, kCols = 10;
+    st::HeatOptions hopt;
+    hopt.conductivity = 0.25;
+    hopt.tile_rows = 4;
+    hopt.tile_cols = 8;
+    hopt.converge_eps = 1e-2;
+    hopt.max_steps = 500;
+
+    // Deterministic global field: striped warm interior, hot top edge.
+    st::HeatField g(kRows, kCols);
+    for (std::size_t i = 0; i < kRows; ++i)
+      for (std::size_t j = 0; j < kCols; ++j)
+        g.at(static_cast<std::ptrdiff_t>(i), static_cast<std::ptrdiff_t>(j)) =
+            static_cast<float>((i * 7 + j * 13) % 5) * 0.2f;
+    g.set_boundary(1.0f, 0.0f, 0.5f, 0.25f);
+
+    // This rank's strip: whole tiles per rank, padded rows copied
+    // verbatim (the ring rows double as the initial neighbor halo).
+    const std::size_t n_tiles = (kRows + hopt.tile_rows - 1) / hopt.tile_rows;
+    const std::size_t pp = static_cast<std::size_t>(p);
+    const std::size_t rr = static_cast<std::size_t>(r);
+    const std::size_t r0 = n_tiles * rr / pp * hopt.tile_rows;
+    const std::size_t r1 =
+        std::min(kRows, n_tiles * (rr + 1) / pp * hopt.tile_rows);
+    if (r0 >= r1) return std::vector<std::int64_t>{0};
+    st::HeatField strip(r1 - r0, kCols);
+    for (std::ptrdiff_t pr = -1; pr <= static_cast<std::ptrdiff_t>(r1 - r0);
+         ++pr)
+      for (std::ptrdiff_t pc = -1; pc <= static_cast<std::ptrdiff_t>(kCols);
+           ++pc)
+        strip.at(pr, pc) = g.at(static_cast<std::ptrdiff_t>(r0) + pr, pc);
+    const st::MpLinks links{.up = r > 0 ? r - 1 : -1,
+                            .down = r + 1 < p ? r + 1 : -1};
+    const auto res = st::heat_relax_strip(strip, hopt, ctx, links);
+
+    std::vector<std::int64_t> digest{
+        static_cast<std::int64_t>(res.steps),
+        static_cast<std::int64_t>(res.tiles_computed),
+        static_cast<std::int64_t>(res.tiles_skipped),
+        static_cast<std::int64_t>(res.halo_words),
+        res.converged ? 1 : 0};
+    for (std::size_t i = 0; i < r1 - r0; ++i)
+      for (std::size_t j = 0; j < kCols; ++j)
+        digest.push_back(std::bit_cast<std::uint32_t>(
+            strip.at(static_cast<std::ptrdiff_t>(i),
+                     static_cast<std::ptrdiff_t>(j))));
     return digest;
   });
   EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 
+#include "pdc/obs/obs.hpp"
 #include "pdc/os/kernel.hpp"
 #include "pdc/os/shell.hpp"
 
@@ -510,6 +512,58 @@ TEST(Mlfq, InteractiveBeatsCpuHogAfterWake) {
   EXPECT_NE(k.state(hog), po::ProcState::kReaped);  // hog still grinding
   k.kill(hog, po::Signal::kSigKill);
   k.run();
+}
+
+TEST(Mlfq, EqualHogsShareBottomLevelWithoutStarvation) {
+  // Starvation regression: three identical CPU hogs demote together to
+  // the bottom MLFQ level, where round-robin must keep every hog's gap
+  // between consecutive schedulings bounded by (n_hogs - 1) * bottom
+  // quantum. A broken scheduler (strict priority without RR, or a
+  // demotion that drops a process from the ready scan) shows up as one
+  // hog waiting for a competitor's entire remaining runtime.
+  po::KernelConfig cfg;
+  cfg.scheduler = po::SchedulerKind::kMlfq;
+  cfg.quantum = 2;  // bottom of 3 levels runs quantum << 2 = 8 ticks
+  po::Kernel k(cfg);
+  const auto before = pdc::obs::metrics_snapshot();
+  const std::array<po::Pid, 3> hogs = {
+      k.spawn({po::Compute(40), po::Exit(0)}, "hog0"),
+      k.spawn({po::Compute(40), po::Exit(0)}, "hog1"),
+      k.spawn({po::Compute(40), po::Exit(0)}, "hog2"),
+  };
+  k.run();
+  for (const po::Pid h : hogs) {
+    EXPECT_EQ(k.state(h), po::ProcState::kReaped);
+    EXPECT_EQ(k.mlfq_level(h), 2);  // all ended at the bottom
+  }
+
+  // Max gap between consecutive appearances of each hog in the
+  // tick-by-tick trace, measured between its first and last scheduling.
+  // Steady-state RR gives gaps of (n_hogs - 1) * bottom quantum; allow
+  // one extra quantum for the demotion transition, where a hog still at
+  // a higher level squeezes in an extra slice. A starved hog would wait
+  // a competitor's entire ~40-tick remaining runtime instead.
+  const auto& trace = k.schedule_trace();
+  constexpr std::size_t kBottomQuantum = 8;  // cfg.quantum << 2
+  const std::size_t bound = hogs.size() * kBottomQuantum;
+  for (const po::Pid h : hogs) {
+    std::size_t last = trace.size(), max_gap = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (trace[i] != h) continue;
+      if (last != trace.size()) max_gap = std::max(max_gap, i - last);
+      last = i;
+    }
+    EXPECT_LE(max_gap, bound) << "hog " << h << " starved";
+  }
+
+  // The PR 5 scheduler counters must account for the same run: one
+  // os.scheduled per executed tick, and the per-pick wait (the latency
+  // half of the starvation story) bounded by the same RR gap.
+  const auto d = pdc::obs::metrics_snapshot() - before;
+  EXPECT_EQ(d.counter("os.scheduled"), trace.size());
+  EXPECT_GE(d.counter("os.context_switches"), 2 * hogs.size());
+  EXPECT_LE(d.counter("os.sched_wait_ticks"),
+            d.counter("os.scheduled") * bound);
 }
 
 // --------------------------------------------------------- bounded pipes ---

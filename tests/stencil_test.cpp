@@ -1,0 +1,350 @@
+// pdc::stencil — tile map / activity tracking units, the engine's
+// skip-soundness contract (skipping is bit-identical to the full sweep),
+// and the heat workload's cross-engine identity: the same options must
+// produce the same iteration count, residual, and field on the
+// sequential, threaded, and message-passing engines.
+
+#include "pdc/stencil/engine.hpp"
+#include "pdc/stencil/heat.hpp"
+#include "pdc/stencil/tile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "pdc/life/engine.hpp"
+#include "pdc/life/grid.hpp"
+
+namespace ps = pdc::stencil;
+namespace pl = pdc::life;
+
+// ---------------------------------------------------------------- tiles ---
+
+TEST(TileMap, CutsDomainIntoHalfOpenRectangles) {
+  const ps::TileMap tm(10, 7, 4, 3);
+  EXPECT_EQ(tm.tiles_y(), 3u);
+  EXPECT_EQ(tm.tiles_x(), 3u);
+  EXPECT_EQ(tm.count(), 9u);
+
+  const ps::TileBounds first = tm.bounds(0);
+  EXPECT_EQ(first.r0, 0u);
+  EXPECT_EQ(first.r1, 4u);
+  EXPECT_EQ(first.c0, 0u);
+  EXPECT_EQ(first.c1, 3u);
+
+  // Bottom-right tile is the ragged remainder.
+  const ps::TileBounds last = tm.bounds(tm.count() - 1);
+  EXPECT_EQ(last.r0, 8u);
+  EXPECT_EQ(last.r1, 10u);
+  EXPECT_EQ(last.c0, 6u);
+  EXPECT_EQ(last.c1, 7u);
+  EXPECT_EQ(last.rows(), 2u);
+  EXPECT_EQ(last.cols(), 1u);
+
+  // Every unit is covered exactly once.
+  std::vector<int> hits(10 * 7, 0);
+  for (std::size_t t = 0; t < tm.count(); ++t) {
+    const auto b = tm.bounds(t);
+    for (std::size_t r = b.r0; r < b.r1; ++r)
+      for (std::size_t c = b.c0; c < b.c1; ++c) ++hits[r * 7 + c];
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TileMap, ClampsOversizedTilesAndValidates) {
+  const ps::TileMap tm(4, 4, 100, 100);
+  EXPECT_EQ(tm.count(), 1u);
+  EXPECT_EQ(tm.tile_h(), 4u);
+  EXPECT_THROW(ps::TileMap(0, 4, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ps::TileMap(4, 4, 0, 1), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(tm.bounds(1)), std::out_of_range);
+}
+
+TEST(ActivityMap, StartsAllChangedSoFirstAdvanceActivatesEverything) {
+  const ps::TileMap tm(9, 9, 3, 3);
+  ps::ActivityMap act(tm, false, false);
+  act.advance();
+  EXPECT_EQ(act.active_count(), tm.count());
+}
+
+TEST(ActivityMap, DilatesChangedTilesToEightNeighbors) {
+  const ps::TileMap tm(9, 9, 3, 3);  // 3x3 tiles
+  ps::ActivityMap act(tm, false, false);
+  act.advance();  // consume the initial all-changed state
+  // Nothing changed -> everything sleeps.
+  act.advance();
+  EXPECT_EQ(act.active_count(), 0u);
+  // One corner tile changed -> it and its 3 in-bounds neighbors wake.
+  act.mark_changed(tm.index(0, 0), true);
+  act.advance();
+  EXPECT_EQ(act.active_count(), 4u);
+  EXPECT_TRUE(act.active()[tm.index(0, 0)]);
+  EXPECT_TRUE(act.active()[tm.index(0, 1)]);
+  EXPECT_TRUE(act.active()[tm.index(1, 0)]);
+  EXPECT_TRUE(act.active()[tm.index(1, 1)]);
+}
+
+TEST(ActivityMap, WrapDilatesAcrossEdges) {
+  const ps::TileMap tm(9, 9, 3, 3);
+  ps::ActivityMap act(tm, true, true);
+  act.advance();
+  act.mark_changed(tm.index(0, 0), true);
+  act.advance();
+  // Torus: the corner's 8 neighbors wrap -> 9 active tiles (all of a 3x3
+  // tile grid).
+  EXPECT_EQ(act.active_count(), 9u);
+}
+
+TEST(ActivityMap, ExternalFlagsReplaceRowWrapForStrips) {
+  const ps::TileMap tm(3, 9, 3, 3);  // one tile row, three tile columns
+  ps::ActivityMap act(tm, false, false);
+  act.advance();
+  act.advance();
+  EXPECT_EQ(act.active_count(), 0u);
+  // Neighbor rank reports its edge tile column 2 changed: our tiles 1
+  // and 2 wake (8-neighbor dilation from above), tile 0 stays asleep.
+  const std::uint8_t above[3] = {0, 0, 1};
+  act.advance(above, nullptr);
+  EXPECT_EQ(act.active_count(), 2u);
+  EXPECT_FALSE(act.active()[0]);
+  EXPECT_TRUE(act.active()[1]);
+  EXPECT_TRUE(act.active()[2]);
+}
+
+TEST(ActivityMap, CopyEdgeChangedSnapshotsBeforeAdvanceClears) {
+  const ps::TileMap tm(6, 6, 3, 3);  // 2x2 tiles
+  ps::ActivityMap act(tm, false, false);
+  act.advance();
+  act.mark_changed(tm.index(0, 1), true);
+  act.mark_changed(tm.index(1, 0), true);
+  std::uint8_t top[2], bottom[2];
+  act.copy_edge_changed(true, top);
+  act.copy_edge_changed(false, bottom);
+  EXPECT_EQ(top[0], 0);
+  EXPECT_EQ(top[1], 1);
+  EXPECT_EQ(bottom[0], 1);
+  EXPECT_EQ(bottom[1], 0);
+}
+
+// --------------------------------------------------------------- options ---
+
+TEST(StencilOptions, ValidatesQuiesceAgainstConvergence) {
+  ps::HeatField f(8, 8);
+  ps::HeatOptions opt;
+  opt.converge_eps = 1e-4;
+  opt.quiesce_eps = 1e-3;  // would hide exactly the residual we wait for
+  EXPECT_THROW(ps::heat_relax(f, opt), std::invalid_argument);
+  opt.quiesce_eps = -1.0;
+  EXPECT_THROW(ps::heat_relax(f, opt), std::invalid_argument);
+  opt.quiesce_eps = 0.0;
+  opt.tile_rows = 0;
+  EXPECT_THROW(ps::heat_relax(f, opt), std::invalid_argument);
+}
+
+// --------------------------------------- Life on the stencil engine ------
+
+using Shape = std::pair<std::size_t, std::size_t>;
+constexpr Shape kShapes[] = {{1, 1},  {1, 130}, {17, 1},  {3, 63},
+                             {8, 64}, {5, 65},  {33, 29}, {6, 200}};
+
+class LifeSkipEquivalence
+    : public ::testing::TestWithParam<std::tuple<pl::Boundary, int>> {};
+
+// Tiny tiles (2 rows x 1 word) on awkward shapes: skipping ON must stay
+// bit-identical to the full sweep AND to the byte-grid oracle, on all
+// three engines. This is the skip-soundness theorem, exercised.
+TEST_P(LifeSkipEquivalence, SkippingIsBitIdenticalAcrossEngines) {
+  const auto [boundary, gens] = GetParam();
+  pl::EngineOptions skip_on;
+  skip_on.tile_rows = 2;
+  skip_on.tile_words = 1;
+  pl::EngineOptions skip_off = skip_on;
+  skip_off.skip_quiescent = false;
+
+  for (const auto& [rows, cols] : kShapes) {
+    const pl::Grid start = pl::random_grid(rows, cols, 0.3, 99, boundary);
+    pl::Grid oracle = start;
+    pl::run_reference(oracle, gens);
+
+    pl::Grid full = start;
+    const auto full_res = pl::run_sequential(full, gens, skip_off);
+    EXPECT_EQ(full, oracle);
+    EXPECT_EQ(full_res.tiles_skipped, 0u);
+
+    pl::Grid skip = start;
+    pl::run_sequential(skip, gens, skip_on);
+    EXPECT_EQ(skip, oracle) << rows << "x" << cols;
+
+    pl::Grid thr = start;
+    pl::run_threaded(thr, gens, 3, skip_on);
+    EXPECT_EQ(thr, oracle) << rows << "x" << cols;
+
+    if (rows >= 2) {
+      pl::Grid msg = start;
+      pl::run_message_passing(msg, gens, 2, skip_on);
+      EXPECT_EQ(msg, oracle) << rows << "x" << cols;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LifeSkipEquivalence,
+    ::testing::Combine(::testing::Values(pl::Boundary::kDead,
+                                         pl::Boundary::kTorus),
+                       ::testing::Values(1, 3, 8)));
+
+TEST(LifeStencil, SparseBoardActuallySkipsAndStaysExact) {
+  // Soup in one corner of an otherwise dead board: most tiles must
+  // sleep, and the result must equal the full sweep bit for bit.
+  pl::Grid board(128, 256, pl::Boundary::kDead);
+  const pl::Grid soup = pl::random_grid(24, 24, 0.4, 5, pl::Boundary::kDead);
+  for (std::size_t r = 0; r < 24; ++r)
+    for (std::size_t c = 0; c < 24; ++c) board.set(r, c, soup.get(r, c));
+
+  pl::EngineOptions opt;
+  opt.tile_rows = 8;
+  opt.tile_words = 1;
+  pl::Grid skip = board, full = board;
+  const auto skip_res = pl::run_sequential(skip, 12, opt);
+  opt.skip_quiescent = false;
+  const auto full_res = pl::run_sequential(full, 12, opt);
+
+  EXPECT_EQ(skip, full);
+  EXPECT_EQ(full_res.tiles_skipped, 0u);
+  EXPECT_GT(skip_res.tiles_skipped, skip_res.tiles_computed)
+      << "sparse board should skip the majority of tiles";
+  EXPECT_EQ(skip_res.tiles_computed + skip_res.tiles_skipped,
+            full_res.tiles_computed);
+}
+
+TEST(LifeStencil, MessagePassingHaloWordsAreExact) {
+  // 256 columns = 4 payload words, tiles_x = 2 -> 1 flag word; 2 ranks x
+  // 2 messages x gens.
+  pl::Grid board = pl::random_grid(64, 256, 0.3, 21);
+  pl::EngineOptions opt;
+  opt.tile_rows = 16;
+  opt.tile_words = 2;
+  const int gens = 7;
+  const auto res = pl::run_message_passing(board, gens, 2, opt);
+  EXPECT_EQ(res.halo_words,
+            static_cast<std::uint64_t>(2 * 2 * gens) * (4u + 1u));
+  EXPECT_EQ(res.steps, static_cast<std::uint64_t>(gens));
+}
+
+// ----------------------------------------------------------------- heat ---
+
+namespace {
+
+ps::HeatField hot_top(std::size_t rows, std::size_t cols) {
+  ps::HeatField f(rows, cols, 0.0f);
+  f.set_boundary(1.0f, 0.0f, 0.0f, 0.0f);
+  return f;
+}
+
+}  // namespace
+
+TEST(Heat, SequentialConvergesAndHeatFlowsDownward) {
+  ps::HeatField f = hot_top(32, 32);
+  ps::HeatOptions opt;
+  opt.converge_eps = 1e-3;
+  const ps::RunResult res = ps::heat_relax(f, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.steps, 1u);
+  EXPECT_LE(res.last_delta, 1e-3);
+  // Monotone temperature profile away from the hot edge.
+  EXPECT_GT(f.at(0, 16), f.at(8, 16));
+  EXPECT_GT(f.at(8, 16), f.at(31, 16));
+  EXPECT_GT(f.at(31, 16), 0.0f);  // warmth reached the far edge
+}
+
+class HeatEngineIdentity : public ::testing::TestWithParam<double> {};
+
+// The acceptance criterion: identical iteration counts (and residual,
+// and field) on sequential, threaded, and message-passing engines — both
+// with the exact dirty predicate and with a residual-based one.
+TEST_P(HeatEngineIdentity, AllEnginesAgreeOnStepsResidualAndField) {
+  const double quiesce = GetParam();
+  ps::HeatOptions opt;
+  opt.conductivity = 0.25;
+  opt.converge_eps = 1e-4;
+  opt.quiesce_eps = quiesce;
+  opt.tile_rows = 16;
+  opt.tile_cols = 32;
+
+  ps::HeatField seq = hot_top(64, 96);
+  const ps::RunResult rs = ps::heat_relax(seq, opt);
+  EXPECT_TRUE(rs.converged);
+
+  ps::HeatField thr = hot_top(64, 96);
+  const ps::RunResult rt = ps::heat_relax_threaded(thr, opt, 4);
+  EXPECT_EQ(rt.steps, rs.steps);
+  EXPECT_EQ(rt.last_delta, rs.last_delta);
+  EXPECT_EQ(rt.tiles_computed, rs.tiles_computed);
+  EXPECT_TRUE(thr == seq);
+
+  for (const int ranks : {1, 2, 4}) {
+    ps::HeatField mp = hot_top(64, 96);
+    const ps::RunResult rm = ps::heat_relax_mp(mp, opt, ranks);
+    EXPECT_EQ(rm.steps, rs.steps) << "ranks=" << ranks;
+    EXPECT_EQ(rm.last_delta, rs.last_delta) << "ranks=" << ranks;
+    EXPECT_EQ(rm.tiles_computed, rs.tiles_computed) << "ranks=" << ranks;
+    EXPECT_TRUE(mp == seq) << "ranks=" << ranks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactAndResidual, HeatEngineIdentity,
+                         ::testing::Values(0.0, 1e-6));
+
+TEST(Heat, SkippingExactPredicateMatchesFullSweep) {
+  ps::HeatOptions opt;
+  opt.converge_eps = 1e-4;
+  opt.tile_rows = 8;
+  opt.tile_cols = 16;
+  ps::HeatField skip = hot_top(48, 64);
+  const ps::RunResult rs = ps::heat_relax(skip, opt);
+  opt.skip_quiescent = false;
+  ps::HeatField full = hot_top(48, 64);
+  const ps::RunResult rf = ps::heat_relax(full, opt);
+  EXPECT_TRUE(skip == full);
+  EXPECT_EQ(rs.steps, rf.steps);
+  EXPECT_EQ(rs.last_delta, rf.last_delta);
+  EXPECT_GT(rs.tiles_skipped, 0u);
+  EXPECT_EQ(rf.tiles_skipped, 0u);
+}
+
+TEST(Heat, ResidualPredicateStaysCloseToExact) {
+  ps::HeatOptions opt;
+  opt.converge_eps = 1e-3;
+  ps::HeatField exact = hot_top(48, 48);
+  ps::heat_relax(exact, opt);
+  opt.quiesce_eps = 1e-4;  // aggressive sleeping, bounded deviation
+  ps::HeatField lazy = hot_top(48, 48);
+  const ps::RunResult res = ps::heat_relax(lazy, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(exact.max_abs_diff(lazy), 0.05);
+}
+
+TEST(Heat, MpHaloWordsAreExact) {
+  ps::HeatOptions opt;
+  opt.conductivity = 0.25;
+  opt.converge_eps = 1e-4;
+  opt.tile_rows = 16;
+  opt.tile_cols = 32;
+  ps::HeatField f = hot_top(64, 96);
+  const ps::RunResult res = ps::heat_relax_mp(f, opt, 2);
+  // 2 ranks, each with one neighbor: 2 messages per step, each 1 flag
+  // word + ceil(96/2) packed float words.
+  EXPECT_EQ(res.halo_words, res.steps * 2u * (1u + 48u));
+}
+
+TEST(Heat, ValidatesArguments) {
+  EXPECT_THROW(ps::HeatField(0, 4), std::invalid_argument);
+  ps::HeatField f = hot_top(8, 8);
+  ps::HeatOptions opt;
+  EXPECT_THROW(ps::heat_relax_threaded(f, opt, 0), std::invalid_argument);
+  EXPECT_THROW(ps::heat_relax_mp(f, opt, 0), std::invalid_argument);
+  EXPECT_THROW(ps::heat_relax_mp(f, opt, 9), std::invalid_argument);
+}
