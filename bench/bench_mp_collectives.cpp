@@ -27,7 +27,7 @@ int tree_rounds(int p) {
   return rounds;
 }
 
-void print_collective_table() {
+void print_collective_table(pdc::benchutil::Options& bopt) {
   pdc::perf::Table t({"P", "algo", "bcast msgs", "bcast rounds",
                       "reduce msgs", "reduce rounds"});
   for (int p : {2, 4, 8, 16, 32}) {
@@ -57,6 +57,7 @@ void print_collective_table() {
                  std::to_string(rounds)});
     }
   }
+  bopt.add_json_table("collective traffic", t);
   std::cout << "== CS87-mp: collective traffic and critical path ==\n"
             << t.str()
             << "(same message count; the tree turns P-1 serial rounds "
@@ -197,7 +198,7 @@ BENCHMARK(BM_DhtBulkOps)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 
-void print_sample_sort_table() {
+void print_sample_sort_table(pdc::benchutil::Options& bopt) {
   pdc::perf::Table t({"ranks", "messages", "payload words", "words / key"});
   const std::size_t n = 100000;
   std::vector<std::int64_t> base(n);
@@ -221,6 +222,7 @@ void print_sample_sort_table() {
                                   static_cast<double>(n),
                               2)});
   }
+  bopt.add_json_table("sample sort traffic", t);
   std::cout << "== CS87-mp: distributed sample sort (PSRS) traffic, "
                "N = 100K keys ==\n"
             << t.str()
@@ -229,9 +231,13 @@ void print_sample_sort_table() {
 }
 
 int main(int argc, char** argv) {
-  const auto opt = pdc::benchutil::parse_args(argc, argv);
-  print_collective_table();
+  auto opt = pdc::benchutil::parse_args(argc, argv);
+  // The collective and sample-sort tables are exact traffic counts —
+  // deterministic, so the CI release job diffs them against
+  // bench/expectations/. The reliability-tax table is seeded but its
+  // retransmits are timeout- (timing-) dependent, so it stays print-only.
+  print_collective_table(opt);
   print_reliability_tax_table();
-  print_sample_sort_table();
+  print_sample_sort_table(opt);
   return pdc::benchutil::finish(opt, argc, argv);
 }

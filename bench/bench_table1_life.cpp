@@ -62,7 +62,8 @@ void print_packed_vs_byte(bool smoke) {
             << table.str() << "(acceptance: packed >= 10x byte)\n\n";
 }
 
-void print_scalability_study(bool smoke) {
+void print_scalability_study(pdc::benchutil::Options& bopt) {
+  const bool smoke = bopt.smoke;
   // The packed kernel turned a compute-bound lab into a near-memory-bound
   // one; the study board is much bigger than the byte-era 384x384 so a
   // generation's compute (n^2/64 words) still dominates the two
@@ -99,6 +100,12 @@ void print_scalability_study(bool smoke) {
         {std::to_string(ranks), std::to_string(msgs), std::to_string(words),
          std::to_string(words / static_cast<std::uint64_t>(tgens))});
   }
+  // Exact traffic accounting — deterministic for a fixed board, so the
+  // CI release job diffs it against bench/expectations/ (the scaling
+  // table above carries timings and stays print-only). Row values depend
+  // on the board size, which --smoke changes; the expectation file is
+  // generated at smoke size.
+  bopt.add_json_table("mp halo traffic", traffic);
   std::cout << "== T1-life: message-passing halo-exchange traffic (" << tn
             << " columns = " << (tn + 63) / 64 << " words/halo row) ==\n"
             << traffic.str()
@@ -158,8 +165,8 @@ BENCHMARK(BM_LifeMessagePassing)->Arg(1)->Arg(2)->Arg(4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = pdc::benchutil::parse_args(argc, argv);
+  auto opt = pdc::benchutil::parse_args(argc, argv);
   print_packed_vs_byte(opt.smoke);
-  print_scalability_study(opt.smoke);
+  print_scalability_study(opt);
   return pdc::benchutil::finish(opt, argc, argv);
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Diff a bench's --json=FILE dump against a checked-in expectation file.
+
+Usage: diff_expectations.py GOT.json WANT.json
+
+WANT is either a single table object ({"title": ..., "rows": [...]}, the
+original BENCH_stencil.json format) or a full dump ({"bench": ...,
+"tables": [...]}). Every table named in WANT must exist in GOT with
+exactly the expected rows; tables present only in GOT (e.g. ones that
+carry timings) are ignored. Only deterministic tables — exact traffic
+words, model counts — belong in an expectation file.
+"""
+import json
+import sys
+
+
+def tables(doc):
+    if "tables" in doc:
+        return [json.loads(t) if isinstance(t, str) else t
+                for t in doc["tables"]]
+    return [doc]  # single-table expectation
+
+
+def main():
+    got = json.load(open(sys.argv[1]))
+    want = json.load(open(sys.argv[2]))
+    got_by_title = {t["title"]: t for t in tables(got)}
+    fail = False
+    for w in tables(want):
+        g = got_by_title.get(w["title"])
+        if g is None:
+            print("MISSING table: %r" % w["title"])
+            fail = True
+        elif g["rows"] != w["rows"]:
+            print("DRIFT in %r:\ngot  %s\nwant %s"
+                  % (w["title"], json.dumps(g["rows"], indent=2),
+                     json.dumps(w["rows"], indent=2)))
+            fail = True
+        else:
+            print("match: %r (%d rows)" % (w["title"], len(w["rows"])))
+    sys.exit(1 if fail else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ stencil::Options engine_opts(const EngineOptions& opt, int generations) {
   e.tile_cols = opt.tile_words;
   e.max_steps = generations;
   e.skip_quiescent = opt.skip_quiescent;
+  e.steal_tiles = opt.steal_tiles;
   e.quiesce_eps = 0.0;    // exact: skipping is bit-identical
   e.converge_eps = -1.0;  // Life runs a fixed number of generations
   e.span_name = "life.gen";

@@ -30,6 +30,9 @@ struct EngineOptions {
   std::size_t tile_rows = 32;
   std::size_t tile_words = 128;
   bool skip_quiescent = true;
+  /// run_threaded only: steal active tiles from busy workers when dry
+  /// (see stencil::Options::steal_tiles). Bit-identical either way.
+  bool steal_tiles = true;
 };
 
 /// Advance `board` by `generations` steps with the naive byte kernel —

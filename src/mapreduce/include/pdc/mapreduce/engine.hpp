@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pdc/core/parallel_for.hpp"
 #include "pdc/core/team.hpp"
 #include "pdc/obs/obs.hpp"
 
@@ -115,26 +116,30 @@ std::map<K, R> run_job(
   for (auto e : emitted) stats.map_emitted += e;
 
   // ---- shuffle: merge worker buckets per partition, partitions in
-  // parallel — each team member owns a disjoint strided set of partitions,
-  // so the merge needs no locks (worker buckets for one partition are only
-  // ever touched by that partition's owner). ----
+  // parallel under the work-stealing schedule — partition merge cost
+  // tracks how many pairs hashed there, so hot keys skew it; a worker
+  // that drew light partitions steals heavy ones instead of idling. Each
+  // index p is executed exactly once, so the merge needs no locks
+  // (worker buckets for one partition are only ever touched by that
+  // partition's executor). ----
   std::vector<std::unordered_map<K, std::vector<V>>> grouped(parts);
   std::vector<std::size_t> shuffled_per_part(parts, 0);
   const int shuffle_workers =
       std::max(cfg.map_workers, cfg.reduce_workers);
   {
     PDC_TRACE_SCOPE("mr.shuffle");
-    core::Team::run(shuffle_workers, [&](core::TeamContext& ctx) {
-      for (std::size_t p = static_cast<std::size_t>(ctx.rank()); p < parts;
-           p += static_cast<std::size_t>(ctx.size())) {
-        auto& merged = grouped[p];
-        for (std::size_t w = 0; w < workers; ++w) {
-          for (auto& [key, values] : buckets[w][p]) {
-            auto& dst = merged[key];
-            shuffled_per_part[p] += values.size();
-            dst.insert(dst.end(), std::make_move_iterator(values.begin()),
-                       std::make_move_iterator(values.end()));
-          }
+    core::ForOptions fopt;
+    fopt.threads = shuffle_workers;
+    fopt.schedule = core::Schedule::kStealing;
+    fopt.chunk = 1;  // a partition is the unit of stealing
+    core::parallel_for(0, parts, fopt, [&](std::size_t p) {
+      auto& merged = grouped[p];
+      for (std::size_t w = 0; w < workers; ++w) {
+        for (auto& [key, values] : buckets[w][p]) {
+          auto& dst = merged[key];
+          shuffled_per_part[p] += values.size();
+          dst.insert(dst.end(), std::make_move_iterator(values.begin()),
+                     std::make_move_iterator(values.end()));
         }
       }
     });

@@ -16,6 +16,7 @@ Options engine_opts(const HeatOptions& o) {
   e.tile_cols = o.tile_cols;
   e.max_steps = o.max_steps;
   e.skip_quiescent = o.skip_quiescent;
+  e.steal_tiles = o.steal_tiles;
   e.quiesce_eps = o.quiesce_eps;
   e.converge_eps = o.converge_eps;
   e.span_name = "heat.step";

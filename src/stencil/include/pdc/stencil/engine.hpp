@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "pdc/core/team.hpp"
+#include "pdc/core/work_steal.hpp"
 #include "pdc/mp/comm.hpp"
 #include "pdc/obs/obs.hpp"
 #include "pdc/stencil/tile.hpp"
@@ -56,6 +57,13 @@ struct Options {
   std::size_t tile_cols = 256;  ///< tile width (workload units)
   int max_steps = 1;
   bool skip_quiescent = true;   ///< false: full sweep every step (A/B lever)
+  /// run_threaded: drain the active tile list through per-worker
+  /// Chase–Lev deques and steal tiles from busy victims when dry
+  /// (default), instead of a fixed block partition of the list. Results
+  /// and tile accounting are identical either way — each active tile is
+  /// executed exactly once per step — so this is a pure load-balance
+  /// lever (the schedule-ablation bench prices it on clustered boards).
+  bool steal_tiles = true;
   /// A tile counts as changed when its step delta exceeds this. 0 = exact
   /// (bit-identical to a full sweep). Must be <= converge_eps when
   /// convergence is enabled.
@@ -154,10 +162,18 @@ RunResult run_seq(W& w, typename W::Field& cur, typename W::Field& nxt,
   return res;
 }
 
-/// Threaded engine: the per-step *active* tile list is block-partitioned
+/// Threaded engine: the per-step *active* tile list is distributed
 /// across a core::Team, so workers share the (possibly sparse) live
 /// region instead of owning fixed row strips that may be entirely
-/// quiescent. Two barriers per step, serial bookkeeping on rank 0.
+/// quiescent. By default (Options::steal_tiles) each worker drains its
+/// share of the list through its own Chase–Lev deque and steals tiles
+/// from busy victims when dry, so a live region clustered in one
+/// corner's worth of tiles still spreads across the whole team; with
+/// steal_tiles off the list is block-partitioned up front (the ablation
+/// baseline). Either way every active tile is executed exactly once per
+/// step, so grids and tile accounting are bit-identical across both
+/// modes and any thread count. Two barriers per step, serial
+/// bookkeeping (including deque re-seeding) on rank 0.
 template <class W>
 RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
                        const Options& opt, int threads) {
@@ -175,31 +191,79 @@ RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
   RunResult res;
   bool stop = opt.max_steps == 0;
 
+  const bool steal = opt.steal_tiles && threads > 1;
+  const auto nthreads = static_cast<std::size_t>(threads);
+  std::vector<core::WorkStealingDeque<std::uint32_t>> deques(
+      steal ? nthreads : 0);
+
   const auto build_active_list = [&] {
     active_list.clear();
     for (std::uint32_t t = 0; t < tm.count(); ++t)
       if (!opt.skip_quiescent || act.active()[t] != 0) active_list.push_back(t);
   };
+  // Serial-section only (single-threaded, published to the workers by
+  // barrier A): seed worker r's deque with its near-equal contiguous
+  // share of the active list. Stealing rebalances from there.
+  const auto seed_deques = [&] {
+    const std::size_t n = active_list.size();
+    const std::size_t base = n / nthreads, extra = n % nthreads;
+    std::size_t lo = 0;
+    for (std::size_t r = 0; r < nthreads; ++r) {
+      const std::size_t hi = lo + base + (r < extra ? 1 : 0);
+      for (std::size_t i = lo; i < hi; ++i) deques[r].push(active_list[i]);
+      lo = hi;
+    }
+  };
   act.advance();
   build_active_list();
+  if (steal) seed_deques();
 
   core::Team::run(threads, [&](core::TeamContext& ctx) {
+    static obs::Counter& c_attempts = obs::counter("stencil.steal_attempts");
+    static obs::Counter& c_steals = obs::counter("stencil.steals");
     while (true) {
-      // Barrier A: the serial section's state (active list, buffer flip,
-      // stop flag) is visible to every worker.
+      // Barrier A: the serial section's state (active list, seeded
+      // deques, buffer flip, stop flag) is visible to every worker.
       ctx.barrier();
       if (stop) break;
       {
         obs::TraceScope span(opt.span_name);
-        const auto [lo, hi] = ctx.block_range(0, active_list.size());
         double local = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          const std::uint32_t t = active_list[i];
+        const auto exec_tile = [&](std::uint32_t t) {
           const double d =
               w.step_tile(*bufs[src], *bufs[1 - src], tm.bounds(t));
           act.mark_changed(t, d > opt.quiesce_eps);
           computed[t] = 1;
           if (d > local) local = d;
+        };
+        if (!steal) {
+          const auto [lo, hi] = ctx.block_range(0, active_list.size());
+          for (std::size_t i = lo; i < hi; ++i) exec_tile(active_list[i]);
+        } else {
+          const auto me = static_cast<std::size_t>(ctx.rank());
+          auto& mine = deques[me];
+          while (true) {
+            if (auto t = mine.pop()) {
+              exec_tile(*t);
+              continue;
+            }
+            bool got = false;
+            bool contended = false;
+            for (std::size_t off = 1; off < nthreads && !got; ++off) {
+              auto& victim = deques[(me + off) % nthreads];
+              c_attempts.add(1);
+              if (auto t = victim.steal()) {
+                c_steals.add(1);
+                PDC_TRACE_SCOPE("stencil.steal");
+                exec_tile(*t);
+                got = true;
+              } else if (!victim.empty()) {
+                contended = true;  // lost a race on a live tile: retry
+              }
+            }
+            if (got) continue;
+            if (!contended) break;  // every deque observed empty
+          }
         }
         rank_delta[static_cast<std::size_t>(ctx.rank())] = local;
       }
@@ -221,6 +285,7 @@ RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
         if (!stop) {
           act.advance();
           build_active_list();
+          if (steal) seed_deques();
           std::fill(computed.begin(), computed.end(), 0);
           std::fill(rank_delta.begin(), rank_delta.end(), 0.0);
         }

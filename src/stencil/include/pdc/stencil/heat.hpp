@@ -66,6 +66,9 @@ struct HeatOptions {
   std::size_t tile_rows = 32;
   std::size_t tile_cols = 64;
   bool skip_quiescent = true;
+  /// heat_relax_threaded only: steal active tiles from busy workers when
+  /// dry (see stencil::Options::steal_tiles). Bit-identical either way.
+  bool steal_tiles = true;
 };
 
 /// Stencil workload adapter: plugs HeatField into run_seq / run_threaded /

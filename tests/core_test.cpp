@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <random>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "pdc/core/parallel_for.hpp"
@@ -15,6 +18,7 @@
 #include "pdc/core/team.hpp"
 #include "pdc/core/team_pool.hpp"
 #include "pdc/core/thread_pool.hpp"
+#include "pdc/core/work_steal.hpp"
 
 namespace pc = pdc::core;
 
@@ -315,7 +319,8 @@ INSTANTIATE_TEST_SUITE_P(
     SchedulesAndThreads, ParallelForSweep,
     ::testing::Combine(::testing::Values(pc::Schedule::kStatic,
                                          pc::Schedule::kDynamic,
-                                         pc::Schedule::kGuided),
+                                         pc::Schedule::kGuided,
+                                         pc::Schedule::kStealing),
                        ::testing::Values(1, 2, 3, 4, 8)));
 
 TEST(ParallelFor, EmptyRangeIsNoop) {
@@ -341,7 +346,7 @@ TEST(ParallelFor, ThrowingBodyReachesCaller) {
   // (pool-worker escape) nor hang it (teammates stuck at a barrier) — on
   // every schedule and both execution paths.
   for (auto sched : {pc::Schedule::kStatic, pc::Schedule::kDynamic,
-                     pc::Schedule::kGuided}) {
+                     pc::Schedule::kGuided, pc::Schedule::kStealing}) {
     for (bool reuse_pool : {true, false}) {
       pc::ForOptions opt;
       opt.threads = 4;
@@ -369,6 +374,167 @@ TEST(ParallelFor, NonZeroBeginHandled) {
   long expect = 0;
   for (long i = 100; i < 200; ++i) expect += i;
   EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ParallelFor, DynamicExtremeRangeDoesNotWrap) {
+  // Regression: the old kDynamic claim loop fetch_add'ed the shared
+  // counter past `end` (one overshoot per thread), so a range ending
+  // near SIZE_MAX wrapped the counter back into the loop and re-executed
+  // indices. The CAS-clamped loop never advances the counter past `end`.
+  constexpr std::size_t kN = 1000;
+  constexpr std::size_t kBegin = SIZE_MAX - kN;  // end == SIZE_MAX
+  std::vector<std::atomic<int>> touched(kN);
+  for (auto& t : touched) t = 0;
+  pc::ForOptions opt;
+  opt.threads = 4;
+  opt.schedule = pc::Schedule::kDynamic;
+  opt.chunk = 64;  // does not divide kN: the last chunk must clamp
+  pc::parallel_for(kBegin, SIZE_MAX, opt,
+                   [&](std::size_t i) { touched[i - kBegin].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+}
+
+// ------------------------------------------------- scheduling equivalence ---
+
+// All four schedules are *only* execution orders: on the same seeded
+// skew workload they must produce bit-identical output to the sequential
+// loop. (Stencil bit-identity under tile stealing is asserted in
+// stencil_test.)
+TEST(SchedulingEquivalence, AllSchedulesMatchSequential) {
+  constexpr std::size_t kN = 4096;
+  std::mt19937_64 rng(20260809);
+  std::vector<std::uint64_t> input(kN);
+  for (auto& x : input) x = rng();
+
+  // Deterministic per-index work whose cost is triangular in i (the
+  // skewed shape the ablation bench prices): index i hashes i times.
+  const auto work = [&](std::size_t i) {
+    std::uint64_t h = input[i];
+    for (std::size_t k = 0; k <= i % 97; ++k)
+      h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+    return h;
+  };
+
+  std::vector<std::uint64_t> expect(kN);
+  for (std::size_t i = 0; i < kN; ++i) expect[i] = work(i);
+
+  for (auto sched : {pc::Schedule::kStatic, pc::Schedule::kDynamic,
+                     pc::Schedule::kGuided, pc::Schedule::kStealing}) {
+    for (int threads : {2, 3, 8}) {
+      std::vector<std::uint64_t> out(kN, 0);
+      pc::ForOptions opt;
+      opt.threads = threads;
+      opt.schedule = sched;
+      opt.chunk = 16;
+      pc::parallel_for(0, kN, opt, [&](std::size_t i) { out[i] = work(i); });
+      ASSERT_EQ(out, expect) << "schedule " << static_cast<int>(sched)
+                             << " threads " << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------- work-stealing deque ---
+
+TEST(WorkStealingDeque, OwnerPopIsLifo) {
+  pc::WorkStealingDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push(i);
+  EXPECT_EQ(d.size(), 10u);
+  for (int i = 9; i >= 0; --i) {
+    auto v = d.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(d.pop().has_value());
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WorkStealingDeque, StealIsFifo) {
+  pc::WorkStealingDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = d.steal();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);  // oldest first
+  }
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(WorkStealingDeque, GrowsPastInitialCapacity) {
+  pc::WorkStealingDeque<std::size_t> d(8);
+  constexpr std::size_t kN = 10000;  // forces many doublings
+  for (std::size_t i = 0; i < kN; ++i) d.push(i);
+  EXPECT_EQ(d.size(), kN);
+  // Mixed drain: steal the old half, pop the young half.
+  for (std::size_t i = 0; i < kN / 2; ++i) {
+    auto v = d.steal();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  for (std::size_t i = kN; i-- > kN / 2;) {
+    auto v = d.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WorkStealingDeque, MultiWordItemsSurviveRoundTrip) {
+  struct Fat {
+    std::uint64_t a, b, c;
+  };
+  pc::WorkStealingDeque<Fat> d;
+  for (std::uint64_t i = 0; i < 100; ++i) d.push({i, ~i, i * i});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    auto v = d.steal();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->a, i);
+    EXPECT_EQ(v->b, ~i);
+    EXPECT_EQ(v->c, i * i);
+  }
+}
+
+// TSan target: one owner pushing and popping against N concurrent
+// thieves; every pushed item must be returned by exactly one pop() or
+// steal(), none lost, none duplicated.
+TEST(WorkStealingDeque, StressExactlyOnceUnderConcurrentSteals) {
+  constexpr int kThieves = 3;
+  constexpr std::size_t kItems = 50000;
+  pc::WorkStealingDeque<std::size_t> d(16);  // small: exercises growth
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s = 0;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = d.steal()) seen[*v].fetch_add(1);
+      }
+      while (auto v = d.steal()) seen[*v].fetch_add(1);
+    });
+  }
+
+  // Owner: push in bursts, pop between bursts (mixes the last-element
+  // CAS race into the schedule).
+  std::size_t next = 0;
+  while (next < kItems) {
+    const std::size_t burst = std::min<std::size_t>(64, kItems - next);
+    for (std::size_t i = 0; i < burst; ++i) d.push(next++);
+    for (int i = 0; i < 16; ++i) {
+      if (auto v = d.pop())
+        seen[*v].fetch_add(1);
+      else
+        break;
+    }
+  }
+  while (auto v = d.pop()) seen[*v].fetch_add(1);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  for (std::size_t i = 0; i < kItems; ++i)
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
 }
 
 // ------------------------------------------------------------ reduce/scan ---

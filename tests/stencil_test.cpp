@@ -340,6 +340,71 @@ TEST(Heat, MpHaloWordsAreExact) {
   EXPECT_EQ(res.halo_words, res.steps * 2u * (1u + 48u));
 }
 
+// ------------------------------------------ tile-stealing run_threaded ---
+
+// Acceptance criterion for the work-stealing engine: tile stealing is a
+// pure load-balance lever. Grids stay bit-identical to the sequential
+// engine and the updated-tile accounting is *exactly* unchanged, for
+// every thread count 1..8 and with stealing both on and off.
+TEST(TileStealing, LifeGridsBitIdenticalAndTileCountsExact1To8Threads) {
+  // Clustered sparse board — all live tiles in one corner, the worst
+  // case for the static partition and the reason stealing exists.
+  pl::Grid board(128, 256, pl::Boundary::kDead);
+  const pl::Grid soup = pl::random_grid(24, 24, 0.4, 7, pl::Boundary::kDead);
+  for (std::size_t r = 0; r < 24; ++r)
+    for (std::size_t c = 0; c < 24; ++c) board.set(r, c, soup.get(r, c));
+
+  const int gens = 10;
+  pl::EngineOptions opt;
+  opt.tile_rows = 8;
+  opt.tile_words = 1;
+
+  pl::Grid seq_g = board;
+  const auto seq = pl::run_sequential(seq_g, gens, opt);
+
+  for (int threads = 1; threads <= 8; ++threads) {
+    for (const bool steal : {false, true}) {
+      pl::EngineOptions o = opt;
+      o.steal_tiles = steal;
+      pl::Grid g = board;
+      const auto res = pl::run_threaded(g, gens, threads, o);
+      EXPECT_EQ(g, seq_g) << "threads=" << threads << " steal=" << steal;
+      EXPECT_EQ(res.tiles_computed, seq.tiles_computed)
+          << "threads=" << threads << " steal=" << steal;
+      EXPECT_EQ(res.tiles_skipped, seq.tiles_skipped)
+          << "threads=" << threads << " steal=" << steal;
+      EXPECT_EQ(res.steps, seq.steps);
+    }
+  }
+}
+
+TEST(TileStealing, HeatStealingMatchesSequentialExactly1To8Threads) {
+  ps::HeatOptions opt;
+  opt.conductivity = 0.25;
+  opt.converge_eps = 1e-4;
+  opt.tile_rows = 16;
+  opt.tile_cols = 32;
+
+  ps::HeatField seq = hot_top(64, 96);
+  const ps::RunResult rs = ps::heat_relax(seq, opt);
+  EXPECT_TRUE(rs.converged);
+
+  for (int threads = 1; threads <= 8; ++threads) {
+    for (const bool steal : {false, true}) {
+      ps::HeatOptions o = opt;
+      o.steal_tiles = steal;
+      ps::HeatField thr = hot_top(64, 96);
+      const ps::RunResult rt = ps::heat_relax_threaded(thr, o, threads);
+      EXPECT_EQ(rt.steps, rs.steps) << "threads=" << threads;
+      EXPECT_EQ(rt.last_delta, rs.last_delta) << "threads=" << threads;
+      EXPECT_EQ(rt.tiles_computed, rs.tiles_computed)
+          << "threads=" << threads << " steal=" << steal;
+      EXPECT_EQ(rt.tiles_skipped, rs.tiles_skipped);
+      EXPECT_TRUE(thr == seq) << "threads=" << threads << " steal=" << steal;
+    }
+  }
+}
+
 TEST(Heat, ValidatesArguments) {
   EXPECT_THROW(ps::HeatField(0, 4), std::invalid_argument);
   ps::HeatField f = hot_top(8, 8);
