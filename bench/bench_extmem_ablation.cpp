@@ -29,7 +29,7 @@ std::vector<std::int64_t> random_values(std::size_t n) {
   return v;
 }
 
-void print_memory_sweep() {
+void print_memory_sweep(pdc::benchutil::Options& opt) {
   const std::size_t n = 200000;
   const std::size_t block = 512;
   const auto base = random_values(n);
@@ -47,9 +47,10 @@ void print_memory_sweep() {
   std::cout << "== CS41-io: external sort I/Os vs memory size (N=200K, "
                "B=512B) ==\n"
             << t.str() << "\n";
+  opt.add_json_table("sort ios vs memory", t);
 }
 
-void print_block_sweep() {
+void print_block_sweep(pdc::benchutil::Options& opt) {
   const std::size_t n = 200000;
   const auto base = random_values(n);
   pdc::perf::Table t({"B (bytes)", "measured I/Os", "predicted I/Os"});
@@ -64,9 +65,10 @@ void print_block_sweep() {
                "==\n"
             << t.str()
             << "(I/Os scale as N/B when the pass count is fixed)\n\n";
+  opt.add_json_table("sort ios vs block size", t);
 }
 
-void print_matmul_ios() {
+void print_matmul_ios(pdc::benchutil::Options& opt) {
   pdc::perf::Table t({"n", "naive I/Os", "blocked I/Os", "ratio"});
   for (std::size_t n : {32u, 48u, 64u}) {
     px::BlockDevice dev(3 * n * n / 8 + 16, 64);
@@ -88,9 +90,10 @@ void print_matmul_ios() {
   std::cout << "== CS41-io: out-of-core matmul, 60-frame (3.75KB) cache "
                "==\n"
             << t.str() << "\n";
+  opt.add_json_table("ooc matmul ios", t);
 }
 
-void print_hit_rate_curve() {
+void print_hit_rate_curve(pdc::benchutil::Options& opt) {
   pdc::perf::Table t({"frames", "hit rate %"});
   for (std::size_t frames : {2u, 4u, 8u, 16u, 32u, 64u}) {
     px::BlockDevice dev(64, 64);
@@ -107,6 +110,7 @@ void print_hit_rate_curve() {
             << t.str()
             << "(LRU gets zero reuse on a cyclic sweep until the whole "
                "set fits — the sequential-flooding lesson)\n\n";
+  opt.add_json_table("buffer cache hit rate", t);
 }
 
 void BM_ExternalSort(benchmark::State& state) {
@@ -133,10 +137,10 @@ BENCHMARK(BM_BufferCacheRead);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = pdc::benchutil::parse_args(argc, argv);
-  print_memory_sweep();
-  print_block_sweep();
-  print_matmul_ios();
-  print_hit_rate_curve();
+  auto opt = pdc::benchutil::parse_args(argc, argv);
+  print_memory_sweep(opt);
+  print_block_sweep(opt);
+  print_matmul_ios(opt);
+  print_hit_rate_curve(opt);
   return pdc::benchutil::finish(opt, argc, argv);
 }

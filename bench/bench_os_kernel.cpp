@@ -7,6 +7,8 @@
 
 #include "bench_util.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 
 #include "pdc/os/kernel.hpp"
@@ -42,7 +44,7 @@ double average_completion_ticks(pdc::os::KernelConfig cfg, int jobs,
   return total / static_cast<double>(done.size());
 }
 
-void print_scheduler_table() {
+void print_scheduler_table(pdc::benchutil::Options& opt) {
   pdc::perf::Table t({"scheduler", "quantum", "avg completion (ticks)"});
   for (int quantum : {1, 4, 16, 64}) {
     pdc::os::KernelConfig cfg;
@@ -61,6 +63,98 @@ void print_scheduler_table() {
             << "(big quanta approach FIFO; priority = run-to-completion "
                "in priority order, minimizing average completion for "
                "SJF-like orderings)\n\n";
+  opt.add_json_table("scheduler policy", t);
+}
+
+/// One MLFQ aging run: three CPU hogs plus an interactive job that first
+/// burns enough CPU to be demoted to the bottom level, then alternates
+/// blocking reads (fed by a slow writer) with 1-tick bursts. Returns the
+/// interactive job's responsiveness: completion tick plus the worst /
+/// mean wake-to-CPU latency — the metric the wake boost exists to bound
+/// (its sleep time waiting for input is the same either way).
+struct AgingStats {
+  std::uint64_t completion = 0;
+  std::uint64_t max_response = 0;
+  double avg_response = 0;
+  int blocks = 0;  ///< times the interactive job blocked on Read
+};
+
+AgingStats run_aging_workload(bool boost) {
+  pdc::os::KernelConfig cfg;
+  cfg.scheduler = pdc::os::SchedulerKind::kMlfq;
+  cfg.quantum = 4;
+  cfg.mlfq_boost = boost;
+  pdc::os::Kernel kernel(cfg);
+  for (int h = 0; h < 3; ++h)
+    kernel.spawn({pdc::os::Compute(400), pdc::os::Exit(0)},
+                 "hog" + std::to_string(h));
+  constexpr int kLines = 16;
+  pdc::os::Program writer, inter;
+  inter.push_back(pdc::os::Compute(20));  // earn a demotion first
+  for (int i = 0; i < kLines; ++i) {
+    // The writer is slower per line than the reader, so the reader
+    // drains the pipe and genuinely blocks between lines — the wake
+    // path the boost acts on.
+    writer.push_back(pdc::os::Compute(6));
+    writer.push_back(pdc::os::Print("x"));
+    inter.push_back(pdc::os::Read());
+    inter.push_back(pdc::os::Compute(1));
+  }
+  writer.push_back(pdc::os::Exit(0));
+  inter.push_back(pdc::os::Exit(0));
+  // Spawn the interactive job BEFORE the writer: the round-robin cursor
+  // rotates by pid, so a woken (unboosted) reader sits behind every hog
+  // in the bottom-level rotation instead of riding the writer's slot.
+  const auto ipid = kernel.spawn(std::move(inter), "interactive");
+  const auto wpid = kernel.spawn(std::move(writer), "writer");
+  const auto pipe = kernel.create_pipe();
+  kernel.connect_stdout(wpid, pipe);
+  kernel.connect_stdin(ipid, pipe);
+
+  AgingStats s;
+  bool was_blocked = false;
+  bool awaiting_cpu = false;
+  std::uint64_t wake_tick = 0;
+  std::size_t responses = 0, response_sum = 0;
+  while (s.completion == 0 && kernel.tick()) {
+    const auto st = kernel.state(ipid);
+    if (st == pdc::os::ProcState::kBlocked && !was_blocked) ++s.blocks;
+    if (was_blocked && st != pdc::os::ProcState::kBlocked) {
+      wake_tick = kernel.now();
+      awaiting_cpu = true;
+    }
+    if (awaiting_cpu && st == pdc::os::ProcState::kRunning) {
+      const std::uint64_t r = kernel.now() - wake_tick;
+      s.max_response = std::max(s.max_response, r);
+      response_sum += r;
+      ++responses;
+      awaiting_cpu = false;
+    }
+    was_blocked = st == pdc::os::ProcState::kBlocked;
+    if (st == pdc::os::ProcState::kReaped) s.completion = kernel.now();
+  }
+  s.avg_response = responses == 0 ? 0.0
+                                  : static_cast<double>(response_sum) /
+                                        static_cast<double>(responses);
+  return s;
+}
+
+void print_aging_ablation(pdc::benchutil::Options& opt) {
+  pdc::perf::Table t({"wake boost", "interactive done (tick)", "blocks",
+                      "max wake-to-CPU", "avg wake-to-CPU"});
+  for (bool boost : {true, false}) {
+    const auto s = run_aging_workload(boost);
+    t.add_row({boost ? "on" : "off", std::to_string(s.completion),
+               std::to_string(s.blocks), std::to_string(s.max_response),
+               pdc::perf::fmt(s.avg_response, 1)});
+  }
+  std::cout << "== T1-shell: MLFQ aging ablation (3 hogs + demoted "
+               "interactive job) ==\n"
+            << t.str()
+            << "(without the wake boost a once-demoted interactive job "
+               "queues behind every hog's bottom-level quantum — the "
+               "starvation aging exists to prevent)\n\n";
+  opt.add_json_table("mlfq aging ablation", t);
 }
 
 void BM_KernelTickThroughput(benchmark::State& state) {
@@ -124,7 +218,8 @@ BENCHMARK(BM_SignalDelivery);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = pdc::benchutil::parse_args(argc, argv);
-  print_scheduler_table();
+  auto opt = pdc::benchutil::parse_args(argc, argv);
+  print_scheduler_table(opt);
+  print_aging_ablation(opt);
   return pdc::benchutil::finish(opt, argc, argv);
 }

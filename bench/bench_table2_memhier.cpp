@@ -26,7 +26,7 @@ namespace {
 
 namespace pm = pdc::memsim;
 
-void print_traversal_table() {
+void print_traversal_table(pdc::benchutil::Options& opt) {
   pdc::perf::Table t({"associativity", "row-major miss%", "col-major miss%",
                       "ratio"});
   const auto row = pm::matrix_row_major(128, 128, 8);
@@ -48,9 +48,10 @@ void print_traversal_table() {
             << t.str()
             << "(row-major touches each line 8 times; column-major "
                "strides past it)\n\n";
+  opt.add_json_table("traversal miss rate", t);
 }
 
-void print_replacement_table() {
+void print_replacement_table(pdc::benchutil::Options& opt) {
   pdc::perf::Table t({"policy", "misses", "miss%"});
   // Loop-heavy trace with a working set slightly larger than the cache —
   // the regime where policies differ most.
@@ -73,9 +74,10 @@ void print_replacement_table() {
             << t.str()
             << "(cyclic sweeps are LRU's worst case — Random does better "
                "here, a classic surprise)\n\n";
+  opt.add_json_table("replacement policy", t);
 }
 
-void print_working_set_sweep() {
+void print_working_set_sweep(pdc::benchutil::Options& opt) {
   pdc::perf::Table t({"working set", "miss% (2nd+ pass)"});
   pm::CacheConfig cfg;
   cfg.total_size = 32 * 1024;
@@ -93,9 +95,10 @@ void print_working_set_sweep() {
   }
   std::cout << "== T2-memhier: miss-rate cliff at the 32KB cache size ==\n"
             << t.str() << "\n";
+  opt.add_json_table("working set sweep", t);
 }
 
-void print_amat_table() {
+void print_amat_table(pdc::benchutil::Options& opt) {
   pdc::perf::Table t({"workload", "L1 miss%", "L2 miss%", "AMAT (cycles)"});
   for (const auto& [name, trace] :
        {std::pair{std::string("row-major"), pm::matrix_row_major(128, 128, 8)},
@@ -121,9 +124,10 @@ void print_amat_table() {
   std::cout << "== T2-memhier: two-level AMAT (L1 4c, L2 12c, mem 120c) "
                "==\n"
             << t.str() << "\n";
+  opt.add_json_table("two-level amat", t);
 }
 
-void print_paging_tables() {
+void print_paging_tables(pdc::benchutil::Options& opt) {
   // Belady's anomaly.
   const auto refs = pm::belady_reference_string();
   pdc::perf::Table belady({"frames", "FIFO faults", "LRU faults",
@@ -167,9 +171,11 @@ void print_paging_tables() {
   std::cout << "== T2-vm: page fault rate vs frames (256-page span) ==\n"
             << curve.str()
             << "(Optimal lower-bounds everything; Clock tracks LRU)\n\n";
+  opt.add_json_table("belady anomaly", belady);
+  opt.add_json_table("page fault curve", curve);
 }
 
-void print_prefetch_table() {
+void print_prefetch_table(pdc::benchutil::Options& opt) {
   pdc::perf::Table t({"workload", "prefetch", "miss%", "useful prefetch%"});
   for (const auto& [name, trace] :
        {std::pair{std::string("sequential"), pm::strided(8192, 64)},
@@ -197,6 +203,7 @@ void print_prefetch_table() {
             << t.str()
             << "(prefetch halves sequential misses; on random access the "
                "fills are dead weight)\n\n";
+  opt.add_json_table("prefetch ablation", t);
 }
 
 void BM_CacheSimThroughput(benchmark::State& state) {
@@ -233,12 +240,12 @@ BENCHMARK(BM_PagingSim)
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = pdc::benchutil::parse_args(argc, argv);
-  print_traversal_table();
-  print_replacement_table();
-  print_working_set_sweep();
-  print_amat_table();
-  print_prefetch_table();
-  print_paging_tables();
+  auto opt = pdc::benchutil::parse_args(argc, argv);
+  print_traversal_table(opt);
+  print_replacement_table(opt);
+  print_working_set_sweep(opt);
+  print_amat_table(opt);
+  print_prefetch_table(opt);
+  print_paging_tables(opt);
   return pdc::benchutil::finish(opt, argc, argv);
 }

@@ -1,5 +1,8 @@
 #include "pdc/mp/comm.hpp"
 
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -75,6 +78,8 @@ obs::Histogram& payload_histogram() {
 /// will never send another message" — blocked receivers use that to turn
 /// a guaranteed hang into RankFailedError.
 enum RankState : int { kRunning = 0, kFinished, kKilled, kErrored };
+static_assert(kRunning == rankstate::kRunning && kFinished == rankstate::kFinished &&
+              kKilled == rankstate::kKilled && kErrored == rankstate::kErrored);
 
 struct Mailbox {
   std::mutex m;
@@ -93,7 +98,7 @@ struct Mailbox {
   std::vector<Limbo> limbo;
 };
 
-struct CommState {
+struct CommState : public Transport::Sink {
   explicit CommState(int n)
       : size(n),
         boxes(static_cast<std::size_t>(n)),
@@ -108,6 +113,9 @@ struct CommState {
   int size;
   FaultPlan plan;
   RetryPolicy retry;
+  /// The frame mover below this protocol state. Owned by the
+  /// Communicator; always outlives the state's use of it.
+  Transport* transport = nullptr;
   std::vector<std::unique_ptr<Mailbox>> boxes;
   std::unique_ptr<std::atomic<int>[]> rank_state;
   /// Per ordered (src,dst) pair: delivery attempts so far. Each attempt
@@ -180,6 +188,37 @@ struct CommState {
     payload_histogram().record(words);
   }
 
+  // ---- incoming frames (Transport::Sink) ----
+
+  /// A frame addressed to a local rank. On the in-process backend this
+  /// runs synchronously on the sending rank's thread; on the process
+  /// backends it runs on the transport's progress thread.
+  void deliver(Frame&& f) override {
+    switch (f.type) {
+      case Frame::kData:
+        deliver_plain(f.dst, Message{f.src, f.tag, std::move(f.payload)});
+        return;
+      case Frame::kRData:
+        accept_reliable(std::move(f));
+        return;
+      case Frame::kAck:
+        accept_ack(f);
+        return;
+      case Frame::kFin:
+        peer_stopped(f.src, static_cast<int>(f.seq));
+        return;
+    }
+    throw std::runtime_error("unknown frame type");
+  }
+
+  /// Liveness event from the transport: a remote peer finished, errored,
+  /// or vanished (SIGKILL). Wakes every blocked receiver, exactly like a
+  /// local rank thread ending does.
+  void peer_stopped(int rank, int state) override {
+    if (rank < 0 || rank >= size) return;
+    mark(rank, static_cast<RankState>(state));
+  }
+
   // ---- plain channel (the seed behavior, byte for byte) ----
 
   void deliver_plain(int dest, Message msg) {
@@ -213,7 +252,9 @@ struct CommState {
   }
 
   /// Transport ack: receiver `from` tells sender `to` that `seq` landed.
-  /// Travels the same faulty medium — a dropped ack forces a retransmit,
+  /// The ack-drop decision is made here (the receiver owns the reverse
+  /// flow's attempt counter); the surviving ack then travels the real
+  /// transport back to the sender — a dropped ack forces a retransmit,
   /// which the receiver's dedup then suppresses.
   void send_ack(int from, int to, std::uint64_t seq) {
     const auto a =
@@ -227,22 +268,39 @@ struct CommState {
       count(kFDropped);
       return;
     }
-    Mailbox& box = *boxes[static_cast<std::size_t>(to)];
+    Frame ack;
+    ack.type = Frame::kAck;
+    ack.src = from;
+    ack.dst = to;
+    ack.seq = seq;
+    transport->send(std::move(ack));
+  }
+
+  /// An ack landed at its sender: raise the per-peer high-water mark and
+  /// wake the retransmit loop waiting on it.
+  void accept_ack(const Frame& f) {
+    Mailbox& box = *boxes[static_cast<std::size_t>(f.dst)];
     {
       std::lock_guard lk(box.m);
-      auto& high = box.acked[from];
-      high = std::max(high, seq);
+      auto& high = box.acked[f.src];
+      high = std::max(high, f.seq);
     }
     count(kFAcks);
     box.cv.notify_all();
   }
 
-  /// One delivery attempt on the reliable channel. Decides drop /
-  /// duplicate / delay deterministically from (seed, flow, attempt#).
-  void deliver_reliable(int src, int dest, int tag,
-                        const std::vector<std::int64_t>& data,
-                        std::uint64_t seq) {
-    if (dest < 0 || dest >= size) throw std::out_of_range("bad destination");
+  /// Sender-side fault gate: one delivery attempt's drop / duplicate /
+  /// delay decisions, a pure hash of (seed, flow, attempt#). Runs at the
+  /// sender on every backend, so a given (seed, plan) exercises the same
+  /// recovery paths whether the frame then crosses a function call, a
+  /// shared-memory ring, or a socket.
+  struct Gate {
+    bool send = false;
+    bool duplicate = false;
+    int delay = 0;
+  };
+
+  [[nodiscard]] Gate reliable_gate(int src, int dest) {
     const auto s64 = static_cast<std::uint64_t>(src);
     const auto d64 = static_cast<std::uint64_t>(dest);
     const auto a = flow_attempt[static_cast<std::size_t>(src) *
@@ -252,33 +310,43 @@ struct CommState {
     auto h = [&](std::uint64_t salt) {
       return fault_hash(plan.seed, salt, s64, d64, a);
     };
+    Gate g;
     if (plan.jitter && (h(kSaltJitter) & 3u) == 0) std::this_thread::yield();
     const int ds = rank_state[dest].load();
     if (ds == kKilled || ds == kErrored) {
       count(kFDropped);  // host is down; message lost
-      return;
+      return g;
     }
     if (chance(plan.drop, h(kSaltDrop))) {
       count(kFDropped);
-      return;
+      return g;
     }
-    const bool duplicate = chance(plan.dup, h(kSaltDup));
-    int delay = 0;
+    g.send = true;
+    g.duplicate = chance(plan.dup, h(kSaltDup));
     if (plan.reorder && plan.max_delay > 0 &&
         chance(plan.delay_prob, h(kSaltDelay))) {
-      delay = 1 + static_cast<int>(h(kSaltDelayN) %
-                                   static_cast<std::uint64_t>(plan.max_delay));
+      g.delay =
+          1 + static_cast<int>(h(kSaltDelayN) %
+                               static_cast<std::uint64_t>(plan.max_delay));
     }
+    return g;
+  }
 
-    Mailbox& box = *boxes[static_cast<std::size_t>(dest)];
+  /// One reliable frame arriving at its destination mailbox. The dup and
+  /// delay fault hints ride the frame, so this stays one "match event"
+  /// regardless of backend: age the limbo, release anything whose
+  /// countdown expired, then enqueue / hold / duplicate this delivery.
+  void accept_reliable(Frame&& f) {
+    if (f.dst < 0 || f.dst >= size) throw std::out_of_range("bad destination");
+    const bool duplicate = (f.flags & Frame::kFlagDup) != 0;
+    Mailbox& box = *boxes[static_cast<std::size_t>(f.dst)];
     // (to, seq) acks owed, sent after box.m is released (never hold two
     // mailbox locks at once).
     std::vector<std::pair<int, std::uint64_t>> acks_due;
     {
       std::lock_guard lk(box.m);
-      // This delivery is one "match event": age the limbo and release
-      // anything whose countdown expired (retransmits keep the clock
-      // ticking, so a held message can never be stranded forever).
+      // Retransmits keep the limbo clock ticking, so a held message can
+      // never be stranded forever.
       for (auto& held : box.limbo) --held.countdown;
       for (auto it = box.limbo.begin(); it != box.limbo.end();) {
         if (it->countdown <= 0) {
@@ -291,22 +359,23 @@ struct CommState {
           ++it;
         }
       }
-      Message msg{src, tag, data};
-      if (delay > 0) {
-        box.limbo.push_back({std::move(msg), seq, delay});
+      Message msg{f.src, f.tag, f.payload};
+      if (f.delay > 0) {
+        box.limbo.push_back({std::move(msg), f.seq, f.delay});
         count(kFDelayed);
-      } else if (enqueue_if_new(box, std::move(msg), seq)) {
-        acks_due.emplace_back(src, seq);
+      } else if (enqueue_if_new(box, std::move(msg), f.seq)) {
+        acks_due.emplace_back(f.src, f.seq);
       }
       if (duplicate) {
         // The extra copy arrives straight away; dedup eats whichever
         // copy lands second.
-        if (enqueue_if_new(box, Message{src, tag, data}, seq))
-          acks_due.emplace_back(src, seq);
+        if (enqueue_if_new(box, Message{f.src, f.tag, std::move(f.payload)},
+                           f.seq))
+          acks_due.emplace_back(f.src, f.seq);
       }
     }
     box.cv.notify_all();
-    for (const auto& [to, sq] : acks_due) send_ack(dest, to, sq);
+    for (const auto& [to, sq] : acks_due) send_ack(f.dst, to, sq);
   }
 
   [[nodiscard]] bool match_available(int rank, int source, int tag) {
@@ -361,10 +430,32 @@ struct CommState {
 Communicator::Communicator(int size) : size_(size) {
   if (size_ < 1) throw std::invalid_argument("communicator size must be >= 1");
   st_ = std::make_shared<detail::CommState>(size_);
+  transport_ = make_inproc_transport(size_);
+  st_->transport = transport_.get();
+  transport_->start(st_.get());
 }
 
 Communicator::Communicator(int size, FaultPlan plan) : Communicator(size) {
   st_->plan = plan;
+}
+
+Communicator::Communicator(const TransportOptions& topt) : size_(topt.world) {
+  if (size_ < 1) throw std::invalid_argument("communicator size must be >= 1");
+  if (topt.kind == TransportKind::kInproc) {
+    st_ = std::make_shared<detail::CommState>(size_);
+    transport_ = make_inproc_transport(size_);
+    st_->transport = transport_.get();
+    transport_->start(st_.get());
+    return;
+  }
+  if (topt.rank < 0 || topt.rank >= topt.world)
+    throw std::invalid_argument("rank must be in [0, world)");
+  st_ = std::make_shared<detail::CommState>(size_);
+  transport_ = make_transport(topt);
+  st_->transport = transport_.get();
+  local_rank_ = topt.rank;
+  // start() happens in run(): every rank must reach the rendezvous, and
+  // fault plans / retry policies are still settable until then.
 }
 
 void Communicator::set_fault_plan(FaultPlan plan) { st_->plan = plan; }
@@ -382,6 +473,15 @@ TrafficStats Communicator::traffic() const { return st_->traffic_snapshot(); }
 void Communicator::reset_traffic() { st_->reset_traffic(); }
 
 void Communicator::run(const std::function<void(RankContext&)>& body) {
+  if (local_rank_ >= 0) {
+    run_process_rank(body);
+  } else {
+    run_local_threads(body);
+  }
+}
+
+void Communicator::run_local_threads(
+    const std::function<void(RankContext&)>& body) {
   auto& st = *st_;
   st.reset_run_state();
   const auto up = static_cast<std::size_t>(size_);
@@ -439,6 +539,61 @@ void Communicator::run(const std::function<void(RankContext&)>& body) {
     if (errors[r]) std::rethrow_exception(errors[r]);
 }
 
+void Communicator::run_process_rank(
+    const std::function<void(RankContext&)>& body) {
+  auto& st = *st_;
+  if (ran_)
+    throw std::logic_error(
+        "a cross-process Communicator supports exactly one run(): the "
+        "rendezvous handshake cannot be replayed");
+  ran_ = true;
+  st.reset_run_state();
+  // The handshake doubles as a barrier: no rank's frames can arrive
+  // before every rank has reset its run state and started listening.
+  transport_->start(&st);
+
+  const int r = local_rank_;
+  std::exception_ptr error;
+  bool killed = false;
+  bool rank_failed = false;
+  try {
+    RankContext ctx(this, r);
+    body(ctx);
+    st.mark(r, detail::kFinished);
+  } catch (const detail::RankKilledError&) {
+    // Unreachable on a true process backend (maybe_kill raises SIGKILL
+    // there), kept for transports that report cross_process() == false.
+    st.mark(r, detail::kKilled);
+    killed = true;
+  } catch (const RankFailedError&) {
+    error = std::current_exception();
+    rank_failed = true;
+    st.mark(r, detail::kErrored);
+  } catch (...) {
+    error = std::current_exception();
+    st.mark(r, detail::kErrored);
+  }
+
+  // Publish our terminal state, then wait for every peer's so all
+  // processes agree on the set of outcomes before deciding what to throw.
+  transport_->announce(st.rank_state[r].load());
+  transport_->flush();
+  transport_->close(std::chrono::milliseconds(2000));
+
+  // Same precedence as the in-process aggregation: root-cause errors
+  // first, then any killed rank (a SIGKILLed peer shows up as kKilled via
+  // transport liveness — report it with the exact error the in-process
+  // kill produces), then the RankFailedError cascade.
+  if (error && !rank_failed) std::rethrow_exception(error);
+  (void)killed;  // mark() already recorded it in rank_state
+  for (int q = 0; q < size_; ++q)
+    if (st.rank_state[q].load() == detail::kKilled)
+      throw RankFailedError(q, "rank " + std::to_string(q) +
+                                   " killed by fault plan " +
+                                   st.plan.describe());
+  if (error) std::rethrow_exception(error);
+}
+
 // ---------------------------------------------------------------- request ---
 
 bool Request::test() {
@@ -464,10 +619,29 @@ int RankContext::size() const { return comm_->size(); }
 
 const FaultPlan& RankContext::fault_plan() const { return comm_->st_->plan; }
 
+TrafficStats RankContext::traffic() const {
+  return comm_->st_->traffic_snapshot();
+}
+
+bool RankContext::cross_process() const {
+  return comm_->st_->transport->cross_process();
+}
+
+const char* RankContext::transport_name() const {
+  return comm_->st_->transport->name();
+}
+
 void RankContext::maybe_kill() {
   const FaultPlan& plan = comm_->st_->plan;
-  if (plan.kill_rank == rank_ && ops_ > plan.kill_after_ops)
+  if (plan.kill_rank == rank_ && ops_ > plan.kill_after_ops) {
+    if (comm_->st_->transport->cross_process()) {
+      // A real kill: this process vanishes mid-protocol exactly like a
+      // crashed host — no goodbye frame, no unwinding. Peers find out
+      // through transport liveness (pid probe / connection reset).
+      ::raise(SIGKILL);
+    }
     throw detail::RankKilledError{};
+  }
 }
 
 void RankContext::ch_send(int dest, int tag, std::vector<std::int64_t> data) {
@@ -477,11 +651,15 @@ void RankContext::ch_send(int dest, int tag, std::vector<std::int64_t> data) {
   if (reliable_) {
     reliable_send(dest, tag, std::move(data));
   } else {
-    Message m;
-    m.source = rank_;
-    m.tag = tag;
-    m.data = std::move(data);
-    comm_->st_->deliver_plain(dest, std::move(m));
+    if (dest < 0 || dest >= comm_->size())
+      throw std::out_of_range("bad destination");
+    Frame f;
+    f.type = Frame::kData;
+    f.src = rank_;
+    f.dst = dest;
+    f.tag = tag;
+    f.payload = std::move(data);
+    comm_->st_->transport->send(std::move(f));
   }
 }
 
@@ -520,7 +698,21 @@ void RankContext::reliable_send(int dest, int tag,
                                         ": rank " + st.state_name(dest));
     }
     if (attempt > 0) st.count(detail::kFRetries);
-    st.deliver_reliable(rank_, dest, tag, data, seq);
+    {
+      const auto gate = st.reliable_gate(rank_, dest);
+      if (gate.send) {
+        Frame f;
+        f.type = Frame::kRData;
+        f.src = rank_;
+        f.dst = dest;
+        f.tag = tag;
+        f.seq = seq;
+        if (gate.duplicate) f.flags |= Frame::kFlagDup;
+        f.delay = gate.delay;
+        f.payload = data;  // copied: retransmits reuse `data`
+        st.transport->send(std::move(f));
+      }
+    }
     {
       std::unique_lock lk(mybox.m);
       const bool done = mybox.cv.wait_for(lk, backoff, [&] {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "pdc/mp/fault.hpp"
+#include "pdc/mp/transport.hpp"
 
 namespace pdc::mp {
 
@@ -143,6 +144,19 @@ class RankContext {
   /// The communicator's fault plan (test hook: lets harness bodies key
   /// expectations off the active plan).
   [[nodiscard]] const FaultPlan& fault_plan() const;
+
+  /// This process's traffic ledger (== Communicator::traffic()). On the
+  /// in-process backend every rank shares one ledger; on the process
+  /// backends each rank counts only the frames its own process saw — sum
+  /// rank-0-or-every-process contributions (see cross_process()) to
+  /// compare totals across backends.
+  [[nodiscard]] TrafficStats traffic() const;
+
+  /// True when each rank runs as its own OS process (shm/tcp backends).
+  [[nodiscard]] bool cross_process() const;
+
+  /// Backend name: "inproc", "shm", or "tcp".
+  [[nodiscard]] const char* transport_name() const;
 
   // ---- point to point ----
 
@@ -279,11 +293,21 @@ class ReliableModeScope {
   bool prev_;
 };
 
-/// Runs an SPMD function over `size` ranks (one thread per rank).
+/// Runs an SPMD function over `size` ranks. With the default in-process
+/// transport every rank is a thread of this process; constructed from a
+/// TransportOptions naming a process backend (shm, tcp), this process IS
+/// one rank of a multi-process world and run() executes the body for that
+/// rank only, while the transport's progress machinery keeps the mailbox,
+/// reliable-channel acks, and rank liveness flowing.
 class Communicator {
  public:
   explicit Communicator(int size);
   Communicator(int size, FaultPlan plan);
+
+  /// Join (or host, for inproc) a world described by `topt`. For process
+  /// backends the constructor does not touch the network; the rendezvous
+  /// handshake happens in run(), which all ranks must reach.
+  explicit Communicator(const TransportOptions& topt);
 
   /// Install a fault schedule (before run). See fault.hpp.
   void set_fault_plan(FaultPlan plan);
@@ -293,13 +317,20 @@ class Communicator {
   void set_retry_policy(RetryPolicy policy);
   [[nodiscard]] const RetryPolicy& retry_policy() const;
 
-  /// Launch all ranks, wait for completion. Exceptions from any rank are
-  /// rethrown after all threads join — root-cause (non-RankFailedError)
-  /// exceptions first by rank order; a fault-plan kill surfaces as a
-  /// deterministic RankFailedError naming the victim and the plan.
+  /// Launch all local ranks, wait for completion. Exceptions from any
+  /// local rank are rethrown after all threads join — root-cause
+  /// (non-RankFailedError) exceptions first by rank order; a fault-plan
+  /// kill surfaces as a deterministic RankFailedError naming the victim
+  /// and the plan. On a process backend the body runs once (for this
+  /// process's rank), a fault-plan kill of this rank is a real SIGKILL,
+  /// and a peer rank's death surfaces as the same RankFailedError the
+  /// in-process backend produces.
   void run(const std::function<void(RankContext&)>& body);
 
   [[nodiscard]] int size() const { return size_; }
+  /// This process's rank on a process backend; -1 when all ranks are
+  /// local (inproc).
+  [[nodiscard]] int local_rank() const { return local_rank_; }
   [[nodiscard]] TrafficStats traffic() const;
   void reset_traffic();
 
@@ -307,8 +338,14 @@ class Communicator {
   friend class RankContext;
   friend class Request;
 
+  void run_local_threads(const std::function<void(RankContext&)>& body);
+  void run_process_rank(const std::function<void(RankContext&)>& body);
+
   int size_;
+  int local_rank_ = -1;
+  bool ran_ = false;
   std::shared_ptr<detail::CommState> st_;
+  std::unique_ptr<Transport> transport_;
 };
 
 }  // namespace pdc::mp

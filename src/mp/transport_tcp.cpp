@@ -1,0 +1,504 @@
+// TCP socket transport: N processes, full mesh over loopback (and in
+// principle any network). Bootstrap: rank 0 binds an ephemeral listener
+// and publishes its port by atomically renaming a one-line file into the
+// endpoint path. Every other rank opens its own listener, dials rank 0,
+// and sends HELLO{rank, my_port}; once all HELLOs are in, rank 0 sends
+// everyone the rank -> port MAP, and each rank dials every lower-ranked
+// peer (the bootstrap connection doubles as the rank-0 data connection).
+// The handshake is the rendezvous barrier: start() returns only after all
+// of this rank's connections exist.
+//
+// Data path: length-prefixed wire frames, non-blocking sockets with
+// TCP_NODELAY, one progress thread multiplexing every connection through
+// poll() (a self-pipe wakes it for outbound work). Dead-peer detection:
+// EOF or ECONNRESET without a prior kFin frame means the peer's process
+// died without announcing — a SIGKILL — and maps to rankstate::kKilled.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pdc/mp/transport.hpp"
+
+namespace pdc::mp {
+namespace {
+
+constexpr std::uint64_t kHelloMagic = 0x7064635f74637031ULL;  // "pdc_tcp1"
+
+struct Hello {
+  std::uint64_t magic;
+  std::int32_t rank;
+  std::int32_t port;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(const TransportOptions& opt)
+      : opt_(opt), world_(opt.world), rank_(opt.rank) {
+    if (opt_.endpoint.empty())
+      throw std::invalid_argument(
+          "tcp transport needs an endpoint (path of the rank-0 port file)");
+  }
+
+  ~TcpTransport() override { teardown(); }
+
+  [[nodiscard]] const char* name() const override { return "tcp"; }
+  [[nodiscard]] bool cross_process() const override { return true; }
+  [[nodiscard]] int local_rank() const override { return rank_; }
+
+  void start(Sink* sink) override {
+    sink_ = sink;
+    const auto deadline =
+        std::chrono::steady_clock::now() + opt_.handshake_timeout;
+    conns_ = std::vector<Conn>(static_cast<std::size_t>(world_));
+    if (world_ > 1) handshake(deadline);
+    for (auto& c : conns_)
+      if (c.fd >= 0) set_data_mode(c.fd);
+    if (::pipe(wake_pipe_) != 0) sys_fail("pipe(self-pipe)");
+    set_nonblock(wake_pipe_[0]);
+    set_nonblock(wake_pipe_[1]);
+    stop_.store(false);
+    progress_ = std::thread([this] { progress_loop(); });
+  }
+
+  void send(Frame&& f) override {
+    const int d = f.dst;
+    if (d < 0 || d >= world_) throw std::out_of_range("bad destination");
+    if (d == rank_) {  // self-flow never touches a socket
+      sink_->deliver(std::move(f));
+      return;
+    }
+    Conn& c = conns_[static_cast<std::size_t>(d)];
+    {
+      std::lock_guard lk(c.mu);
+      if (c.fd < 0) return;  // silent no-op: peer is gone
+      wire::encode_frame(f, c.outbuf);
+    }
+    wake();
+  }
+
+  void flush() override {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+    for (;;) {
+      bool clean = true;
+      for (auto& c : conns_) {
+        std::lock_guard lk(c.mu);
+        if (c.fd >= 0 && c.out_off < c.outbuf.size()) clean = false;
+      }
+      if (clean || std::chrono::steady_clock::now() > deadline) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  void announce(int state) override {
+    for (int p = 0; p < world_; ++p) {
+      if (p == rank_) continue;
+      Frame f;
+      f.type = Frame::kFin;
+      f.src = rank_;
+      f.dst = p;
+      f.seq = static_cast<std::uint64_t>(state);
+      send(std::move(f));
+    }
+  }
+
+  void close(std::chrono::milliseconds linger) override {
+    const auto deadline = std::chrono::steady_clock::now() + linger;
+    for (;;) {
+      bool all = true;
+      for (int p = 0; p < world_; ++p)
+        if (p != rank_ &&
+            !conns_[static_cast<std::size_t>(p)].stopped_reported.load())
+          all = false;
+      if (all || std::chrono::steady_clock::now() > deadline) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    teardown();
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex mu;                     ///< guards fd close, outbuf, out_off
+    std::vector<std::uint8_t> outbuf;  ///< encoded frames awaiting write
+    std::size_t out_off = 0;
+    std::vector<std::uint8_t> inbuf;   ///< partial inbound frame bytes
+    std::atomic<bool> stopped_reported{false};
+
+    Conn() = default;
+    Conn(Conn&& o) noexcept
+        : fd(o.fd),
+          outbuf(std::move(o.outbuf)),
+          out_off(o.out_off),
+          inbuf(std::move(o.inbuf)),
+          stopped_reported(o.stopped_reported.load()) {}
+    Conn& operator=(Conn&&) = delete;
+  };
+
+  // ---- handshake ----
+
+  [[noreturn]] static void sys_fail(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+  }
+
+  static void set_nonblock(int fd) {
+    const int fl = ::fcntl(fd, F_GETFL);
+    if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0)
+      sys_fail("fcntl(O_NONBLOCK)");
+  }
+
+  static void set_data_mode(int fd) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    set_nonblock(fd);
+  }
+
+  static void check_deadline(std::chrono::steady_clock::time_point deadline,
+                             const std::string& what) {
+    if (std::chrono::steady_clock::now() > deadline)
+      throw std::runtime_error("tcp handshake timed out waiting for " + what);
+  }
+
+  static int make_listener(int backlog, int* port_out) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("socket(listener)");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+      sys_fail("bind(listener)");
+    if (::listen(fd, backlog) != 0) sys_fail("listen");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+      sys_fail("getsockname");
+    *port_out = ntohs(addr.sin_port);
+    return fd;
+  }
+
+  static int accept_with_deadline(
+      int lfd, std::chrono::steady_clock::time_point deadline) {
+    for (;;) {
+      pollfd p{lfd, POLLIN, 0};
+      const int r = ::poll(&p, 1, 50);
+      if (r > 0) {
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd >= 0) return fd;
+        if (errno != EINTR && errno != EAGAIN) sys_fail("accept");
+      }
+      check_deadline(deadline, "an inbound connection");
+    }
+  }
+
+  static int dial_with_deadline(
+      int port, std::chrono::steady_clock::time_point deadline,
+      const std::string& who) {
+    for (;;) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) sys_fail("socket(dial)");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+        return fd;
+      const int e = errno;
+      ::close(fd);
+      if (e != ECONNREFUSED && e != EINTR && e != ETIMEDOUT)
+        sys_fail("connect(" + who + ")");
+      check_deadline(deadline, who);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+
+  static void read_full(int fd, void* buf, std::size_t n,
+                        std::chrono::steady_clock::time_point deadline,
+                        const std::string& what) {
+    auto* p = static_cast<char*>(buf);
+    while (n > 0) {
+      pollfd pf{fd, POLLIN, 0};
+      if (::poll(&pf, 1, 50) > 0) {
+        const ssize_t k = ::read(fd, p, n);
+        if (k == 0)
+          throw std::runtime_error("tcp handshake: peer closed while reading " +
+                                   what);
+        if (k < 0) {
+          if (errno == EINTR || errno == EAGAIN) continue;
+          sys_fail("read(" + what + ")");
+        }
+        p += k;
+        n -= static_cast<std::size_t>(k);
+      }
+      check_deadline(deadline, what);
+    }
+  }
+
+  static void write_full(int fd, const void* buf, std::size_t n,
+                         std::chrono::steady_clock::time_point deadline,
+                         const std::string& what) {
+    const auto* p = static_cast<const char*>(buf);
+    while (n > 0) {
+      pollfd pf{fd, POLLOUT, 0};
+      if (::poll(&pf, 1, 50) > 0) {
+        const ssize_t k = ::write(fd, p, n);
+        if (k < 0) {
+          if (errno == EINTR || errno == EAGAIN) continue;
+          sys_fail("write(" + what + ")");
+        }
+        p += k;
+        n -= static_cast<std::size_t>(k);
+      }
+      check_deadline(deadline, what);
+    }
+  }
+
+  void publish_port(int port) const {
+    const std::string tmp = opt_.endpoint + ".tmp";
+    FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) sys_fail("fopen(" + tmp + ")");
+    std::fprintf(f, "%d\n", port);
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), opt_.endpoint.c_str()) != 0)
+      sys_fail("rename(port file)");
+  }
+
+  [[nodiscard]] int wait_port(
+      std::chrono::steady_clock::time_point deadline) const {
+    for (;;) {
+      FILE* f = std::fopen(opt_.endpoint.c_str(), "r");
+      if (f != nullptr) {
+        int port = 0;
+        const int got = std::fscanf(f, "%d", &port);
+        std::fclose(f);
+        if (got == 1 && port > 0) return port;
+      }
+      check_deadline(deadline, "rank 0's port file");
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  }
+
+  void handshake(std::chrono::steady_clock::time_point deadline) {
+    if (rank_ == 0) {
+      int port = 0;
+      const int lfd = make_listener(world_, &port);
+      publish_port(port);
+      std::vector<std::int32_t> ports(static_cast<std::size_t>(world_), 0);
+      for (int i = 0; i < world_ - 1; ++i) {
+        const int fd = accept_with_deadline(lfd, deadline);
+        Hello h{};
+        read_full(fd, &h, sizeof(h), deadline, "HELLO");
+        if (h.magic != kHelloMagic || h.rank < 1 || h.rank >= world_ ||
+            conns_[static_cast<std::size_t>(h.rank)].fd >= 0)
+          throw std::runtime_error("tcp handshake: bad HELLO");
+        conns_[static_cast<std::size_t>(h.rank)].fd = fd;
+        ports[static_cast<std::size_t>(h.rank)] = h.port;
+      }
+      for (int p = 1; p < world_; ++p)
+        write_full(conns_[static_cast<std::size_t>(p)].fd, ports.data(),
+                   ports.size() * sizeof(std::int32_t), deadline, "MAP");
+      ::close(lfd);
+      return;
+    }
+    int my_port = 0;
+    const int lfd = rank_ + 1 < world_ ? make_listener(world_, &my_port) : -1;
+    const int fd0 =
+        dial_with_deadline(wait_port(deadline), deadline, "rank 0");
+    Hello hello{kHelloMagic, rank_, my_port};
+    write_full(fd0, &hello, sizeof(hello), deadline, "HELLO");
+    conns_[0].fd = fd0;
+    std::vector<std::int32_t> ports(static_cast<std::size_t>(world_), 0);
+    read_full(fd0, ports.data(), ports.size() * sizeof(std::int32_t), deadline,
+              "MAP");
+    for (int q = 1; q < rank_; ++q) {
+      const int fd = dial_with_deadline(ports[static_cast<std::size_t>(q)],
+                                        deadline,
+                                        "rank " + std::to_string(q));
+      write_full(fd, &hello, sizeof(hello), deadline, "HELLO");
+      conns_[static_cast<std::size_t>(q)].fd = fd;
+    }
+    for (int i = rank_ + 1; i < world_; ++i) {
+      const int fd = accept_with_deadline(lfd, deadline);
+      Hello h{};
+      read_full(fd, &h, sizeof(h), deadline, "HELLO");
+      if (h.magic != kHelloMagic || h.rank <= rank_ || h.rank >= world_ ||
+          conns_[static_cast<std::size_t>(h.rank)].fd >= 0)
+        throw std::runtime_error("tcp handshake: bad HELLO");
+      conns_[static_cast<std::size_t>(h.rank)].fd = fd;
+    }
+    if (lfd >= 0) ::close(lfd);
+  }
+
+  // ---- data path ----
+
+  void wake() const {
+    const char b = 1;
+    [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &b, 1);
+  }
+
+  void report_stopped(int p, int state) {
+    Conn& c = conns_[static_cast<std::size_t>(p)];
+    if (c.stopped_reported.exchange(true)) return;
+    sink_->peer_stopped(p, state);
+  }
+
+  /// Tear one connection down (progress thread only). Without a prior
+  /// kFin, an EOF/reset means the peer died unannounced: SIGKILL.
+  void drop_conn(int p) {
+    Conn& c = conns_[static_cast<std::size_t>(p)];
+    {
+      std::lock_guard lk(c.mu);
+      if (c.fd >= 0) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
+      c.outbuf.clear();
+      c.out_off = 0;
+    }
+    report_stopped(p, rankstate::kKilled);
+  }
+
+  void progress_loop() {
+    std::vector<pollfd> pfds;
+    std::vector<int> peers;
+    std::uint8_t buf[65536];
+    while (!stop_.load(std::memory_order_acquire)) {
+      pfds.clear();
+      peers.clear();
+      pfds.push_back({wake_pipe_[0], POLLIN, 0});
+      peers.push_back(-1);
+      for (int p = 0; p < world_; ++p) {
+        if (p == rank_) continue;
+        Conn& c = conns_[static_cast<std::size_t>(p)];
+        std::lock_guard lk(c.mu);
+        if (c.fd < 0) continue;
+        short ev = POLLIN;
+        if (c.out_off < c.outbuf.size()) ev |= POLLOUT;
+        pfds.push_back({c.fd, ev, 0});
+        peers.push_back(p);
+      }
+      if (::poll(pfds.data(), pfds.size(), 50) < 0 && errno != EINTR) break;
+      if ((pfds[0].revents & POLLIN) != 0)
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+      for (std::size_t i = 1; i < pfds.size(); ++i) {
+        const int p = peers[i];
+        if ((pfds[i].revents & POLLOUT) != 0 && !write_some(p)) continue;
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+          read_some(p, buf, sizeof(buf));
+      }
+    }
+  }
+
+  /// Drain some outbound bytes. Returns false if the connection died.
+  bool write_some(int p) {
+    Conn& c = conns_[static_cast<std::size_t>(p)];
+    std::unique_lock lk(c.mu);
+    while (c.fd >= 0 && c.out_off < c.outbuf.size()) {
+      const ssize_t k = ::write(c.fd, c.outbuf.data() + c.out_off,
+                                c.outbuf.size() - c.out_off);
+      if (k > 0) {
+        c.out_off += static_cast<std::size_t>(k);
+        continue;
+      }
+      if (k < 0 && (errno == EAGAIN || errno == EINTR)) break;
+      lk.unlock();
+      drop_conn(p);
+      return false;
+    }
+    if (c.out_off == c.outbuf.size()) {
+      c.outbuf.clear();
+      c.out_off = 0;
+    }
+    return true;
+  }
+
+  void read_some(int p, std::uint8_t* buf, std::size_t cap) {
+    Conn& c = conns_[static_cast<std::size_t>(p)];
+    for (;;) {
+      int fd;
+      {
+        std::lock_guard lk(c.mu);
+        fd = c.fd;
+      }
+      if (fd < 0) return;
+      const ssize_t k = ::read(fd, buf, cap);
+      if (k > 0) {
+        c.inbuf.insert(c.inbuf.end(), buf, buf + k);
+        std::size_t off = 0;
+        for (;;) {
+          Frame f;
+          const auto used =
+              wire::decode_frame(c.inbuf.data() + off, c.inbuf.size() - off, f);
+          if (used == 0) break;
+          off += used;
+          if (f.type == Frame::kFin)
+            report_stopped(p, static_cast<int>(f.seq));
+          else
+            sink_->deliver(std::move(f));
+        }
+        if (off > 0) c.inbuf.erase(c.inbuf.begin(), c.inbuf.begin() + off);
+        continue;
+      }
+      if (k < 0 && (errno == EAGAIN || errno == EINTR)) return;
+      // EOF or reset. After a kFin this is the orderly goodbye; without
+      // one the peer was killed.
+      drop_conn(p);
+      return;
+    }
+  }
+
+  void teardown() {
+    if (progress_.joinable()) {
+      stop_.store(true, std::memory_order_release);
+      wake();
+      progress_.join();
+    }
+    for (auto& c : conns_) {
+      std::lock_guard lk(c.mu);
+      if (c.fd >= 0) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
+    }
+    for (int i = 0; i < 2; ++i)
+      if (wake_pipe_[i] >= 0) {
+        ::close(wake_pipe_[i]);
+        wake_pipe_[i] = -1;
+      }
+    if (rank_ == 0) std::remove(opt_.endpoint.c_str());
+  }
+
+  TransportOptions opt_;
+  int world_;
+  int rank_;
+  Sink* sink_ = nullptr;
+  std::vector<Conn> conns_;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+  std::thread progress_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_tcp_transport(const TransportOptions& opt) {
+  return std::make_unique<TcpTransport>(opt);
+}
+
+}  // namespace pdc::mp

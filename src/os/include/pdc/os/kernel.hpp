@@ -26,6 +26,10 @@ enum class SchedulerKind {
 struct KernelConfig {
   SchedulerKind scheduler = SchedulerKind::kRoundRobin;
   int quantum = 4;  ///< ticks per time slice (round robin)
+  /// MLFQ aging: boost a process back to the top level when it wakes
+  /// from a block. Off = once demoted, always demoted — the classic
+  /// starvation failure mode (exists so the bench can ablate it).
+  bool mlfq_boost = true;
 };
 
 /// A console line attributed to the process that printed it.
@@ -144,6 +148,10 @@ class Kernel {
   [[nodiscard]] const Pcb& pcb(Pid pid) const;
   Pid allocate(Program program, std::string name, Pid ppid, int priority);
   void deliver_pending(Pcb& p);
+  /// Block→ready transition: one place for the MLFQ wake boost, so every
+  /// wake site (tick recheck, pipe write, writer EOF, child exit) ages
+  /// identically.
+  void wake(Pcb& p);
   void terminate(Pcb& p, int code);
   void reparent_children(Pid dead_parent);
   void wake_waiting_parent(Pid parent_pid);

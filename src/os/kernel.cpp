@@ -214,14 +214,19 @@ void Kernel::reparent_children(Pid dead_parent) {
   }
 }
 
+void Kernel::wake(Pcb& p) {
+  p.state = ProcState::kReady;
+  // MLFQ boost (aging): a process that blocked (interactive behavior)
+  // returns at the top level when it wakes.
+  if (config_.mlfq_boost) p.mlfq_level = 0;
+  p.ready_since = now_;
+}
+
 void Kernel::wake_waiting_parent(Pid parent_pid) {
   const auto it = procs_.find(parent_pid);
   if (it == procs_.end()) return;
   Pcb& parent = it->second;
-  if (parent.state == ProcState::kBlocked && parent.waiting) {
-    parent.state = ProcState::kReady;
-    parent.ready_since = now_;
-  }
+  if (parent.state == ProcState::kBlocked && parent.waiting) wake(parent);
 }
 
 void Kernel::terminate(Pcb& p, int code) {
@@ -236,8 +241,7 @@ void Kernel::terminate(Pcb& p, int code) {
       for (auto& [pid, q] : procs_) {
         if (q.state == ProcState::kBlocked && q.reading && q.stdin_pipe &&
             *q.stdin_pipe == *p.stdout_pipe) {
-          q.state = ProcState::kReady;
-          q.ready_since = now_;
+          wake(q);
         }
       }
     }
@@ -406,8 +410,7 @@ void Kernel::execute_op(Pcb& p) {
         for (auto& [pid, q] : procs_) {
           if (q.state == ProcState::kBlocked && q.reading && q.stdin_pipe &&
               *q.stdin_pipe == *p.stdout_pipe) {
-            q.state = ProcState::kReady;
-            q.ready_since = now_;
+            wake(q);
           }
         }
       } else {
@@ -540,12 +543,7 @@ bool Kernel::tick() {
     } else if (p.writing && p.stdout_pipe) {
       if (!pipes_[*p.stdout_pipe].full()) p.state = ProcState::kReady;
     }
-    // MLFQ boost: a process that blocked (interactive behavior) returns
-    // at the top level when it wakes.
-    if (p.state == ProcState::kReady) {
-      p.mlfq_level = 0;
-      p.ready_since = now_;
-    }
+    if (p.state == ProcState::kReady) wake(p);
   }
 
   const Pid next = pick_next();

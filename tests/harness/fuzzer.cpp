@@ -63,15 +63,51 @@ RunResult run_plan(int ranks, const mp::FaultPlan& plan, const SpmdBody& body) {
   return out;
 }
 
+RunResult run_plan_process(int ranks, mp::TransportKind kind,
+                           const mp::FaultPlan& plan,
+                           const std::string& body_name,
+                           std::chrono::seconds timeout) {
+  mp::launch::LaunchOptions o;
+  o.body = body_name;
+  o.world = ranks;
+  o.kind = kind;
+  o.plan = plan;
+  o.reliable = true;  // the fuzz contract: bodies run reliably
+  o.timeout = std::chrono::duration_cast<std::chrono::milliseconds>(timeout);
+  const auto lr = mp::launch::run_spmd(o);
+  RunResult out;
+  switch (lr.outcome) {
+    case mp::launch::LaunchResult::kOk:
+      out.outcome = Outcome::kOk;
+      break;
+    case mp::launch::LaunchResult::kRankFailed:
+      out.outcome = Outcome::kRankFailed;
+      break;
+    case mp::launch::LaunchResult::kTimeout:
+      out.outcome = Outcome::kError;
+      out.error = "HANG: run exceeded the launch timeout";
+      break;
+    default:
+      out.outcome = Outcome::kError;
+      break;
+  }
+  if (out.error.empty()) out.error = lr.error;
+  for (const auto& r : lr.ranks) out.per_rank_out.push_back(r.out);
+  out.traffic = lr.traffic;
+  return out;
+}
+
 std::string FuzzReport::repro() const {
-  return "seed=" + std::to_string(seed) + " plan=" + plan.describe();
+  return "transport=" + transport + " seed=" + std::to_string(seed) +
+         " plan=" + plan.describe();
 }
 
 void report_failure(std::uint64_t seed, const mp::FaultPlan& plan,
-                    const std::string& what) {
+                    const std::string& what, const std::string& transport) {
   const std::string line =
-      "[pdc-fuzz] REPRO seed=" + std::to_string(seed) +
-      " plan=" + plan.describe() + " failure: " + what;
+      "[pdc-fuzz] REPRO transport=" + transport +
+      " seed=" + std::to_string(seed) + " plan=" + plan.describe() +
+      " failure: " + what;
   std::fprintf(stderr, "%s\n", line.c_str());
   std::fflush(stderr);
   if (const char* path = std::getenv("PDC_FUZZ_ARTIFACT")) {
@@ -93,6 +129,21 @@ std::string judge(const RunResult& r, const mp::FaultPlan& plan,
   }
   if (r.per_rank != baseline.per_rank)
     return "result mismatch vs fault-free baseline";
+  return {};
+}
+
+/// Process-transport judge: same rules, digests are the bodies' out
+/// strings and the baseline is the in-process fault-free run.
+std::string judge_process(const RunResult& r, const mp::FaultPlan& plan,
+                          const RunResult& baseline) {
+  if (r.outcome == Outcome::kError)
+    return "unexpected failure: " + r.error;
+  if (r.outcome == Outcome::kRankFailed) {
+    if (plan.kills()) return {};  // a real SIGKILL is a legal outcome
+    return "RankFailedError without a kill in the plan: " + r.error;
+  }
+  if (r.per_rank_out != baseline.per_rank_out)
+    return "result mismatch vs in-process fault-free baseline";
   return {};
 }
 
@@ -176,6 +227,63 @@ FuzzReport fuzz_spmd(const FuzzOptions& opt, const SpmdBody& body) {
       report.plan =
           opt.shrink ? shrink_plan(plan, opt.ranks, body, baseline) : plan;
       report_failure(seed, report.plan, verdict);
+      return report;
+    }
+  }
+  return report;
+}
+
+FuzzReport fuzz_spmd_process(const FuzzOptions& opt,
+                             const std::string& body_name) {
+  FuzzReport report;
+  report.transport = mp::to_string(opt.transport);
+  // The reference answers come from the in-process backend, fault-free:
+  // the process transports must recover exactly what threads produce.
+  const RunResult baseline =
+      run_plan_process(opt.ranks, mp::TransportKind::kInproc, mp::FaultPlan{},
+                       body_name, opt.hang_timeout);
+  if (baseline.outcome != Outcome::kOk) {
+    report.ok = false;
+    report.failure = "fault-free baseline failed: " + baseline.error;
+    report_failure(0, mp::FaultPlan{}, report.failure, report.transport);
+    return report;
+  }
+  auto judge_one = [&](const mp::FaultPlan& plan) {
+    return judge_process(run_plan_process(opt.ranks, opt.transport, plan,
+                                          body_name, opt.hang_timeout),
+                         plan, baseline);
+  };
+  for (int i = 0; i < opt.iterations; ++i) {
+    const std::uint64_t seed =
+        mp::detail::mix64(opt.base_seed + static_cast<std::uint64_t>(i));
+    const mp::FaultPlan plan = plan_from_seed(seed, opt.ranks, opt.allow_kill);
+    // No thread watchdog here: run_spmd's own timeout SIGKILLs a hung
+    // world and surfaces it as a judged failure.
+    const std::string verdict = judge_one(plan);
+    ++report.iterations_run;
+    if (!verdict.empty()) {
+      report.ok = false;
+      report.seed = seed;
+      report.failure = verdict;
+      report.plan = plan;
+      if (opt.shrink) {
+        // Same greedy shrink as in-process, replayed over the transport.
+        auto try_keep = [&](auto mutate) {
+          mp::FaultPlan candidate = report.plan;
+          mutate(candidate);
+          if (!judge_one(candidate).empty()) report.plan = candidate;
+        };
+        try_keep([](mp::FaultPlan& c) {
+          c.kill_rank = -1;
+          c.kill_after_ops = 0;
+        });
+        try_keep([](mp::FaultPlan& c) { c.reorder = false; });
+        try_keep([](mp::FaultPlan& c) { c.jitter = false; });
+        try_keep([](mp::FaultPlan& c) { c.dup = 0.0; });
+        try_keep([](mp::FaultPlan& c) { c.drop = 0.0; });
+        try_keep([](mp::FaultPlan& c) { c.max_delay = 1; });
+      }
+      report_failure(seed, report.plan, verdict, report.transport);
       return report;
     }
   }

@@ -25,6 +25,8 @@
 
 #include "pdc/mp/comm.hpp"
 #include "pdc/mp/fault.hpp"
+#include "pdc/mp/launch.hpp"
+#include "pdc/mp/transport.hpp"
 
 namespace pdc::testing {
 
@@ -55,12 +57,24 @@ struct RunResult {
   std::vector<std::vector<std::int64_t>> per_rank;
   std::string error;  ///< what() when outcome != kOk
   pdc::mp::TrafficStats traffic;
+  /// Process-transport runs carry their digests as the bodies' out
+  /// strings (per_rank stays empty there).
+  std::vector<std::string> per_rank_out;
 };
 
 /// Execute one (ranks, plan, body) run on the reliable channel.
 /// Deterministic in its observable outcome for a fixed (seed, plan).
 [[nodiscard]] RunResult run_plan(int ranks, const pdc::mp::FaultPlan& plan,
                                  const SpmdBody& body);
+
+/// Same, but over a launch transport with a PDC_SPMD_BODY-registered body
+/// (a lambda cannot cross an exec boundary): each rank is its own forked
+/// process on shm/tcp, and a fault-plan rank kill is a REAL SIGKILL. The
+/// caller's main() must route through launch::maybe_run_child.
+[[nodiscard]] RunResult run_plan_process(
+    int ranks, pdc::mp::TransportKind kind, const pdc::mp::FaultPlan& plan,
+    const std::string& body_name,
+    std::chrono::seconds timeout = std::chrono::seconds{30});
 
 struct FuzzOptions {
   int ranks = 4;
@@ -70,7 +84,12 @@ struct FuzzOptions {
   bool shrink = true;
   /// Watchdog: abort the process (after printing the repro line) if one
   /// iteration runs longer than this — a hang IS the bug being hunted.
+  /// For process transports this is the per-run launch timeout instead
+  /// (a blown budget SIGKILLs the stragglers and judges as a failure).
   std::chrono::seconds hang_timeout{30};
+  /// Transport for fuzz_spmd_process: where each seeded run executes.
+  /// The fault-free baseline it is judged against always runs in-process.
+  pdc::mp::TransportKind transport = pdc::mp::TransportKind::kInproc;
 };
 
 struct FuzzReport {
@@ -79,6 +98,7 @@ struct FuzzReport {
   std::uint64_t seed = 0;        ///< failing seed (when !ok)
   pdc::mp::FaultPlan plan;       ///< shrunk failing plan (when !ok)
   std::string failure;           ///< what went wrong
+  std::string transport = "inproc";  ///< where the failing run executed
   [[nodiscard]] std::string repro() const;
 };
 
@@ -87,8 +107,16 @@ struct FuzzReport {
 [[nodiscard]] FuzzReport fuzz_spmd(const FuzzOptions& opt,
                                    const SpmdBody& body);
 
+/// The fuzzer over a process transport (opt.transport): every seeded
+/// plan runs the registered body via fork/exec — rank kills are real
+/// SIGKILLs — and survivors are judged against the in-process fault-free
+/// baseline. Repro lines carry the transport= dimension.
+[[nodiscard]] FuzzReport fuzz_spmd_process(const FuzzOptions& opt,
+                                           const std::string& body_name);
+
 /// Print (and persist to $PDC_FUZZ_ARTIFACT) a repro line.
 void report_failure(std::uint64_t seed, const pdc::mp::FaultPlan& plan,
-                    const std::string& what);
+                    const std::string& what,
+                    const std::string& transport = "inproc");
 
 }  // namespace pdc::testing

@@ -1,0 +1,12 @@
+// gtest main for multi-process suites: a re-exec'd SPMD child must take
+// over the process before gtest ever parses argv (gtest_main would treat
+// --pdc-* flags as its own and run the full suite in every child).
+#include <gtest/gtest.h>
+
+#include "pdc/mp/launch.hpp"
+
+int main(int argc, char** argv) {
+  pdc::mp::launch::maybe_run_child(argc, argv);  // no return in a child
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
