@@ -191,11 +191,12 @@ void print_tile_steal_table(bool smoke) {
   pdc::perf::Table t(
       {"tile schedule", "seconds", "tile steals", "steal attempts"});
   for (const bool steal : {false, true}) {
-    opt.steal_tiles = steal;
+    const pdc::stencil::ExecPlan plan{.threads_per_rank = kThreads,
+                                      .steal_tiles = steal};
     const auto before = pdc::obs::metrics_snapshot();
     const double secs = pdc::perf::time_best_of(3, [&] {
       pdc::life::Grid board = clustered_glider_board(rows, cols);
-      pdc::life::run_threaded(board, gens, kThreads, opt);
+      pdc::life::run_plan(board, gens, plan, opt);
     });
     const auto d = pdc::obs::metrics_snapshot() - before;
     t.add_row({steal ? "stealing" : "static block", pdc::perf::fmt(secs, 4),
@@ -269,10 +270,11 @@ void BM_TileStealingOnClusteredBoard(benchmark::State& state) {
   pdc::life::EngineOptions opt;
   opt.tile_rows = 16;
   opt.tile_words = 1;
-  opt.steal_tiles = steal;
+  const pdc::stencil::ExecPlan plan{.threads_per_rank = kThreads,
+                                    .steal_tiles = steal};
   for (auto _ : state) {
     pdc::life::Grid board = clustered_glider_board(256, 512);
-    pdc::life::run_threaded(board, 20, kThreads, opt);
+    pdc::life::run_plan(board, 20, plan, opt);
   }
 }
 BENCHMARK(BM_TileStealingOnClusteredBoard)->Arg(0)->Arg(1)->UseRealTime();

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "bench_util.hpp"
 
@@ -142,6 +143,53 @@ void print_tiling_shape_study(pdc::benchutil::Options& bopt) {
   bopt.add_json_table("tiling shape", t);
 }
 
+/// The hybrid ladder: the same 8 cores sliced as 8x1 (pure message
+/// passing), 4x2, 2x4, and 1x8 (pure shared memory), with the halo
+/// exchange overlapped against interior tiles or fully serialized.
+/// Results are bit-identical down every row (asserted in stencil_test);
+/// this table prices the shapes and the overlap.
+void print_hybrid_ladder(pdc::benchutil::Options& bopt) {
+  const std::size_t rows = bopt.smoke ? 512 : 1024;
+  const std::size_t cols = bopt.smoke ? 1024 : 2048;
+  const int gens = bopt.smoke ? 12 : 40;
+  const pl::Grid start = pl::random_grid(rows, cols, 0.3, 13);
+  pl::EngineOptions opt;
+  opt.tile_rows = 32;
+  opt.tile_words = 4;
+
+  pdc::perf::Table t(
+      {"plan (ranks x threads)", "halo schedule", "ms", "halo words"});
+  const auto add = [&](int ranks, int threads, ps::HaloSchedule sched) {
+    const ps::ExecPlan plan{
+        .ranks = ranks, .threads_per_rank = threads, .schedule = sched};
+    ps::RunResult res;
+    const double ms = pdc::perf::time_best_of(3, [&] {
+                        pl::Grid board = start;
+                        res = pl::run_plan(board, gens, plan, opt);
+                        benchmark::DoNotOptimize(board);
+                      }) *
+                      1e3;
+    t.add_row({std::to_string(ranks) + " x " + std::to_string(threads),
+               ranks > 1
+                   ? (sched == ps::HaloSchedule::kOverlap ? "overlap"
+                                                          : "serial")
+                   : "n/a",
+               pdc::perf::fmt(ms, 1), std::to_string(res.halo_words)});
+  };
+  constexpr std::pair<int, int> kLadder[] = {{8, 1}, {4, 2}, {2, 4}, {1, 8}};
+  for (const auto& [ranks, threads] : kLadder) {
+    add(ranks, threads, ps::HaloSchedule::kOverlap);
+    if (ranks > 1) add(ranks, threads, ps::HaloSchedule::kSerial);
+  }
+  std::cout << "== stencil: hybrid ladder, 8 cores as ranks x threads ("
+            << rows << "x" << cols << " torus soup, " << gens
+            << " gens; overlap vs serial halo schedule) ==\n"
+            << t.str()
+            << "(every row computes the bit-identical board; the overlap "
+               "rows hide the halo exchange behind interior tiles)\n\n";
+  bopt.add_json_table("hybrid ladder", t);
+}
+
 void print_heat_engines(pdc::benchutil::Options& bopt) {
   const std::size_t rows = 96, cols = 128;
   ps::HeatOptions hopt;
@@ -173,6 +221,10 @@ void print_heat_engines(pdc::benchutil::Options& bopt) {
       [&](ps::HeatField& f) { return ps::heat_relax_threaded(f, hopt, 4); });
   add("mp x4",
       [&](ps::HeatField& f) { return ps::heat_relax_mp(f, hopt, 4); });
+  add("hybrid 2x2", [&](ps::HeatField& f) {
+    return ps::heat_relax_plan(
+        f, hopt, ps::ExecPlan{.ranks = 2, .threads_per_rank = 2});
+  });
 
   std::cout << "== stencil: heat dissipation to convergence (" << rows << "x"
             << cols << ", hot top edge, eps=1e-4) ==\n"
@@ -209,6 +261,14 @@ void print_model_counts(pdc::benchutil::Options& bopt) {
     add("life mp4 256x256 t32x2 g10",
         pl::run_message_passing(b, 10, 4, lopt));
   }
+  // Hybrid {2,4}: half the ranks of mp4, so half the halo words — and
+  // the tile accounting is unchanged from the sequential row.
+  {
+    pl::Grid b = life_start;
+    add("life hybrid 2x4 256x256 t32x2 g10",
+        pl::run_plan(b, 10,
+                     ps::ExecPlan{.ranks = 2, .threads_per_rank = 4}, lopt));
+  }
   // Life, sparse corner soup: most tiles asleep; exact skip counts.
   {
     pl::Grid b = sparse_board(512, 512, 64, 64, 42);
@@ -232,6 +292,15 @@ void print_model_counts(pdc::benchutil::Options& bopt) {
     ps::HeatField f(64, 96, 0.0f);
     f.set_boundary(1.0f, 0.0f, 0.0f, 0.0f);
     add("heat mp2 64x96 eps1e-4", ps::heat_relax_mp(f, hopt, 2));
+  }
+  // Hybrid {2,2} must reproduce the mp2 row's counts exactly: threads
+  // and halo overlap change wall-clock, never a count.
+  {
+    ps::HeatField f(64, 96, 0.0f);
+    f.set_boundary(1.0f, 0.0f, 0.0f, 0.0f);
+    add("heat hybrid 2x2 64x96 eps1e-4",
+        ps::heat_relax_plan(
+            f, hopt, ps::ExecPlan{.ranks = 2, .threads_per_rank = 2}));
   }
 
   std::cout << "== stencil: exact model counts (deterministic; diffed "
@@ -278,6 +347,7 @@ int main(int argc, char** argv) {
   auto opt = pdc::benchutil::parse_args(argc, argv);
   print_skip_ablation(opt);
   print_tiling_shape_study(opt);
+  print_hybrid_ladder(opt);
   print_heat_engines(opt);
   print_model_counts(opt);
   return pdc::benchutil::finish(opt, argc, argv);

@@ -30,9 +30,6 @@ struct EngineOptions {
   std::size_t tile_rows = 32;
   std::size_t tile_words = 128;
   bool skip_quiescent = true;
-  /// run_threaded only: steal active tiles from busy workers when dry
-  /// (see stencil::Options::steal_tiles). Bit-identical either way.
-  bool steal_tiles = true;
 };
 
 /// Advance `board` by `generations` steps with the naive byte kernel —
@@ -70,5 +67,19 @@ stencil::RunResult run_message_passing(Grid& board, int generations,
                                        std::uint64_t* messages_out = nullptr,
                                        std::uint64_t* payload_words_out =
                                            nullptr);
+
+/// Advance `board` on an arbitrary stencil::ExecPlan — the hybrid
+/// entry point. plan.ranks row strips (each an in-process
+/// message-passing rank; the driver requires
+/// mp::TransportKind::kInproc — launch shm/tcp worlds through
+/// mp::launch::run_spmd instead) with plan.threads_per_rank threads
+/// advancing each strip's tiles, halo exchange scheduled per
+/// plan.schedule. {1,1} is run_sequential, {1,T} run_threaded, {R,1}
+/// run_message_passing; every shape is bit-identical to the reference.
+stencil::RunResult run_plan(Grid& board, int generations,
+                            const stencil::ExecPlan& plan,
+                            const EngineOptions& opt = {},
+                            std::uint64_t* messages_out = nullptr,
+                            std::uint64_t* payload_words_out = nullptr);
 
 }  // namespace pdc::life

@@ -613,7 +613,25 @@ Message Request::wait() {
 RankContext::RankContext(Communicator* comm, int rank)
     : comm_(comm),
       rank_(rank),
-      send_seq_(static_cast<std::size_t>(comm->size()), 0) {}
+      send_seq_(static_cast<std::size_t>(comm->size()), 0) {
+  // kSingle default: the thread that builds the context (the thread the
+  // rank body starts on) is the one allowed to communicate.
+  comm_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+}
+
+void RankContext::check_comm_thread() const {
+#if PDC_MP_THREAD_CHECKS
+  if (std::this_thread::get_id() !=
+      comm_thread_.load(std::memory_order_acquire)) {
+    throw std::logic_error(
+        std::string("RankContext threading violation (mode ") +
+        (threading_ == Threading::kFunneled ? "kFunneled" : "kSingle") +
+        "): communication from a thread that is not the designated comm "
+        "thread. Multi-threaded rank bodies must funnel every comm call "
+        "through the one thread that called set_threading(kFunneled).");
+  }
+#endif
+}
 
 int RankContext::size() const { return comm_->size(); }
 
@@ -646,6 +664,7 @@ void RankContext::maybe_kill() {
 
 void RankContext::ch_send(int dest, int tag, std::vector<std::int64_t> data) {
   PDC_TRACE_SCOPE("mp.send");
+  check_comm_thread();
   ++ops_;
   maybe_kill();
   if (reliable_) {
@@ -665,6 +684,7 @@ void RankContext::ch_send(int dest, int tag, std::vector<std::int64_t> data) {
 
 Message RankContext::ch_take(int source, int tag) {
   PDC_TRACE_SCOPE("mp.recv");
+  check_comm_thread();
   ++ops_;
   maybe_kill();
   if (reliable_ && source == kAnySource)
@@ -762,6 +782,7 @@ std::int64_t RankContext::recv_value(int source, int tag) {
 }
 
 bool RankContext::probe(int source, int tag) {
+  check_comm_thread();
   return comm_->st_->match_available(rank_, source, tag);
 }
 
@@ -772,6 +793,7 @@ std::uint64_t RankContext::arrivals() const {
 }
 
 std::uint64_t RankContext::wait_arrivals(std::uint64_t seen) {
+  check_comm_thread();
   detail::Mailbox& box = *comm_->st_->boxes[static_cast<std::size_t>(rank_)];
   std::unique_lock lk(box.m);
   // Bounded wait: deliveries and rank-death marks notify the cv, but the

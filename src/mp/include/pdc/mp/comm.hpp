@@ -18,6 +18,7 @@
 // Blocked receives on either channel detect dead/exited peers and throw
 // RankFailedError instead of hanging.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -25,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pdc/mp/fault.hpp"
@@ -47,6 +49,42 @@ enum class ReduceOp { kSum, kProd, kMin, kMax };
 
 [[nodiscard]] std::int64_t apply(ReduceOp op, std::int64_t a, std::int64_t b);
 [[nodiscard]] std::int64_t identity(ReduceOp op);
+
+/// Threading contract for one rank's communication calls (the MPI
+/// `MPI_THREAD_*` ladder, restricted to the two rungs this runtime
+/// supports). A RankContext is NOT a thread-safe object; the mode says
+/// which single thread is allowed to touch it:
+///
+///  - kSingle   (default): only the thread the rank body started on may
+///    communicate. Pinned when the RankContext is constructed.
+///  - kFunneled: the rank body is multi-threaded (e.g. runs a core::Team
+///    per step), but ALL communication still funnels through exactly one
+///    thread — the one that called set_threading(kFunneled). This is how
+///    the hybrid stencil engine runs: worker threads compute tiles, the
+///    team's rank-0 thread owns every send/recv/collective.
+///
+/// The contract is enforced: every p2p call, probe, arrival wait and
+/// collective checks the calling thread (when PDC_MP_THREAD_CHECKS is on,
+/// the default outside NDEBUG builds) and throws std::logic_error on a
+/// violation — a deterministic failure instead of a silent mailbox race.
+enum class Threading {
+  kSingle,    ///< one thread per rank, pinned at construction
+  kFunneled,  ///< many compute threads, one designated comm thread
+};
+
+#ifndef PDC_MP_THREAD_CHECKS
+#ifdef NDEBUG
+#define PDC_MP_THREAD_CHECKS 0
+#else
+#define PDC_MP_THREAD_CHECKS 1
+#endif
+#endif
+
+/// True when RankContext verifies the Threading contract on every comm
+/// call (debug builds; compiled out under NDEBUG).
+[[nodiscard]] constexpr bool thread_checks_enabled() {
+  return PDC_MP_THREAD_CHECKS != 0;
+}
 
 /// Collective algorithm selector (the bench compares them).
 enum class CollectiveAlgo {
@@ -140,6 +178,19 @@ class RankContext {
   /// rank detection. Off by default — the plain channel is exact.
   void set_reliable(bool on) { reliable_ = on; }
   [[nodiscard]] bool reliable() const { return reliable_; }
+
+  /// Declare this rank's threading mode (see Threading above) and pin the
+  /// communication funnel to the CALLING thread. kSingle is the default,
+  /// pinned to the thread that constructed the context. A multi-threaded
+  /// rank body must call set_threading(kFunneled) from the one thread
+  /// that will own all communication — before any other thread exists is
+  /// safest; at a point where no comm call is in flight is required.
+  void set_threading(Threading mode) {
+    threading_ = mode;
+    comm_thread_.store(std::this_thread::get_id(),
+                       std::memory_order_release);
+  }
+  [[nodiscard]] Threading threading() const { return threading_; }
 
   /// The communicator's fault plan (test hook: lets harness bodies key
   /// expectations off the active plan).
@@ -256,6 +307,11 @@ class RankContext {
   /// If the fault plan kills this rank at this op count, die now.
   void maybe_kill();
 
+  /// Enforce the Threading contract: the caller must be the designated
+  /// comm thread (throws std::logic_error otherwise). Compiled to nothing
+  /// when PDC_MP_THREAD_CHECKS is off.
+  void check_comm_thread() const;
+
   /// Channel send/take: count the op, honor the kill schedule, then route
   /// through the plain or reliable channel. All p2p calls and collective
   /// message patterns funnel through these two.
@@ -270,6 +326,8 @@ class RankContext {
   int rank_;
   int collective_seq_ = 0;
   bool reliable_ = false;
+  Threading threading_ = Threading::kSingle;
+  std::atomic<std::thread::id> comm_thread_;  ///< the one thread allowed in
   long ops_ = 0;                           ///< channel ops completed (kill clock)
   std::vector<std::uint64_t> send_seq_;    ///< per-dest reliable flow sequence
 };

@@ -24,6 +24,13 @@ void validate(const Options& opt) {
     throw std::invalid_argument("stencil span_name must be non-null");
 }
 
+void validate(const ExecPlan& plan) {
+  if (plan.ranks < 1)
+    throw std::invalid_argument("stencil plan ranks must be >= 1");
+  if (plan.threads_per_rank < 1)
+    throw std::invalid_argument("stencil plan threads_per_rank must be >= 1");
+}
+
 void bump_counters(const RunResult& res) {
   obs::counter("stencil.steps").add(res.steps);
   obs::counter("stencil.tiles_computed").add(res.tiles_computed);

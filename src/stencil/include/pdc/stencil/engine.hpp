@@ -1,12 +1,20 @@
 #pragma once
 // pdc::stencil — a reusable 2-D stencil engine with dirty-tile skipping.
 //
-// One engine, three execution modes (the curriculum's sequential →
-// shared-memory → message-passing progression), any 1-deep stencil
-// workload. The engine owns tiling (tile.hpp), double-buffer rotation,
-// per-tile dirty tracking (quiescent tiles are skipped without touching
-// their memory — see tile.hpp for the soundness argument), convergence
-// detection, and — for run_mp — the packed halo exchange and the
+// ONE engine, one entry point: stencil::run(w, cur, nxt, plan, opt). The
+// ExecPlan picks the execution shape the curriculum teaches as a
+// progression — sequential {1,1}, shared-memory {1,T}, message-passing
+// {R,1} — plus the capstone hybrid {R,T}: a core::Team of T threads
+// inside every rank, tile-stealing over that rank's strip, with the
+// packed halo exchange funneled through the team's rank-0 thread
+// (mp::Threading::kFunneled) and, by default, overlapped with interior
+// tile compute (HaloSchedule::kOverlap). run_seq / run_threaded / run_mp
+// survive as one-line compat wrappers.
+//
+// The engine owns tiling (tile.hpp), double-buffer rotation, per-tile
+// dirty tracking (quiescent tiles are skipped without touching their
+// memory — see tile.hpp for the soundness argument), convergence
+// detection, and — for strip plans — the packed halo exchange and the
 // cross-rank activity flags that keep distributed skip decisions
 // identical to the shared-memory ones.
 //
@@ -25,28 +33,33 @@
 //                    const std::vector<std::uint8_t>& computed);
 //       // post-step fixups on the rows of computed tiles (ghost bits,
 //       // wrap halo rows); no-op for plain fields
-//   // --- run_mp only ---
+//   // --- strip (RankContext) plans only ---
 //   std::size_t halo_words(const Field&);   // wire words per halo row
 //   void pack_row(const Field&, bool top, std::int64_t* out);
 //   void unpack_halo(Field&, bool above, const std::int64_t* in);
 //   void finish_halo(Field&);               // e.g. ghost-bit sync
 //
-// Every engine produces identical results for a quiescence threshold of
-// 0 (exact skipping): a skipped tile's destination provably already
-// holds the value a full sweep would write. With quiesce_eps > 0 the
-// skip set is still deterministic and identical across all three engines
-// (same tile grid, same flags), so seq/threaded/mp stay bit-identical to
-// *each other* while trading exactness of the skip for more skipping.
+// Every plan produces identical results for a quiescence threshold of 0
+// (exact skipping): a skipped tile's destination provably already holds
+// the value a full sweep would write. With quiesce_eps > 0 the skip set
+// is still deterministic and identical across all plans (same tile grid,
+// same flags), so every {R} x {T} x {schedule} x {steal} combination
+// stays bit-identical to the sequential run — grids, residuals, tile
+// counts, and halo wire words alike. Tests assert exactly this.
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "pdc/core/team.hpp"
 #include "pdc/core/work_steal.hpp"
 #include "pdc/mp/comm.hpp"
+#include "pdc/mp/transport.hpp"
 #include "pdc/obs/obs.hpp"
 #include "pdc/stencil/tile.hpp"
 
@@ -57,13 +70,6 @@ struct Options {
   std::size_t tile_cols = 256;  ///< tile width (workload units)
   int max_steps = 1;
   bool skip_quiescent = true;   ///< false: full sweep every step (A/B lever)
-  /// run_threaded: drain the active tile list through per-worker
-  /// Chase–Lev deques and steal tiles from busy victims when dry
-  /// (default), instead of a fixed block partition of the list. Results
-  /// and tile accounting are identical either way — each active tile is
-  /// executed exactly once per step — so this is a pure load-balance
-  /// lever (the schedule-ablation bench prices it on clustered boards).
-  bool steal_tiles = true;
   /// A tile counts as changed when its step delta exceeds this. 0 = exact
   /// (bit-identical to a full sweep). Must be <= converge_eps when
   /// convergence is enabled.
@@ -75,20 +81,57 @@ struct Options {
   const char* span_name = "stencil.step";
 };
 
+/// How a multi-threaded rank schedules its halo exchange against tile
+/// compute (ignored when threads_per_rank == 1, where the exchange is
+/// inherently serial).
+enum class HaloSchedule {
+  /// Interior tiles (those not touching a halo row) run on the team
+  /// while the funnel thread receives the halo; boundary tiles run once
+  /// it lands. The exchange hides behind compute — the point of hybrid
+  /// execution, and what the bench ablation prices.
+  kOverlap,
+  /// The funnel thread completes the whole exchange before any tile is
+  /// computed (the ablation baseline; bit-identical to kOverlap).
+  kSerial,
+};
+
+/// The execution shape of a stencil run: how many message-passing ranks,
+/// how many threads inside each rank, and how the hybrid case schedules
+/// and balances. {1,1} = sequential, {1,T} = shared-memory, {R,1} =
+/// message passing, {R,T} = hybrid (a core::Team per rank, comm funneled
+/// through each team's rank-0 thread). Every shape is bit-identical.
+struct ExecPlan {
+  int ranks = 1;
+  int threads_per_rank = 1;
+  /// Transport for plans a *driver* launches (life::run_plan,
+  /// heat_relax_plan). In-process drivers require kInproc; shm/tcp worlds
+  /// are per-rank processes, launched via mp::launch::run_spmd with the
+  /// strip-level run() called inside each body.
+  mp::TransportKind transport = mp::TransportKind::kInproc;
+  HaloSchedule schedule = HaloSchedule::kOverlap;
+  /// threads_per_rank > 1: drain the active tile list through per-worker
+  /// Chase–Lev deques and steal tiles from busy victims when dry
+  /// (default), instead of a fixed block partition of the list. Results
+  /// and tile accounting are identical either way — each active tile is
+  /// executed exactly once per step — so this is a pure load-balance
+  /// lever (the schedule-ablation bench prices it on clustered boards).
+  bool steal_tiles = true;
+};
+
 struct RunResult {
   std::uint64_t steps = 0;
   std::uint64_t tiles_computed = 0;
   std::uint64_t tiles_skipped = 0;
-  /// run_mp: total int64 wire words this rank sent for halo exchange
-  /// (activity flag words + packed row payload).
+  /// Strip plans: total int64 wire words this rank sent for halo
+  /// exchange (activity flag words + packed row payload).
   std::uint64_t halo_words = 0;
   double last_delta = 0.0;
   bool converged = false;
 };
 
-/// Neighbor ranks for run_mp strip execution (-1 = board edge; the torus
-/// wrap is expressed as up/down pointing at the wrapping rank, possibly
-/// this rank itself when it owns the whole board).
+/// Neighbor ranks for strip execution (-1 = board edge; the torus wrap
+/// is expressed as up/down pointing at the wrapping rank, possibly this
+/// rank itself when it owns the whole board).
 struct MpLinks {
   int up = -1;
   int down = -1;
@@ -97,6 +140,7 @@ struct MpLinks {
 namespace detail {
 
 void validate(const Options& opt);
+void validate(const ExecPlan& plan);
 void bump_counters(const RunResult& res);  // stencil.* obs counters
 
 /// Flag words on the wire per halo message: one bit per tile column.
@@ -119,23 +163,154 @@ inline void decode_flags(const std::int64_t* in, std::size_t n,
         (static_cast<std::uint64_t>(in[i / 64]) >> (i % 64)) & 1);
 }
 
-}  // namespace detail
+/// The per-step epilogue every execution shape shares: fold one step's
+/// tile accounting and max delta into the result and decide whether the
+/// run is over (converged, or out of steps). `max_delta` must already be
+/// the *global* max for strip runs with convergence on.
+inline bool step_epilogue(RunResult& res, const Options& opt,
+                          std::uint64_t computed, std::uint64_t total,
+                          double max_delta) {
+  res.tiles_computed += computed;
+  res.tiles_skipped += total - computed;
+  res.last_delta = max_delta;
+  ++res.steps;
+  if (opt.converge_eps >= 0.0 && max_delta <= opt.converge_eps)
+    res.converged = true;
+  return res.converged ||
+         res.steps >= static_cast<std::uint64_t>(opt.max_steps);
+}
 
-/// Sequential engine. `cur` holds the input state and, on return, the
-/// final state; `nxt` is the scratch double buffer (same shape).
+/// Bit-exact global max of non-negative IEEE doubles: their bit patterns
+/// order like the values, so an integer kMax allreduce is exact.
+inline double allreduce_max(mp::RankContext& ctx, double v) {
+  return std::bit_cast<double>(
+      ctx.allreduce(std::bit_cast<std::int64_t>(v), mp::ReduceOp::kMax));
+}
+
+/// One rank's halo machinery, shared by the serial ({R,1}) and funneled
+/// hybrid ({R,T}) strip engines: recycled wire buffers, activity-flag
+/// staging, exact word accounting. Each step sends one message per
+/// neighbor — [activity flag words][packed halo row] — under tags 2s /
+/// 2s+1, so the wire format and word counts are identical across every
+/// thread count and schedule.
 template <class W>
-RunResult run_seq(W& w, typename W::Field& cur, typename W::Field& nxt,
-                  const Options& opt) {
-  detail::validate(opt);
+class HaloExchange {
+ public:
+  HaloExchange(W& w, mp::RankContext& ctx, const MpLinks& links,
+               const TileMap& tm, std::size_t halo_words)
+      : w_(w),
+        ctx_(ctx),
+        links_(links),
+        tm_(tm),
+        hw_(halo_words),
+        fw_(flag_words(tm.tiles_x())),
+        edge_flags_(tm.tiles_x(), 0),
+        above_flags_(tm.tiles_x(), 0),
+        below_flags_(tm.tiles_x(), 0) {}
+
+  /// Buffered sends to both neighbors. Must run BEFORE
+  /// ActivityMap::advance clears the changed marks it encodes. A rank
+  /// that owns the whole wrap sends to itself; its up-send arrives as
+  /// its own down-message, exactly the torus geometry.
+  void send(const typename W::Field& cur, const ActivityMap& act, int step,
+            RunResult& res) {
+    const int tag = 2 * step;
+    if (links_.up >= 0) {
+      fill(cur, act, sbuf_up_, /*top=*/true);
+      res.halo_words += sbuf_up_.size();
+      ctx_.send(links_.up, tag, std::move(sbuf_up_));
+    }
+    if (links_.down >= 0) {
+      fill(cur, act, sbuf_down_, /*top=*/false);
+      res.halo_words += sbuf_down_.size();
+      ctx_.send(links_.down, tag + 1, std::move(sbuf_down_));
+    }
+  }
+
+  /// Blocking receives: unpack the halo rows into `cur`, run the
+  /// workload's ghost fixups, and stage the decoded neighbor activity
+  /// flags for above()/below().
+  void recv(typename W::Field& cur, int step) {
+    const int tag = 2 * step;
+    have_above_ = have_below_ = false;
+    if (links_.down >= 0) {
+      auto msg = ctx_.recv(links_.down, tag);
+      decode_flags(msg.data.data(), tm_.tiles_x(), below_flags_.data());
+      w_.unpack_halo(cur, /*above=*/false, msg.data.data() + fw_);
+      have_below_ = true;
+      sbuf_down_ = std::move(msg.data);  // recycle the wire buffer
+    }
+    if (links_.up >= 0) {
+      auto msg = ctx_.recv(links_.up, tag + 1);
+      decode_flags(msg.data.data(), tm_.tiles_x(), above_flags_.data());
+      w_.unpack_halo(cur, /*above=*/true, msg.data.data() + fw_);
+      have_above_ = true;
+      sbuf_up_ = std::move(msg.data);
+    }
+    w_.finish_halo(cur);
+    first_ = false;
+  }
+
+  /// Neighbor changed-flags staged by the last recv (null = no neighbor).
+  [[nodiscard]] const std::uint8_t* above() const {
+    return have_above_ ? above_flags_.data() : nullptr;
+  }
+  [[nodiscard]] const std::uint8_t* below() const {
+    return have_below_ ? below_flags_.data() : nullptr;
+  }
+
+ private:
+  void fill(const typename W::Field& cur, const ActivityMap& act,
+            std::vector<std::int64_t>& buf, bool top) {
+    buf.resize(fw_ + hw_);
+    if (first_) {
+      // Step 0 sweeps everything; tell the neighbor so.
+      std::fill_n(buf.data(), fw_, ~std::int64_t{0});
+    } else {
+      act.copy_edge_changed(top, edge_flags_.data());
+      encode_flags(edge_flags_.data(), tm_.tiles_x(), buf.data());
+    }
+    w_.pack_row(cur, top, buf.data() + fw_);
+  }
+
+  W& w_;
+  mp::RankContext& ctx_;
+  const MpLinks links_;
+  const TileMap& tm_;
+  std::size_t hw_, fw_;
+  std::vector<std::uint8_t> edge_flags_, above_flags_, below_flags_;
+  std::vector<std::int64_t> sbuf_up_, sbuf_down_;
+  bool first_ = true;
+  bool have_above_ = false, have_below_ = false;
+};
+
+/// Single-threaded engine body: plans {1,1} (ctx == nullptr) and {R,1}
+/// (kStrip, ctx set). One sweep over the active tiles per step.
+template <bool kStrip, class W>
+RunResult run_serial(W& w, typename W::Field& cur, typename W::Field& nxt,
+                     const Options& opt,
+                     [[maybe_unused]] mp::RankContext* ctx,
+                     [[maybe_unused]] const MpLinks& links) {
   const TileMap tm(w.height(cur), w.width(cur), opt.tile_rows, opt.tile_cols);
-  ActivityMap act(tm, w.wrap_rows(cur), w.wrap_cols(cur));
+  ActivityMap act(tm, kStrip ? false : w.wrap_rows(cur), w.wrap_cols(cur));
   std::vector<std::uint8_t> computed(tm.count(), 0);
   w.init(cur);
 
   RunResult res;
+  [[maybe_unused]] std::optional<HaloExchange<W>> halo;
+  if constexpr (kStrip) halo.emplace(w, *ctx, links, tm, w.halo_words(cur));
+
   for (int s = 0; s < opt.max_steps; ++s) {
     obs::TraceScope span(opt.span_name);
-    act.advance();
+    const std::uint8_t* above = nullptr;
+    const std::uint8_t* below = nullptr;
+    if constexpr (kStrip) {
+      halo->send(cur, act, s, res);
+      halo->recv(cur, s);
+      above = halo->above();
+      below = halo->below();
+    }
+    act.advance(above, below);
     std::fill(computed.begin(), computed.end(), 0);
     double max_delta = 0.0;
     std::uint64_t ncomputed = 0;
@@ -148,58 +323,76 @@ RunResult run_seq(W& w, typename W::Field& cur, typename W::Field& nxt,
       ++ncomputed;
     }
     w.finish_step(nxt, tm, computed);
-    res.tiles_computed += ncomputed;
-    res.tiles_skipped += tm.count() - ncomputed;
-    res.last_delta = max_delta;
-    ++res.steps;
     std::swap(cur, nxt);
-    if (opt.converge_eps >= 0.0 && max_delta <= opt.converge_eps) {
-      res.converged = true;
-      break;
+    if constexpr (kStrip) {
+      if (opt.converge_eps >= 0.0) max_delta = allreduce_max(*ctx, max_delta);
     }
+    if (step_epilogue(res, opt, ncomputed, tm.count(), max_delta)) break;
   }
-  detail::bump_counters(res);
+  bump_counters(res);
   return res;
 }
 
-/// Threaded engine: the per-step *active* tile list is distributed
-/// across a core::Team, so workers share the (possibly sparse) live
-/// region instead of owning fixed row strips that may be entirely
-/// quiescent. By default (Options::steal_tiles) each worker drains its
-/// share of the list through its own Chase–Lev deque and steals tiles
-/// from busy victims when dry, so a live region clustered in one
-/// corner's worth of tiles still spreads across the whole team; with
-/// steal_tiles off the list is block-partitioned up front (the ablation
-/// baseline). Either way every active tile is executed exactly once per
-/// step, so grids and tile accounting are bit-identical across both
-/// modes and any thread count. Two barriers per step, serial
-/// bookkeeping (including deque re-seeding) on rank 0.
-template <class W>
-RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
-                       const Options& opt, int threads) {
-  detail::validate(opt);
-  if (threads < 1) throw std::invalid_argument("threads must be >= 1");
+/// Team engine body: plans {1,T} (ctx == nullptr) and the hybrid {R,T}
+/// (kStrip). The per-step *active* tile list is distributed across a
+/// core::Team, so workers share the (possibly sparse) live region
+/// instead of owning fixed row strips that may be entirely quiescent.
+/// With plan.steal_tiles each worker drains its share of the list
+/// through its own Chase–Lev deque and steals tiles from busy victims
+/// when dry; otherwise the list is block-partitioned up front (the
+/// ablation baseline). Either way every active tile is executed exactly
+/// once per step, so grids and tile accounting are bit-identical across
+/// both modes and any thread count.
+///
+/// Hybrid plans funnel ALL communication through the team's rank-0
+/// thread (mp::Threading::kFunneled, asserted by RankContext). Under
+/// HaloSchedule::kOverlap the serial section sends the halo and seeds
+/// only the *interior* active tiles (those whose inputs are local); the
+/// team computes them while the funnel thread receives, unpacks, and
+/// dilates the neighbor flags into the edge tile rows — boundary tiles
+/// then flow to the workers either through the funnel's deque (steal
+/// mode: pushed while thieves drain, no extra barrier) or through an
+/// extra barrier-published phase (block mode).
+template <bool kStrip, class W>
+RunResult run_team(W& w, typename W::Field& cur, typename W::Field& nxt,
+                   const ExecPlan& plan, const Options& opt,
+                   [[maybe_unused]] mp::RankContext* ctx,
+                   [[maybe_unused]] const MpLinks& links) {
+  const int threads = plan.threads_per_rank;
   const TileMap tm(w.height(cur), w.width(cur), opt.tile_rows, opt.tile_cols);
-  ActivityMap act(tm, w.wrap_rows(cur), w.wrap_cols(cur));
+  ActivityMap act(tm, kStrip ? false : w.wrap_rows(cur), w.wrap_cols(cur));
   w.init(cur);
 
   typename W::Field* bufs[2] = {&cur, &nxt};
   int src = 0;
-  std::vector<std::uint32_t> active_list;
+  int step = 0;
+  std::vector<std::uint32_t> active_list;    // overlap: interior tiles only
+  std::vector<std::uint32_t> boundary_list;  // overlap: halo-dependent tiles
   std::vector<std::uint8_t> computed(tm.count(), 0);
   std::vector<double> rank_delta(static_cast<std::size_t>(threads), 0.0);
   RunResult res;
   bool stop = opt.max_steps == 0;
 
-  const bool steal = opt.steal_tiles && threads > 1;
+  const bool steal = plan.steal_tiles && threads > 1;
   const auto nthreads = static_cast<std::size_t>(threads);
   std::vector<core::WorkStealingDeque<std::uint32_t>> deques(
       steal ? nthreads : 0);
+  // Overlap mode: set once the funnel thread has received the halo and
+  // published the boundary tiles; preset when there is nothing to wait
+  // for. Workers spin past empty deques until it flips.
+  std::atomic<bool> halo_done{true};
+  const bool overlap =
+      kStrip && plan.schedule == HaloSchedule::kOverlap && threads > 1;
 
-  const auto build_active_list = [&] {
-    active_list.clear();
-    for (std::uint32_t t = 0; t < tm.count(); ++t)
-      if (!opt.skip_quiescent || act.active()[t] != 0) active_list.push_back(t);
+  [[maybe_unused]] std::optional<HaloExchange<W>> halo;
+  if constexpr (kStrip) halo.emplace(w, *ctx, links, tm, w.halo_words(cur));
+
+  const auto edge_tile = [&](std::uint32_t t) {
+    const std::size_t ty = tm.tile_row(t);
+    return ty == 0 || ty + 1 == tm.tiles_y();
+  };
+  const auto want = [&](std::uint32_t t) {
+    return !opt.skip_quiescent || act.active()[t] != 0;
   };
   // Serial-section only (single-threaded, published to the workers by
   // barrier A): seed worker r's deque with its near-equal contiguous
@@ -214,17 +407,51 @@ RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
       lo = hi;
     }
   };
-  act.advance();
-  build_active_list();
-  if (steal) seed_deques();
+  // Serial per-step prep (pre-loop on the home thread, then on the team's
+  // rank-0 thread between steps): send this step's halo — the encoded
+  // changed marks must be copied before advance() wipes them — advance
+  // the activity map, rebuild and reseed the work lists.
+  const auto prep_step = [&] {
+    std::fill(computed.begin(), computed.end(), 0);
+    std::fill(rank_delta.begin(), rank_delta.end(), 0.0);
+    boundary_list.clear();
+    if constexpr (kStrip) {
+      halo->send(*bufs[src], act, step, res);
+      if (overlap) {
+        // Local dilation only: interior activation never depends on the
+        // neighbor flags, so the interior work list is final here.
+        act.advance(nullptr, nullptr);
+      } else {
+        halo->recv(*bufs[src], step);
+        act.advance(halo->above(), halo->below());
+      }
+    } else {
+      act.advance();
+    }
+    active_list.clear();
+    for (std::uint32_t t = 0; t < tm.count(); ++t) {
+      if (overlap && edge_tile(t)) continue;  // waits for the halo
+      if (want(t)) active_list.push_back(t);
+    }
+    if (steal) seed_deques();
+    halo_done.store(!overlap, std::memory_order_relaxed);
+  };
+  if (!stop) prep_step();
 
-  core::Team::run(threads, [&](core::TeamContext& ctx) {
+  core::Team::run(threads, [&](core::TeamContext& tc) {
     static obs::Counter& c_attempts = obs::counter("stencil.steal_attempts");
     static obs::Counter& c_steals = obs::counter("stencil.steals");
+    const bool funnel = tc.rank() == 0;
+    if constexpr (kStrip) {
+      // Pin the communication funnel to this thread: under a pooled Team
+      // this is the rank's home thread, under a forked Team it is not —
+      // either way every comm call below happens here.
+      if (funnel) ctx->set_threading(mp::Threading::kFunneled);
+    }
     while (true) {
-      // Barrier A: the serial section's state (active list, seeded
+      // Barrier A: the serial section's state (work lists, seeded
       // deques, buffer flip, stop flag) is visible to every worker.
-      ctx.barrier();
+      tc.barrier();
       if (stop) break;
       {
         obs::TraceScope span(opt.span_name);
@@ -236,13 +463,51 @@ RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
           computed[t] = 1;
           if (d > local) local = d;
         };
+        if constexpr (kStrip) {
+          if (overlap && funnel) {
+            try {
+              // Receive while the team chews the interior, then dilate
+              // the neighbor flags into the edge tile rows and publish
+              // the now-final boundary work.
+              halo->recv(*bufs[src], step);
+              act.activate_edges(halo->above(), halo->below());
+              for (std::uint32_t t = 0; t < tm.count(); ++t)
+                if (edge_tile(t) && want(t)) boundary_list.push_back(t);
+              if (steal) {
+                // Owner pushes race cleanly with thieves' steals; the
+                // release store orders them before any halo_done load.
+                for (const std::uint32_t t : boundary_list)
+                  deques[0].push(t);
+                halo_done.store(true, std::memory_order_release);
+              }
+            } catch (...) {
+              // A failed recv (e.g. RankFailedError from a killed peer)
+              // must flip halo_done before unwinding: thieves spin on it
+              // outside any barrier, so Team's broken-barrier protocol
+              // alone cannot release them.
+              halo_done.store(true, std::memory_order_release);
+              throw;
+            }
+          }
+        }
         if (!steal) {
-          const auto [lo, hi] = ctx.block_range(0, active_list.size());
+          const auto [lo, hi] = tc.block_range(0, active_list.size());
           for (std::size_t i = lo; i < hi; ++i) exec_tile(active_list[i]);
+          if (overlap) {
+            // Barrier A2: the funnel's halo unpack + boundary list are
+            // visible; compute the boundary phase as a team.
+            tc.barrier();
+            const auto [blo, bhi] = tc.block_range(0, boundary_list.size());
+            for (std::size_t i = blo; i < bhi; ++i)
+              exec_tile(boundary_list[i]);
+          }
         } else {
-          const auto me = static_cast<std::size_t>(ctx.rank());
+          const auto me = static_cast<std::size_t>(tc.rank());
           auto& mine = deques[me];
           while (true) {
+            // Load before sweeping: if the halo was already done, the
+            // sweep below cannot miss tiles published before it.
+            const bool no_more = halo_done.load(std::memory_order_acquire);
             if (auto t = mine.pop()) {
               exec_tile(*t);
               continue;
@@ -261,151 +526,109 @@ RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
                 contended = true;  // lost a race on a live tile: retry
               }
             }
-            if (got) continue;
-            if (!contended) break;  // every deque observed empty
+            if (got || contended) continue;
+            if (no_more) break;  // every deque observed empty, halo in
+            std::this_thread::yield();  // halo still in flight
           }
         }
-        rank_delta[static_cast<std::size_t>(ctx.rank())] = local;
+        rank_delta[static_cast<std::size_t>(tc.rank())] = local;
       }
       // Barrier B: every tile write and flag is visible to rank 0.
-      ctx.barrier();
-      if (ctx.rank() == 0) {
-        const double max_delta =
+      tc.barrier();
+      if (funnel) {
+        double max_delta =
             *std::max_element(rank_delta.begin(), rank_delta.end());
         w.finish_step(*bufs[1 - src], tm, computed);
-        res.tiles_computed += active_list.size();
-        res.tiles_skipped += tm.count() - active_list.size();
-        res.last_delta = max_delta;
-        ++res.steps;
+        const std::uint64_t ncomputed =
+            active_list.size() + boundary_list.size();
         src = 1 - src;
-        if (opt.converge_eps >= 0.0 && max_delta <= opt.converge_eps)
-          res.converged = stop = true;
-        if (res.steps >= static_cast<std::uint64_t>(opt.max_steps))
-          stop = true;
-        if (!stop) {
-          act.advance();
-          build_active_list();
-          if (steal) seed_deques();
-          std::fill(computed.begin(), computed.end(), 0);
-          std::fill(rank_delta.begin(), rank_delta.end(), 0.0);
+        if constexpr (kStrip) {
+          if (opt.converge_eps >= 0.0)
+            max_delta = allreduce_max(*ctx, max_delta);
         }
+        stop = step_epilogue(res, opt, ncomputed, tm.count(), max_delta);
+        ++step;
+        if (!stop) prep_step();
       }
     }
   });
+  if constexpr (kStrip) {
+    // Back on the home thread: end the funneled region. (Team::run
+    // rethrows worker exceptions after joining, so on the throwing path
+    // no further comm happens on this context anyway.)
+    ctx->set_threading(mp::Threading::kSingle);
+  }
 
   if (src == 1) std::swap(cur, nxt);  // `cur` always holds the final state
-  detail::bump_counters(res);
+  bump_counters(res);
   return res;
 }
 
-/// Message-passing engine: call from inside an SPMD rank body with this
-/// rank's row strip in `cur`/`nxt`. Each step sends one message per
-/// neighbor — [activity flag words][packed halo row] — then dilates the
-/// local activity map with the received neighbor flags, computes the
-/// active tiles, and (when convergence is enabled) allreduces the step's
-/// max delta. The strip's tile grid must be the global tile grid
+}  // namespace detail
+
+/// Unified engine, local plans ({1,1} and {1,T}): `cur` holds the input
+/// state and, on return, the final state; `nxt` is the scratch double
+/// buffer (same shape). plan.ranks must be 1 — multi-rank worlds are
+/// launched by a workload driver (life::run_plan, heat_relax_plan) or an
+/// SPMD body calling the strip overload below.
+template <class W>
+RunResult run(W& w, typename W::Field& cur, typename W::Field& nxt,
+              const ExecPlan& plan, const Options& opt) {
+  detail::validate(opt);
+  detail::validate(plan);
+  if (plan.ranks != 1)
+    throw std::invalid_argument(
+        "stencil::run without a RankContext executes one rank: multi-rank "
+        "plans go through a workload driver or the strip overload");
+  if (plan.threads_per_rank == 1)
+    return detail::run_serial<false, W>(w, cur, nxt, opt, nullptr, MpLinks{});
+  return detail::run_team<false, W>(w, cur, nxt, plan, opt, nullptr,
+                                    MpLinks{});
+}
+
+/// Unified engine, strip plans ({R,1} and hybrid {R,T}): call from
+/// inside an SPMD rank body with this rank's row strip in `cur`/`nxt`.
+/// Each step sends one message per neighbor — [activity flag words]
+/// [packed halo row] — then dilates the local activity map with the
+/// received neighbor flags, computes the active tiles (on a core::Team
+/// when plan.threads_per_rank > 1, comm funneled through the team's
+/// rank-0 thread), and (when convergence is enabled) allreduces the
+/// step's max delta. The strip's tile grid must be the global tile grid
 /// restricted to this rank's rows (partition on tile-row boundaries) so
 /// distributed skip decisions match the shared-memory engines exactly.
+template <class W>
+RunResult run(W& w, typename W::Field& cur, typename W::Field& nxt,
+              const ExecPlan& plan, const Options& opt, mp::RankContext& ctx,
+              const MpLinks& links) {
+  detail::validate(opt);
+  detail::validate(plan);
+  if (plan.threads_per_rank == 1)
+    return detail::run_serial<true, W>(w, cur, nxt, opt, &ctx, links);
+  return detail::run_team<true, W>(w, cur, nxt, plan, opt, &ctx, links);
+}
+
+// ---- compat wrappers (the pre-ExecPlan entry points) ----
+
+/// Sequential engine: plan {1,1}.
+template <class W>
+RunResult run_seq(W& w, typename W::Field& cur, typename W::Field& nxt,
+                  const Options& opt) {
+  return run(w, cur, nxt, ExecPlan{}, opt);
+}
+
+/// Shared-memory engine: plan {1,threads}.
+template <class W>
+RunResult run_threaded(W& w, typename W::Field& cur, typename W::Field& nxt,
+                       const Options& opt, int threads) {
+  return run(w, cur, nxt, ExecPlan{.threads_per_rank = threads}, opt);
+}
+
+/// Message-passing engine: plan {R,1}, one single-threaded strip rank.
 template <class W>
 RunResult run_mp(W& w, typename W::Field& cur, typename W::Field& nxt,
                  const Options& opt, mp::RankContext& ctx,
                  const MpLinks& links) {
-  detail::validate(opt);
-  const TileMap tm(w.height(cur), w.width(cur), opt.tile_rows, opt.tile_cols);
-  ActivityMap act(tm, /*wrap_rows=*/false, w.wrap_cols(cur));
-  w.init(cur);
-
-  const std::size_t hw = w.halo_words(cur);
-  const std::size_t fw = detail::flag_words(tm.tiles_x());
-  std::vector<std::uint8_t> computed(tm.count(), 0);
-  std::vector<std::uint8_t> edge_flags(tm.tiles_x(), 1);  // step 0: all
-  std::vector<std::uint8_t> above_flags(tm.tiles_x(), 0);
-  std::vector<std::uint8_t> below_flags(tm.tiles_x(), 0);
-  std::vector<std::int64_t> sbuf_up, sbuf_down;  // recycled wire buffers
-  bool first = true;
-  RunResult res;
-
-  const auto fill_msg = [&](std::vector<std::int64_t>& buf, bool top) {
-    buf.resize(fw + hw);
-    if (first) {
-      std::fill_n(buf.data(), fw, ~std::int64_t{0});
-    } else {
-      act.copy_edge_changed(top, edge_flags.data());
-      detail::encode_flags(edge_flags.data(), tm.tiles_x(), buf.data());
-    }
-    w.pack_row(cur, top, buf.data() + fw);
-  };
-
-  for (int s = 0; s < opt.max_steps; ++s) {
-    obs::TraceScope span(opt.span_name);
-    const int tag = 2 * s;
-    // Halo + flags exchange (buffered sends: no deadlock). A rank that
-    // owns the whole wrap sends to itself; its up-send arrives as its
-    // own down-message, exactly the torus geometry.
-    if (links.up >= 0) {
-      fill_msg(sbuf_up, /*top=*/true);
-      res.halo_words += sbuf_up.size();
-      ctx.send(links.up, tag, std::move(sbuf_up));
-    }
-    if (links.down >= 0) {
-      fill_msg(sbuf_down, /*top=*/false);
-      res.halo_words += sbuf_down.size();
-      ctx.send(links.down, tag + 1, std::move(sbuf_down));
-    }
-    bool have_above = false, have_below = false;
-    if (links.down >= 0) {
-      auto msg = ctx.recv(links.down, tag);
-      detail::decode_flags(msg.data.data(), tm.tiles_x(), below_flags.data());
-      w.unpack_halo(cur, /*above=*/false, msg.data.data() + fw);
-      have_below = true;
-      sbuf_down = std::move(msg.data);
-    }
-    if (links.up >= 0) {
-      auto msg = ctx.recv(links.up, tag + 1);
-      detail::decode_flags(msg.data.data(), tm.tiles_x(), above_flags.data());
-      w.unpack_halo(cur, /*above=*/true, msg.data.data() + fw);
-      have_above = true;
-      sbuf_up = std::move(msg.data);
-    }
-    w.finish_halo(cur);
-    first = false;
-
-    act.advance(have_above ? above_flags.data() : nullptr,
-                have_below ? below_flags.data() : nullptr);
-    std::fill(computed.begin(), computed.end(), 0);
-    double max_delta = 0.0;
-    std::uint64_t ncomputed = 0;
-    for (std::size_t t = 0; t < tm.count(); ++t) {
-      if (opt.skip_quiescent && act.active()[t] == 0) continue;
-      const double d = w.step_tile(cur, nxt, tm.bounds(t));
-      act.mark_changed(t, d > opt.quiesce_eps);
-      computed[t] = 1;
-      if (d > max_delta) max_delta = d;
-      ++ncomputed;
-    }
-    w.finish_step(nxt, tm, computed);
-    res.tiles_computed += ncomputed;
-    res.tiles_skipped += tm.count() - ncomputed;
-    ++res.steps;
-    std::swap(cur, nxt);
-
-    if (opt.converge_eps >= 0.0) {
-      // Global max delta. Non-negative IEEE doubles order like their bit
-      // patterns, so a kMax over the bits is a kMax over the values.
-      const std::int64_t bits = std::bit_cast<std::int64_t>(max_delta);
-      max_delta =
-          std::bit_cast<double>(ctx.allreduce(bits, mp::ReduceOp::kMax));
-      res.last_delta = max_delta;
-      if (max_delta <= opt.converge_eps) {
-        res.converged = true;
-        break;
-      }
-    } else {
-      res.last_delta = max_delta;
-    }
-  }
-  detail::bump_counters(res);
-  return res;
+  return run(w, cur, nxt, ExecPlan{}, opt, ctx, links);
 }
 
 }  // namespace pdc::stencil

@@ -66,9 +66,6 @@ struct HeatOptions {
   std::size_t tile_rows = 32;
   std::size_t tile_cols = 64;
   bool skip_quiescent = true;
-  /// heat_relax_threaded only: steal active tiles from busy workers when
-  /// dry (see stencil::Options::steal_tiles). Bit-identical either way.
-  bool steal_tiles = true;
 };
 
 /// Stencil workload adapter: plugs HeatField into run_seq / run_threaded /
@@ -99,21 +96,34 @@ struct HeatWorkload {
 /// Relax `field` in place until convergence (or max_steps); sequential.
 RunResult heat_relax(HeatField& field, const HeatOptions& opt);
 
-/// Same computation on the shared-memory engine.
+/// Same computation on the shared-memory engine (plan {1,threads}).
 RunResult heat_relax_threaded(HeatField& field, const HeatOptions& opt,
                               int threads);
 
-/// Same computation on the message-passing engine: rows are partitioned
-/// across `ranks` on tile boundaries, each rank owns a strip and
-/// exchanges packed halo rows + activity flags with its neighbors.
+/// Same computation on an arbitrary ExecPlan: plan.ranks row strips
+/// (each an in-process message-passing rank — the driver requires
+/// mp::TransportKind::kInproc; launch shm/tcp worlds through
+/// mp::launch::run_spmd with heat_relax_strip inside each body) with
+/// plan.threads_per_rank threads relaxing every strip. Rows are
+/// partitioned on tile boundaries so every plan's skip decisions — and
+/// therefore fields, steps, residuals, tile counts — are bit-identical.
+RunResult heat_relax_plan(HeatField& field, const HeatOptions& opt,
+                          const ExecPlan& plan);
+
+/// Same computation on the message-passing engine: plan {ranks, 1}.
 RunResult heat_relax_mp(HeatField& field, const HeatOptions& opt, int ranks);
 
-/// One rank's share of heat_relax_mp, callable from inside an existing
+/// One rank's share of heat_relax_plan, callable from inside an existing
 /// SPMD body (this is what the fault-injection stress harness drives
 /// directly). `strip` is this rank's rows with boundary + halo ring
 /// already set; for cross-engine-identical skip decisions the strip's
 /// row count must be a whole number of tiles except on the last rank.
+/// The plan overload runs plan.threads_per_rank threads inside the rank
+/// (plan.ranks and plan.transport are the launcher's concern here).
 RunResult heat_relax_strip(HeatField& strip, const HeatOptions& opt,
                            mp::RankContext& ctx, const MpLinks& links);
+RunResult heat_relax_strip(HeatField& strip, const HeatOptions& opt,
+                           const ExecPlan& plan, mp::RankContext& ctx,
+                           const MpLinks& links);
 
 }  // namespace pdc::stencil

@@ -102,12 +102,24 @@ class ActivityMap {
   void advance(const std::uint8_t* above = nullptr,
                const std::uint8_t* below = nullptr);
 
+  /// OR the dilation contributed by external neighbor flags into an
+  /// already-advanced active set: `above` / `below` are tiles_x()
+  /// changed flags for the tile row beyond the top / bottom edge, null =
+  /// no neighbor. For a strip map (wrap_rows = false),
+  ///     advance(a, b)  ==  advance(nullptr, nullptr); activate_edges(a, b)
+  /// — the split the hybrid engine uses to fix the *interior* active set
+  /// before the halo arrives and fold the edge tile rows in afterwards.
+  void activate_edges(const std::uint8_t* above, const std::uint8_t* below);
+
   /// Copy the changed flags of the top / bottom tile row (tiles_x()
   /// bytes) — what a rank sends to its neighbors before advance() wipes
   /// them.
   void copy_edge_changed(bool top, std::uint8_t* out) const;
 
  private:
+  /// Any of row[tx-1..tx+1] set (with the column wrap)? Null row = no.
+  [[nodiscard]] bool row_any(const std::uint8_t* row, std::size_t tx) const;
+
   std::size_t tiles_y_, tiles_x_;
   bool wrap_rows_, wrap_cols_;
   std::vector<std::uint8_t> changed_;

@@ -41,6 +41,18 @@ std::size_t ActivityMap::active_count() const {
   return n;
 }
 
+bool ActivityMap::row_any(const std::uint8_t* row, std::size_t tx) const {
+  if (row == nullptr) return false;
+  if (row[tx] != 0) return true;
+  if (tx > 0 ? row[tx - 1] != 0
+             : (wrap_cols_ && tiles_x_ > 1 && row[tiles_x_ - 1] != 0))
+    return true;
+  if (tx + 1 < tiles_x_ ? row[tx + 1] != 0
+                        : (wrap_cols_ && tiles_x_ > 1 && row[0] != 0))
+    return true;
+  return false;
+}
+
 void ActivityMap::advance(const std::uint8_t* above,
                           const std::uint8_t* below) {
   // Row of changed flags one step beyond the top/bottom edge, as dilation
@@ -52,18 +64,6 @@ void ActivityMap::advance(const std::uint8_t* above,
       return changed_.data() + (top ? (tiles_y_ - 1) * tiles_x_ : 0);
     if (wrap_rows_ && tiles_y_ == 1) return changed_.data();  // self-wrap
     return nullptr;
-  };
-
-  const auto row_any = [&](const std::uint8_t* row, std::size_t tx) {
-    if (row == nullptr) return false;
-    if (row[tx] != 0) return true;
-    if (tx > 0 ? row[tx - 1] != 0
-               : (wrap_cols_ && tiles_x_ > 1 && row[tiles_x_ - 1] != 0))
-      return true;
-    if (tx + 1 < tiles_x_ ? row[tx + 1] != 0
-                          : (wrap_cols_ && tiles_x_ > 1 && row[0] != 0))
-      return true;
-    return false;
   };
 
   for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
@@ -79,6 +79,18 @@ void ActivityMap::advance(const std::uint8_t* above,
     }
   }
   std::fill(changed_.begin(), changed_.end(), 0);
+}
+
+void ActivityMap::activate_edges(const std::uint8_t* above,
+                                 const std::uint8_t* below) {
+  // Mirrors advance()'s edge handling for a strip map: `above` dilates
+  // only into tile row 0, `below` only into the last tile row (the same
+  // row when tiles_y() == 1). Interior rows are untouched, which is what
+  // makes the advance/activate_edges split sound.
+  for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
+    if (row_any(above, tx)) active_[tx] = 1;
+    if (row_any(below, tx)) active_[(tiles_y_ - 1) * tiles_x_ + tx] = 1;
+  }
 }
 
 void ActivityMap::copy_edge_changed(bool top, std::uint8_t* out) const {

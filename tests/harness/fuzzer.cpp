@@ -66,12 +66,14 @@ RunResult run_plan(int ranks, const mp::FaultPlan& plan, const SpmdBody& body) {
 RunResult run_plan_process(int ranks, mp::TransportKind kind,
                            const mp::FaultPlan& plan,
                            const std::string& body_name,
-                           std::chrono::seconds timeout) {
+                           std::chrono::seconds timeout,
+                           const std::vector<std::string>& args) {
   mp::launch::LaunchOptions o;
   o.body = body_name;
   o.world = ranks;
   o.kind = kind;
   o.plan = plan;
+  o.args = args;
   o.reliable = true;  // the fuzz contract: bodies run reliably
   o.timeout = std::chrono::duration_cast<std::chrono::milliseconds>(timeout);
   const auto lr = mp::launch::run_spmd(o);
@@ -98,14 +100,16 @@ RunResult run_plan_process(int ranks, mp::TransportKind kind,
 }
 
 std::string FuzzReport::repro() const {
-  return "transport=" + transport + " seed=" + std::to_string(seed) +
-         " plan=" + plan.describe();
+  return "transport=" + transport + " threads=" + std::to_string(threads) +
+         " seed=" + std::to_string(seed) + " plan=" + plan.describe();
 }
 
 void report_failure(std::uint64_t seed, const mp::FaultPlan& plan,
-                    const std::string& what, const std::string& transport) {
+                    const std::string& what, const std::string& transport,
+                    int threads) {
   const std::string line =
       "[pdc-fuzz] REPRO transport=" + transport +
+      " threads=" + std::to_string(threads) +
       " seed=" + std::to_string(seed) + " plan=" + plan.describe() +
       " failure: " + what;
   std::fprintf(stderr, "%s\n", line.c_str());
@@ -203,11 +207,13 @@ class Watchdog {
 
 FuzzReport fuzz_spmd(const FuzzOptions& opt, const SpmdBody& body) {
   FuzzReport report;
+  report.threads = opt.threads_per_rank;
   const RunResult baseline = run_plan(opt.ranks, mp::FaultPlan{}, body);
   if (baseline.outcome != Outcome::kOk) {
     report.ok = false;
     report.failure = "fault-free baseline failed: " + baseline.error;
-    report_failure(0, mp::FaultPlan{}, report.failure);
+    report_failure(0, mp::FaultPlan{}, report.failure, report.transport,
+                   report.threads);
     return report;
   }
   for (int i = 0; i < opt.iterations; ++i) {
@@ -226,7 +232,8 @@ FuzzReport fuzz_spmd(const FuzzOptions& opt, const SpmdBody& body) {
       report.failure = verdict;
       report.plan =
           opt.shrink ? shrink_plan(plan, opt.ranks, body, baseline) : plan;
-      report_failure(seed, report.plan, verdict);
+      report_failure(seed, report.plan, verdict, report.transport,
+                     report.threads);
       return report;
     }
   }
@@ -237,20 +244,26 @@ FuzzReport fuzz_spmd_process(const FuzzOptions& opt,
                              const std::string& body_name) {
   FuzzReport report;
   report.transport = mp::to_string(opt.transport);
+  report.threads = opt.threads_per_rank;
+  // The hybrid dimension crosses the exec boundary as a body arg.
+  std::vector<std::string> args;
+  if (opt.threads_per_rank > 1)
+    args.push_back("threads=" + std::to_string(opt.threads_per_rank));
   // The reference answers come from the in-process backend, fault-free:
   // the process transports must recover exactly what threads produce.
   const RunResult baseline =
       run_plan_process(opt.ranks, mp::TransportKind::kInproc, mp::FaultPlan{},
-                       body_name, opt.hang_timeout);
+                       body_name, opt.hang_timeout, args);
   if (baseline.outcome != Outcome::kOk) {
     report.ok = false;
     report.failure = "fault-free baseline failed: " + baseline.error;
-    report_failure(0, mp::FaultPlan{}, report.failure, report.transport);
+    report_failure(0, mp::FaultPlan{}, report.failure, report.transport,
+                   report.threads);
     return report;
   }
   auto judge_one = [&](const mp::FaultPlan& plan) {
     return judge_process(run_plan_process(opt.ranks, opt.transport, plan,
-                                          body_name, opt.hang_timeout),
+                                          body_name, opt.hang_timeout, args),
                          plan, baseline);
   };
   for (int i = 0; i < opt.iterations; ++i) {
@@ -283,7 +296,8 @@ FuzzReport fuzz_spmd_process(const FuzzOptions& opt,
         try_keep([](mp::FaultPlan& c) { c.drop = 0.0; });
         try_keep([](mp::FaultPlan& c) { c.max_delay = 1; });
       }
-      report_failure(seed, report.plan, verdict, report.transport);
+      report_failure(seed, report.plan, verdict, report.transport,
+                     report.threads);
       return report;
     }
   }

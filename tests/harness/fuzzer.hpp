@@ -70,11 +70,14 @@ struct RunResult {
 /// Same, but over a launch transport with a PDC_SPMD_BODY-registered body
 /// (a lambda cannot cross an exec boundary): each rank is its own forked
 /// process on shm/tcp, and a fault-plan rank kill is a REAL SIGKILL. The
-/// caller's main() must route through launch::maybe_run_child.
+/// caller's main() must route through launch::maybe_run_child. `args`
+/// are forwarded to the body (io.args) — how hybrid dimensions like
+/// "threads=N" reach process bodies.
 [[nodiscard]] RunResult run_plan_process(
     int ranks, pdc::mp::TransportKind kind, const pdc::mp::FaultPlan& plan,
     const std::string& body_name,
-    std::chrono::seconds timeout = std::chrono::seconds{30});
+    std::chrono::seconds timeout = std::chrono::seconds{30},
+    const std::vector<std::string>& args = {});
 
 struct FuzzOptions {
   int ranks = 4;
@@ -90,6 +93,11 @@ struct FuzzOptions {
   /// Transport for fuzz_spmd_process: where each seeded run executes.
   /// The fault-free baseline it is judged against always runs in-process.
   pdc::mp::TransportKind transport = pdc::mp::TransportKind::kInproc;
+  /// Hybrid dimension: threads advancing each rank's work, recorded in
+  /// repro lines so a FaultPlan replays under the same ExecPlan shape.
+  /// fuzz_spmd_process forwards it to the body as a "threads=N" arg;
+  /// in-process bodies capture their plan directly and set this to match.
+  int threads_per_rank = 1;
 };
 
 struct FuzzReport {
@@ -99,6 +107,7 @@ struct FuzzReport {
   pdc::mp::FaultPlan plan;       ///< shrunk failing plan (when !ok)
   std::string failure;           ///< what went wrong
   std::string transport = "inproc";  ///< where the failing run executed
+  int threads = 1;  ///< threads per rank the failing body ran with
   [[nodiscard]] std::string repro() const;
 };
 
@@ -117,6 +126,7 @@ struct FuzzReport {
 /// Print (and persist to $PDC_FUZZ_ARTIFACT) a repro line.
 void report_failure(std::uint64_t seed, const pdc::mp::FaultPlan& plan,
                     const std::string& what,
-                    const std::string& transport = "inproc");
+                    const std::string& transport = "inproc",
+                    int threads = 1);
 
 }  // namespace pdc::testing

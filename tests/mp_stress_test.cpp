@@ -194,17 +194,11 @@ TEST(P2pFuzz, RingPipelineSurvivesFaultPlans) {
 
 // ------------------------------------------------- stencil heat sweep ---
 
-TEST(HeatFuzz, StripRelaxationSurvivesFaultPlans) {
-  // The mp heat engine's halo protocol (activity flag words + packed
-  // float rows + the bit-exact max-delta allreduce) under seeded
-  // drop/dup/reorder plans: every surviving run must converge in the
-  // same number of steps to the bit-identical strip, or fail with a
-  // clean RankFailedError when the plan kills a rank.
-  pt::FuzzOptions opt;
-  opt.ranks = 3;
-  opt.iterations = pt::stress_iters(60);
-  opt.base_seed = 0x4EA7ULL;
-  const auto report = pt::fuzz_spmd(opt, [](mp::RankContext& ctx) {
+/// The mp heat engine's strip body, parameterized by the execution plan
+/// inside each rank: {1} is the classic funnel-free strip, {T>1} runs a
+/// tile team per rank with comm funneled through its rank-0 thread.
+pt::SpmdBody heat_strip_body(pdc::stencil::ExecPlan plan) {
+  return [plan](mp::RankContext& ctx) {
     namespace st = pdc::stencil;
     const int p = ctx.size();
     const int r = ctx.rank();
@@ -241,7 +235,7 @@ TEST(HeatFuzz, StripRelaxationSurvivesFaultPlans) {
         strip.at(pr, pc) = g.at(static_cast<std::ptrdiff_t>(r0) + pr, pc);
     const st::MpLinks links{.up = r > 0 ? r - 1 : -1,
                             .down = r + 1 < p ? r + 1 : -1};
-    const auto res = st::heat_relax_strip(strip, hopt, ctx, links);
+    const auto res = st::heat_relax_strip(strip, hopt, plan, ctx, links);
 
     std::vector<std::int64_t> digest{
         static_cast<std::int64_t>(res.steps),
@@ -255,8 +249,37 @@ TEST(HeatFuzz, StripRelaxationSurvivesFaultPlans) {
             strip.at(static_cast<std::ptrdiff_t>(i),
                      static_cast<std::ptrdiff_t>(j))));
     return digest;
-  });
+  };
+}
+
+TEST(HeatFuzz, StripRelaxationSurvivesFaultPlans) {
+  // The mp heat engine's halo protocol (activity flag words + packed
+  // float rows + the bit-exact max-delta allreduce) under seeded
+  // drop/dup/reorder plans: every surviving run must converge in the
+  // same number of steps to the bit-identical strip, or fail with a
+  // clean RankFailedError when the plan kills a rank.
+  pt::FuzzOptions opt;
+  opt.ranks = 3;
+  opt.iterations = pt::stress_iters(60);
+  opt.base_seed = 0x4EA7ULL;
+  const auto report = pt::fuzz_spmd(opt, heat_strip_body({}));
   EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
+}
+
+TEST(HeatFuzz, HybridStripRelaxationSurvivesFaultPlans) {
+  // The same protocol with a four-thread team inside every rank (halo
+  // exchange overlapped with interior tiles, comm funneled through each
+  // team's rank-0 thread): fault plans must never shake a byte loose
+  // from the funnel, and the repro line carries the threads= dimension.
+  pt::FuzzOptions opt;
+  opt.ranks = 3;
+  opt.threads_per_rank = 4;
+  opt.iterations = pt::stress_iters(40);
+  opt.base_seed = 0x4EA8ULL;
+  const auto report = pt::fuzz_spmd(
+      opt, heat_strip_body({.threads_per_rank = 4}));
+  EXPECT_TRUE(report.ok) << report.repro() << " failure: " << report.failure;
+  EXPECT_NE(report.repro().find("threads=4"), std::string::npos);
 }
 
 // ------------------------------------------------- fuzzer self-test ---

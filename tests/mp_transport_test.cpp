@@ -146,6 +146,15 @@ PDC_SPMD_BODY(conf_heat_strip) {
   const int p = ctx.size();
   const int r = ctx.rank();
   constexpr std::size_t kRows = 24, kCols = 10;
+  // Hybrid plans ride in through the body args ("threads=N",
+  // "schedule=serial"), so the same digest body covers {R,1} and {R,T}
+  // execution on every backend.
+  st::ExecPlan plan;
+  for (const auto& a : io.args) {
+    if (a.rfind("threads=", 0) == 0)
+      plan.threads_per_rank = std::stoi(a.substr(8));
+    if (a == "schedule=serial") plan.schedule = st::HaloSchedule::kSerial;
+  }
   st::HeatOptions hopt;
   hopt.conductivity = 0.25;
   hopt.tile_rows = 4;
@@ -178,7 +187,7 @@ PDC_SPMD_BODY(conf_heat_strip) {
         strip.at(pr, pc) = g.at(static_cast<std::ptrdiff_t>(r0) + pr, pc);
     const st::MpLinks links{.up = r > 0 ? r - 1 : -1,
                             .down = r + 1 < p ? r + 1 : -1};
-    const auto res = st::heat_relax_strip(strip, hopt, ctx, links);
+    const auto res = st::heat_relax_strip(strip, hopt, plan, ctx, links);
     digest.push_back(static_cast<std::int64_t>(res.steps));
     digest.push_back(static_cast<std::int64_t>(res.tiles_computed));
     digest.push_back(static_cast<std::int64_t>(res.tiles_skipped));
@@ -349,6 +358,19 @@ TEST_P(TransportConformance, HeatStripRelaxation) {
   expect_conformant(GetParam(), "conf_heat_strip");
 }
 
+TEST_P(TransportConformance, HeatStripRelaxationHybrid) {
+  // {R,4} hybrid ranks: a four-thread team advances every strip, comm
+  // funneled through each team's rank-0 thread. Digests (steps, tile
+  // counts, halo words, every field word) must match the in-process
+  // hybrid reference byte for byte.
+  expect_conformant(GetParam(), "conf_heat_strip", false, {"threads=4"});
+}
+
+TEST_P(TransportConformance, HeatStripRelaxationHybridSerialAblation) {
+  expect_conformant(GetParam(), "conf_heat_strip", false,
+                    {"threads=4", "schedule=serial"});
+}
+
 TEST_P(TransportConformance, P2pRingPlainChannel) {
   const auto cell = GetParam();
   launch::LaunchResult got;
@@ -378,6 +400,27 @@ TEST_P(TransportConformance, P2pRingReliableChannel) {
     EXPECT_EQ(got.traffic.duplicates, 0u);
   } else {
     EXPECT_GE(got.traffic.acks, floor);
+  }
+}
+
+// Every execution shape of the same strip world — {4,1}, {4,2}, {4,4},
+// and the serial-schedule ablation — produces the identical per-rank
+// digest: hybrid threading and halo overlap change wall-clock only,
+// never a byte of results, accounting, or wire traffic.
+TEST(HybridPlanShapes, AllThreadCountsAndSchedulesShareOneDigest) {
+  const auto base =
+      run_body(mp::TransportKind::kInproc, 4, "conf_heat_strip");
+  ASSERT_TRUE(base.ok()) << base.error;
+  const std::vector<std::vector<std::string>> variants = {
+      {"threads=2"}, {"threads=4"}, {"threads=4", "schedule=serial"}};
+  for (const auto& args : variants) {
+    const auto got = run_body(mp::TransportKind::kInproc, 4,
+                              "conf_heat_strip", false, args);
+    ASSERT_TRUE(got.ok()) << got.error;
+    ASSERT_EQ(base.ranks.size(), got.ranks.size());
+    for (std::size_t r = 0; r < base.ranks.size(); ++r)
+      EXPECT_EQ(base.ranks[r].out, got.ranks[r].out)
+          << "rank " << r << " args " << args[0];
   }
 }
 

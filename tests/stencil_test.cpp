@@ -12,14 +12,19 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "pdc/life/engine.hpp"
 #include "pdc/life/grid.hpp"
+#include "pdc/mp/comm.hpp"
+#include "pdc/mp/transport.hpp"
 
 namespace ps = pdc::stencil;
 namespace pl = pdc::life;
+namespace mp = pdc::mp;
 
 // ---------------------------------------------------------------- tiles ---
 
@@ -364,10 +369,10 @@ TEST(TileStealing, LifeGridsBitIdenticalAndTileCountsExact1To8Threads) {
 
   for (int threads = 1; threads <= 8; ++threads) {
     for (const bool steal : {false, true}) {
-      pl::EngineOptions o = opt;
-      o.steal_tiles = steal;
+      const ps::ExecPlan plan{.threads_per_rank = threads,
+                              .steal_tiles = steal};
       pl::Grid g = board;
-      const auto res = pl::run_threaded(g, gens, threads, o);
+      const auto res = pl::run_plan(g, gens, plan, opt);
       EXPECT_EQ(g, seq_g) << "threads=" << threads << " steal=" << steal;
       EXPECT_EQ(res.tiles_computed, seq.tiles_computed)
           << "threads=" << threads << " steal=" << steal;
@@ -391,10 +396,10 @@ TEST(TileStealing, HeatStealingMatchesSequentialExactly1To8Threads) {
 
   for (int threads = 1; threads <= 8; ++threads) {
     for (const bool steal : {false, true}) {
-      ps::HeatOptions o = opt;
-      o.steal_tiles = steal;
+      const ps::ExecPlan plan{.threads_per_rank = threads,
+                              .steal_tiles = steal};
       ps::HeatField thr = hot_top(64, 96);
-      const ps::RunResult rt = ps::heat_relax_threaded(thr, o, threads);
+      const ps::RunResult rt = ps::heat_relax_plan(thr, opt, plan);
       EXPECT_EQ(rt.steps, rs.steps) << "threads=" << threads;
       EXPECT_EQ(rt.last_delta, rs.last_delta) << "threads=" << threads;
       EXPECT_EQ(rt.tiles_computed, rs.tiles_computed)
@@ -403,6 +408,216 @@ TEST(TileStealing, HeatStealingMatchesSequentialExactly1To8Threads) {
       EXPECT_TRUE(thr == seq) << "threads=" << threads << " steal=" << steal;
     }
   }
+}
+
+// ------------------------------------------------- hybrid ExecPlan ------
+
+// The single-entry-point contract: the legacy wrappers are thin aliases
+// of run() on the corresponding plan — same grids, same accounting,
+// same wire words, byte for byte.
+TEST(HybridPlan, CompatWrappersMatchPlanEntryPoints) {
+  const pl::Grid start = pl::random_grid(48, 96, 0.3, 11);
+  pl::EngineOptions opt;
+  opt.tile_rows = 8;
+  opt.tile_words = 1;
+  const int gens = 6;
+
+  const auto expect_same = [](const ps::RunResult& a, const ps::RunResult& b,
+                              const pl::Grid& ga, const pl::Grid& gb,
+                              const char* what) {
+    EXPECT_EQ(ga, gb) << what;
+    EXPECT_EQ(a.steps, b.steps) << what;
+    EXPECT_EQ(a.tiles_computed, b.tiles_computed) << what;
+    EXPECT_EQ(a.tiles_skipped, b.tiles_skipped) << what;
+    EXPECT_EQ(a.halo_words, b.halo_words) << what;
+  };
+
+  pl::Grid seq = start;
+  const auto seq_res = pl::run_sequential(seq, gens, opt);
+  pl::Grid p11 = start;
+  const auto p11_res = pl::run_plan(p11, gens, ps::ExecPlan{}, opt);
+  expect_same(seq_res, p11_res, seq, p11, "{1,1} vs run_sequential");
+  EXPECT_EQ(p11_res.halo_words, 0u);
+
+  pl::Grid thr = start;
+  const auto thr_res = pl::run_threaded(thr, gens, 3, opt);
+  pl::Grid p13 = start;
+  const auto p13_res =
+      pl::run_plan(p13, gens, ps::ExecPlan{.threads_per_rank = 3}, opt);
+  expect_same(thr_res, p13_res, thr, p13, "{1,3} vs run_threaded");
+
+  pl::Grid msg = start;
+  std::uint64_t msg_msgs = 0, msg_words = 0;
+  const auto msg_res =
+      pl::run_message_passing(msg, gens, 2, opt, &msg_msgs, &msg_words);
+  pl::Grid p21 = start;
+  std::uint64_t plan_msgs = 0, plan_words = 0;
+  const auto p21_res = pl::run_plan(p21, gens, ps::ExecPlan{.ranks = 2}, opt,
+                                    &plan_msgs, &plan_words);
+  expect_same(msg_res, p21_res, msg, p21, "{2,1} vs run_message_passing");
+  EXPECT_EQ(msg_msgs, plan_msgs);
+  EXPECT_EQ(msg_words, plan_words);
+}
+
+// The hybrid equivalence theorem, exercised: every plan shape {R,T} x
+// {overlap, serial} x {steal on/off}, over the same awkward shapes the
+// engine sweep uses, produces grids bit-identical to the sequential
+// oracle. Tile accounting matches whenever the strip partition keeps
+// the global tile grid (rows/ranks >= tile_rows); narrower strips
+// shrink the tile height, which changes the counts but never the cells.
+TEST(HybridPlan, LifeBitIdenticalToSeqOracleAcrossPlanMatrix) {
+  pl::EngineOptions opt;
+  opt.tile_rows = 2;
+  opt.tile_words = 1;
+  const int gens = 4;
+
+  for (const auto& [rows, cols] : kShapes) {
+    const pl::Grid start =
+        pl::random_grid(rows, cols, 0.3, 77, pl::Boundary::kTorus);
+    pl::Grid seq_g = start;
+    const auto seq = pl::run_sequential(seq_g, gens, opt);
+
+    for (const int ranks : {1, 2, 4}) {
+      if (static_cast<std::size_t>(ranks) > rows) continue;
+      for (const int threads : {1, 2, 4}) {
+        for (const auto sched :
+             {ps::HaloSchedule::kOverlap, ps::HaloSchedule::kSerial}) {
+          for (const bool steal : {false, true}) {
+            const ps::ExecPlan plan{.ranks = ranks,
+                                    .threads_per_rank = threads,
+                                    .schedule = sched,
+                                    .steal_tiles = steal};
+            const std::string tag =
+                std::to_string(rows) + "x" + std::to_string(cols) +
+                " plan{" + std::to_string(ranks) + "," +
+                std::to_string(threads) +
+                (sched == ps::HaloSchedule::kOverlap ? ",overlap"
+                                                     : ",serial") +
+                (steal ? ",steal}" : ",static}");
+            pl::Grid g = start;
+            const auto res = pl::run_plan(g, gens, plan, opt);
+            EXPECT_EQ(g, seq_g) << tag;
+            EXPECT_EQ(res.steps, seq.steps) << tag;
+            if (rows / static_cast<std::size_t>(ranks) >= opt.tile_rows) {
+              EXPECT_EQ(res.tiles_computed, seq.tiles_computed) << tag;
+              EXPECT_EQ(res.tiles_skipped, seq.tiles_skipped) << tag;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Same matrix for the float workload: fields, step counts, and the
+// converged residual (a bit-exact double, thanks to the bit_cast kMax
+// allreduce) must all match the sequential oracle.
+TEST(HybridPlan, HeatBitIdenticalToSeqOracleAcrossPlanMatrix) {
+  ps::HeatOptions opt;
+  opt.conductivity = 0.25;
+  opt.converge_eps = 1e-3;
+  opt.tile_rows = 4;
+  opt.tile_cols = 16;
+  opt.max_steps = 400;
+
+  constexpr std::pair<std::size_t, std::size_t> kFields[] = {{24, 20},
+                                                             {33, 17}};
+  for (const auto& [rows, cols] : kFields) {
+    ps::HeatField seq = hot_top(rows, cols);
+    const ps::RunResult rs = ps::heat_relax(seq, opt);
+    EXPECT_TRUE(rs.converged);
+
+    for (const int ranks : {1, 2, 4}) {
+      for (const int threads : {1, 2, 4}) {
+        for (const auto sched :
+             {ps::HaloSchedule::kOverlap, ps::HaloSchedule::kSerial}) {
+          for (const bool steal : {false, true}) {
+            const ps::ExecPlan plan{.ranks = ranks,
+                                    .threads_per_rank = threads,
+                                    .schedule = sched,
+                                    .steal_tiles = steal};
+            const std::string tag =
+                std::to_string(rows) + "x" + std::to_string(cols) +
+                " plan{" + std::to_string(ranks) + "," +
+                std::to_string(threads) +
+                (sched == ps::HaloSchedule::kOverlap ? ",overlap"
+                                                     : ",serial") +
+                (steal ? ",steal}" : ",static}");
+            ps::HeatField f = hot_top(rows, cols);
+            const ps::RunResult rt = ps::heat_relax_plan(f, opt, plan);
+            EXPECT_TRUE(f == seq) << tag;
+            EXPECT_EQ(rt.steps, rs.steps) << tag;
+            EXPECT_EQ(rt.last_delta, rs.last_delta) << tag;
+            EXPECT_TRUE(rt.converged) << tag;
+            if (rows / static_cast<std::size_t>(ranks) >= opt.tile_rows) {
+              EXPECT_EQ(rt.tiles_computed, rs.tiles_computed) << tag;
+              EXPECT_EQ(rt.tiles_skipped, rs.tiles_skipped) << tag;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(HybridPlan, ValidatesPlanShapeAndTransport) {
+  pl::Grid g = pl::random_grid(8, 8, 0.3, 1);
+  EXPECT_THROW(pl::run_plan(g, 1, ps::ExecPlan{.ranks = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(pl::run_plan(g, 1, ps::ExecPlan{.threads_per_rank = 0}),
+               std::invalid_argument);
+  // In-process drivers refuse process transports: those worlds are
+  // launched via mp::launch::run_spmd with the strip-level run() inside
+  // each body.
+  EXPECT_THROW(
+      pl::run_plan(
+          g, 1,
+          ps::ExecPlan{.ranks = 2, .transport = mp::TransportKind::kShm}),
+      std::invalid_argument);
+  ps::HeatField f = hot_top(8, 8);
+  ps::HeatOptions hopt;
+  EXPECT_THROW(ps::heat_relax_plan(f, hopt, ps::ExecPlan{.ranks = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ps::heat_relax_plan(
+          f, hopt,
+          ps::ExecPlan{.ranks = 2, .transport = mp::TransportKind::kTcp}),
+      std::invalid_argument);
+}
+
+// ------------------------------------------- funneled threading mode ---
+
+// The mp::Threading contract the hybrid engine relies on: once a rank
+// enters kFunneled mode, communication from any thread other than the
+// designated one is a deterministic std::logic_error, not a silent
+// mailbox race.
+TEST(MpThreading, FunneledModeRejectsCommFromForeignThreads) {
+  if (!mp::thread_checks_enabled())
+    GTEST_SKIP() << "thread checks compiled out (NDEBUG build)";
+  mp::Communicator comm(2);
+  comm.run([](mp::RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.set_threading(mp::Threading::kFunneled);
+      EXPECT_EQ(ctx.threading(), mp::Threading::kFunneled);
+      ctx.send_value(1, 0, 42);  // the designated thread may still talk
+      bool threw = false;
+      std::thread foreign([&] {
+        try {
+          ctx.send_value(1, 1, -1);  // must never reach the wire
+        } catch (const std::logic_error&) {
+          threw = true;
+        }
+      });
+      foreign.join();
+      EXPECT_TRUE(threw) << "off-thread send in kFunneled mode must throw";
+      // Dropping back to kSingle re-pins the comm thread to the caller.
+      ctx.set_threading(mp::Threading::kSingle);
+      ctx.send_value(1, 1, 43);
+    } else {
+      EXPECT_EQ(ctx.recv_value(0, 0), 42);
+      EXPECT_EQ(ctx.recv_value(0, 1), 43);
+    }
+  });
 }
 
 TEST(Heat, ValidatesArguments) {
